@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark regenerates a piece of the paper's evaluation and
+*asserts the reproduced shape* (orderings, reuse factors, feasibility
+claims) while pytest-benchmark records the runtime of the regeneration
+itself.  Measured-vs-paper numbers are printed so a benchmark run
+doubles as the data source for EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.workloads.spec import paper_experiments
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "table1: benchmarks regenerating Table 1 rows"
+    )
+
+
+@pytest.fixture(scope="session")
+def specs():
+    return {spec.id: spec for spec in paper_experiments()}
+
+
+@pytest.fixture(scope="session")
+def experiment_ids():
+    return [spec.id for spec in paper_experiments()]

@@ -1,0 +1,45 @@
+"""Benchmark: CDS robustness over a random-workload corpus.
+
+The paper proves its point on twelve experiments; this benchmark checks
+the claims hold *in distribution* over seeded random applications:
+
+* the Complete Data Scheduler never regresses against the Data
+  Scheduler (keeps are only accepted when they fit, and kept transfers
+  are strictly removed work);
+* wherever retention candidates exist and fit, CDS is strictly faster;
+* both always dominate the Basic Scheduler.
+"""
+
+import pytest
+
+from repro.analysis.corpus import corpus_study
+
+
+def test_corpus_robustness(benchmark):
+    stats = benchmark.pedantic(
+        corpus_study, args=(list(range(60)),),
+        kwargs={"fb": "4K", "iterations": 4},
+        rounds=1, iterations=1,
+    )
+    assert stats.feasible >= 30, "corpus mostly infeasible; check sizes"
+    # The central guarantee: retention never hurts.
+    assert stats.cds_regressions_vs_ds == 0
+    # Retention finds work on a decent fraction of random workloads.
+    assert stats.with_keeps >= stats.feasible // 4
+    # And the schedulers dominate Basic throughout.
+    assert all(pct >= 0 for pct in stats.ds_improvements_pct)
+    assert all(pct > 0 for pct in stats.cds_improvements_pct)
+    print("\n" + stats.summary())
+
+
+def test_corpus_at_tight_memory(benchmark):
+    """At a tight FB size many random workloads become infeasible; the
+    feasible ones still obey the ordering."""
+    stats = benchmark.pedantic(
+        corpus_study, args=(list(range(60, 120)),),
+        kwargs={"fb": "1K", "iterations": 4},
+        rounds=1, iterations=1,
+    )
+    assert stats.infeasible > 0
+    assert stats.cds_regressions_vs_ds == 0
+    print("\n" + stats.summary())

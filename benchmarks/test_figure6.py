@@ -1,0 +1,47 @@
+"""Benchmark: regenerate the paper's Figure 6 bar chart.
+
+Figure 6 plots the relative execution improvement of the Data Scheduler
+and the Complete Data Scheduler over the Basic Scheduler for all twelve
+experiments.  The benchmark regenerates the full series, asserts the
+figure's visual claims, and prints the ASCII chart.
+"""
+
+import pytest
+
+from repro.analysis.figure6 import figure6_rows, render_figure6
+from repro.workloads.spec import paper_experiments
+
+
+def test_figure6_series(benchmark):
+    rows = benchmark.pedantic(figure6_rows, rounds=1, iterations=1)
+
+    assert len(rows) == 12
+    by_id = {experiment: (ds, cds) for experiment, ds, cds in rows}
+
+    # Visual claim 1: the CDS bar is never shorter than the DS bar.
+    for experiment, (ds_pct, cds_pct) in by_id.items():
+        assert cds_pct >= ds_pct - 1e-9, experiment
+
+    # Visual claim 2: every CDS bar is visible (strictly positive).
+    for experiment, (_, cds_pct) in by_id.items():
+        assert cds_pct > 0, experiment
+
+    # Visual claim 3: E3 shows the tallest bars of the synthetic family
+    # (deep loop fission dominates) — as in the paper's chart.
+    assert by_id["E3"][1] > by_id["E1"][1]
+    assert by_id["E3"][0] > by_id["E2"][0]
+
+    # Visual claim 4: within the ATR-SLD family the * schedule has the
+    # largest CDS gain (it retains the most data).
+    assert by_id["ATR-SLD*"][1] >= by_id["ATR-SLD"][1]
+    assert by_id["ATR-SLD*"][1] > by_id["ATR-SLD**"][1]
+
+    print("\n" + render_figure6(rows))
+
+
+def test_figure6_improvement_metric_is_relative(benchmark):
+    """The chart metric is (T_basic - T_x) / T_basic, bounded by 100%."""
+    spec = paper_experiments()[0]
+    from repro.analysis.compare import compare_experiment
+    row = benchmark(compare_experiment, spec)
+    assert 0 <= row.cds_improvement_pct < 100

@@ -1,0 +1,67 @@
+"""Benchmark: the paper's MPEG feasibility claim.
+
+"Basic Scheduler cannot execute MPEG if memory size is 1K.  Whereas,
+the Data Scheduler and the Complete Data Scheduler achieve MPEG
+execution with memory size less than 1K."
+"""
+
+import pytest
+
+from repro.arch.params import Architecture
+from repro.errors import InfeasibleScheduleError
+from repro.schedule.basic import BasicScheduler
+from repro.schedule.complete import CompleteDataScheduler
+from repro.schedule.data_scheduler import DataScheduler
+from repro.workloads.mpeg import mpeg
+
+
+def test_basic_infeasible_at_1k(benchmark):
+    application, clustering = mpeg()
+    architecture = Architecture.m1("1K")
+
+    def attempt():
+        try:
+            BasicScheduler(architecture).schedule(application, clustering)
+        except InfeasibleScheduleError as exc:
+            return exc
+        return None
+
+    error = benchmark(attempt)
+    assert error is not None, "Basic Scheduler should fail MPEG at 1K"
+    assert error.required > architecture.fb_set_words
+
+
+@pytest.mark.parametrize("scheduler_cls", [DataScheduler,
+                                           CompleteDataScheduler])
+def test_ds_and_cds_feasible_below_1k(benchmark, scheduler_cls):
+    """Replacement shrinks the peak enough to run below 1K words."""
+    application, clustering = mpeg()
+    architecture = Architecture.m1(1000)  # strictly less than 1K = 1024
+
+    schedule = benchmark(
+        scheduler_cls(architecture).schedule, application, clustering
+    )
+    assert schedule.rf >= 1
+    for plan in schedule.cluster_plans:
+        assert plan.peak_occupancy <= 1000
+
+
+def test_feasibility_threshold_is_tight(benchmark):
+    """Locate the exact Basic threshold: the largest cluster footprint."""
+    from repro.core.dataflow import analyze_dataflow
+    from repro.core.metrics import cluster_footprint
+
+    application, clustering = mpeg()
+    dataflow = analyze_dataflow(application, clustering)
+    threshold = benchmark(
+        lambda: max(
+            cluster_footprint(dataflow, c.index) for c in clustering
+        )
+    )
+    BasicScheduler(Architecture.m1(threshold)).schedule(
+        application, clustering
+    )
+    with pytest.raises(InfeasibleScheduleError):
+        BasicScheduler(Architecture.m1(threshold - 1)).schedule(
+            application, clustering
+        )

@@ -1,0 +1,73 @@
+"""Benchmark: regenerate every row of the paper's Table 1.
+
+For each of the twelve experiments the benchmark runs the complete
+comparison (Basic / Data / Complete Data Scheduler: schedule, lower,
+simulate) and asserts the reproduced *shape*:
+
+* the reuse factor equals the paper's ``RF`` column;
+* the Complete Data Scheduler is at least as good as the Data
+  Scheduler, which is at least as good as the Basic Scheduler;
+* where the paper reports a strictly positive ``DT``, the measured
+  data-transfer saving is strictly positive too.
+
+Absolute percentages are printed for EXPERIMENTS.md but only checked
+loosely (the substrate is a simulator, not the authors' testbed).
+"""
+
+import pytest
+
+from repro.analysis.compare import compare_experiment
+from repro.workloads.spec import paper_experiments
+
+_SPECS = {spec.id: spec for spec in paper_experiments()}
+
+
+@pytest.mark.parametrize("experiment_id", list(_SPECS))
+def test_table1_row(benchmark, experiment_id):
+    spec = _SPECS[experiment_id]
+    row = benchmark(compare_experiment, spec)
+
+    assert row.basic.feasible, f"{spec.id}: Basic infeasible at paper FB"
+    assert row.ds.feasible and row.cds.feasible
+
+    # RF column reproduced exactly.
+    assert row.rf == spec.paper_rf, (
+        f"{spec.id}: measured RF={row.rf}, paper RF={spec.paper_rf}"
+    )
+
+    # Who wins: CDS >= DS >= Basic (the paper's central claim).
+    ds_pct = row.ds_improvement_pct
+    cds_pct = row.cds_improvement_pct
+    assert cds_pct >= ds_pct - 1e-9, f"{spec.id}: CDS worse than DS"
+    assert cds_pct > 0, f"{spec.id}: CDS does not beat Basic"
+    assert ds_pct >= -1e-9, f"{spec.id}: DS slower than Basic"
+
+    # DT: the Complete Data Scheduler avoids data transfers wherever
+    # the paper reports a saving.
+    if spec.paper_dt_words and spec.paper_dt_words > 0 and row.cds.schedule.keeps:
+        assert row.dt_words > 0, f"{spec.id}: no transfers avoided"
+
+    print(
+        f"\n{spec.id:<10} FB={spec.fb:<3} RF={row.rf:>2} "
+        f"DT={row.dt_words:>5}w/iter  "
+        f"DS={ds_pct:5.1f}% (paper {spec.paper_ds_pct:.0f}%)  "
+        f"CDS={cds_pct:5.1f}% (paper {spec.paper_cds_pct:.0f}%)"
+    )
+
+
+def test_table1_orderings_within_families(benchmark):
+    """Cross-row shape: a bigger frame buffer increases RF and never
+    hurts the improvements (E1->E1*, MPEG->MPEG*, ATR-FI->ATR-FI*)."""
+
+    def build():
+        return {
+            key: compare_experiment(_SPECS[key])
+            for key in ("E1", "E1*", "MPEG", "MPEG*", "ATR-FI", "ATR-FI*")
+        }
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    for small, large in (("E1", "E1*"), ("MPEG", "MPEG*"),
+                         ("ATR-FI", "ATR-FI*")):
+        assert rows[large].rf > rows[small].rf
+        assert rows[large].cds_improvement_pct > \
+            rows[small].cds_improvement_pct

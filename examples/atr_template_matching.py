@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""ATR template matching: where retention pays the most.
+
+Automatic Target Recognition correlates every image chip against a
+large bank of target templates.  The bank is iteration-invariant and
+consumed by two correlation kernels in different clusters — without
+retention it crosses the external-memory bus twice per chip.  This
+example shows how the paper's three kernel schedules of the same
+five-kernel chain change what the Complete Data Scheduler can retain,
+reproducing the ATR-SLD / ATR-SLD* / ATR-SLD** rows of Table 1.
+
+Run:  python examples/atr_template_matching.py
+"""
+
+from repro import Architecture
+from repro.analysis.compare import compare_workload
+from repro.units import format_size
+from repro.workloads.atr import atr_sld, atr_sld_star, atr_sld_star2
+
+
+def main() -> None:
+    architecture = Architecture.m1("8K")
+    print(f"architecture: {architecture}\n")
+
+    for builder in (atr_sld, atr_sld_star, atr_sld_star2):
+        application, clustering = builder()
+        row = compare_workload(application, clustering, architecture)
+        schedule = row.cds.schedule
+        kept = ", ".join(
+            f"{keep.label} {keep.name}({format_size(keep.size)})"
+            for keep in schedule.keeps
+        ) or "(nothing)"
+        print(f"=== {application.name} ===")
+        print(f"kernel schedule : {clustering}")
+        print(f"CDS retains     : {kept}")
+        print(
+            f"traffic         : basic={row.basic.data_words}w  "
+            f"cds={row.cds.data_words}w  "
+            f"avoided/iter={row.dt_words}w"
+        )
+        print(
+            f"improvement     : DS={row.ds_improvement_pct:.1f}%  "
+            f"CDS={row.cds_improvement_pct:.1f}%"
+        )
+        print()
+
+    print(
+        "Note how the ** schedule puts the two correlators on different\n"
+        "frame-buffer sets: the template bank can no longer be retained\n"
+        "for both, and the CDS advantage collapses — kernel scheduling\n"
+        "and data scheduling are coupled decisions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Compatibility shim for editable installs on environments without the
+``wheel`` package (all real metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,118 @@
+"""repro — A Complete Data Scheduler for Multi-Context Reconfigurable
+Architectures (reproduction of Sanchez-Elez et al., DATE 2002).
+
+The package implements the paper's compilation framework for
+MorphoSys-style multi-context reconfigurable architectures:
+
+* an application model (kernels, data objects, clusters);
+* the M1 architecture substrate (RC array, dual-set frame buffer,
+  context memory, single DMA channel, external memory);
+* three data schedulers — the Basic Scheduler [3], the Data Scheduler
+  [5] and the paper's **Complete Data Scheduler**;
+* the frame-buffer allocation algorithm (paper Figure 4);
+* a code generator and an event-driven simulator producing the paper's
+  evaluation metrics.
+
+Quickstart::
+
+    from repro import Application, Architecture, Clustering
+    from repro import CompleteDataScheduler, simulate
+
+    app = (
+        Application.build("demo", total_iterations=32)
+        .data("d", "0.5K")
+        .kernel("k1", context_words=32, cycles=600, inputs=["d"],
+                outputs=["r"], result_sizes={"r": 256})
+        .kernel("k2", context_words=32, cycles=500, inputs=["r"],
+                outputs=["out"], result_sizes={"out": 256})
+        .final("out")
+        .finish()
+    )
+    arch = Architecture.m1("2K")
+    schedule = CompleteDataScheduler(arch).schedule(
+        app, Clustering.per_kernel(app))
+    report = simulate(schedule, arch)
+    print(report.total_cycles)
+"""
+
+from repro.arch import Architecture, MorphoSysM1, TimingModel
+from repro.core import (
+    Application,
+    ApplicationBuilder,
+    Cluster,
+    Clustering,
+    DataObject,
+    Kernel,
+    analyze_dataflow,
+)
+from repro.errors import InfeasibleScheduleError, ReproError
+from repro.schedule import (
+    BasicScheduler,
+    CompleteDataScheduler,
+    DataScheduler,
+    KernelScheduler,
+    Schedule,
+    ScheduleOptions,
+)
+from repro.codegen import generate_program, verify_program
+from repro.sim import SimulationReport, Simulator
+from repro.transform import tile_kernel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Application",
+    "ApplicationBuilder",
+    "Architecture",
+    "BasicScheduler",
+    "Cluster",
+    "Clustering",
+    "CompleteDataScheduler",
+    "DataObject",
+    "DataScheduler",
+    "InfeasibleScheduleError",
+    "Kernel",
+    "KernelScheduler",
+    "MorphoSysM1",
+    "ReproError",
+    "Schedule",
+    "ScheduleOptions",
+    "SimulationReport",
+    "Simulator",
+    "TimingModel",
+    "analyze_dataflow",
+    "generate_program",
+    "simulate",
+    "tile_kernel",
+    "validate_schedule",
+    "verify_program",
+    "__version__",
+]
+
+
+def validate_schedule(schedule, architecture=None, **kwargs):
+    """Run every checker against a schedule; see
+    :func:`repro.analysis.validate.validate_schedule`.
+
+    (Imported lazily to keep ``import repro`` light.)
+    """
+    from repro.analysis.validate import validate_schedule as _validate
+
+    return _validate(schedule, architecture, **kwargs)
+
+
+def simulate(schedule, architecture=None, **kwargs) -> SimulationReport:
+    """One-call pipeline: lower *schedule*, simulate, return the report.
+
+    Args:
+        schedule: a :class:`Schedule` from any scheduler.
+        architecture: target architecture; defaults to an M1 with the
+            schedule's frame-buffer set size.
+        **kwargs: forwarded to :meth:`Simulator.run` (``functional``,
+            ``kernel_impls``, ``seed``).
+    """
+    if architecture is None:
+        architecture = Architecture.m1(schedule.fb_set_words)
+    machine = MorphoSysM1(architecture)
+    program = generate_program(schedule)
+    return Simulator(machine).run(program, **kwargs)

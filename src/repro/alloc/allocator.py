@@ -1,0 +1,504 @@
+"""The data and results allocation algorithm (paper Figure 4).
+
+The allocator lays out one steady-state round of one frame-buffer set:
+the clusters assigned to the set, in execution order, each running its
+kernels ``RF`` consecutive times (loop fission — kernel-outer,
+iteration-inner, as paper Figure 5's snapshot sequence shows: kernel 1
+twice, then kernel 2 twice, then kernel 3 twice).
+
+Placement rules, following the paper:
+
+* **shared data first, from upper addresses** — data shared with the
+  most distant cluster placed first ("As these data are going to remain
+  longer in the FB than others input data, they are placed first to
+  minimize fragmentation");
+* **kernel input data next, from upper addresses** — scanned from the
+  last kernel down to the first, so longer-lived inputs sit deeper;
+* during execution, per kernel and iteration: **kept shared results
+  from upper addresses**; **final and intermediate results from lower
+  addresses**;
+* after each kernel execution, ``release(c, k, iter)`` returns dead
+  space to the free list;
+* iteration instances are placed **adjacent to the previous iteration's
+  instance** ("data and results are allocated from the addresses where
+  was placed previous iteration of them") for addressing regularity;
+* when no single free block fits, the object is **split** across blocks
+  as a last resort (the paper reports zero splits across all its
+  experiments — our benchmarks assert the same).
+
+Because the algorithm is deterministic, every round of the application
+produces the identical layout — the periodicity the paper's placement
+policy promotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.arch.frame_buffer import Extent, FrameBufferSet
+from repro.alloc.free_list import FreeBlockList
+from repro.core.dataflow import DataflowInfo, ObjectClass
+from repro.core.reuse import SharedData, SharedResult
+from repro.errors import AllocationError, FragmentationError
+from repro.schedule.plan import Schedule
+
+__all__ = ["AllocationRecord", "Snapshot", "AllocationMap", "FrameBufferAllocator"]
+
+
+@dataclass(frozen=True)
+class AllocationRecord:
+    """Lifetime and placement of one object instance.
+
+    Attributes:
+        name: object name.
+        instance: iteration index within the round (``0 .. RF-1``).
+        cluster_index: cluster whose activity allocated it.
+        extents: the address ranges occupied (len > 1 means split).
+        direction: ``"high"`` or ``"low"`` growth direction.
+        alloc_step: logical step at which it was placed.
+        free_step: logical step at which it was released.
+        regular: placement was adjacent to the previous instance (always
+            True for instance 0).
+    """
+
+    name: str
+    instance: int
+    cluster_index: int
+    extents: Tuple[Extent, ...]
+    direction: str
+    alloc_step: int
+    free_step: int
+    regular: bool
+
+    @property
+    def size(self) -> int:
+        return sum(extent.size for extent in self.extents)
+
+    @property
+    def split(self) -> bool:
+        """True if the object was split across free blocks."""
+        return len(self.extents) > 1
+
+    def live_at(self, step: int) -> bool:
+        """True if the instance occupies memory at logical *step*."""
+        return self.alloc_step <= step < self.free_step
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """FB-set contents at one labelled point (for Figure-5 rendering)."""
+
+    label: str
+    step: int
+    regions: Tuple[Tuple[str, int, Tuple[Extent, ...]], ...]
+
+    @property
+    def occupied_words(self) -> int:
+        return sum(
+            extent.size for _, _, extents in self.regions for extent in extents
+        )
+
+
+@dataclass
+class AllocationMap:
+    """Complete placement of one FB set for one steady-state round."""
+
+    fb_set: int
+    capacity_words: int
+    rf: int
+    records: List[AllocationRecord] = field(default_factory=list)
+    snapshots: List[Snapshot] = field(default_factory=list)
+
+    @property
+    def splits(self) -> int:
+        """Number of split placements (the paper reports zero)."""
+        return sum(1 for record in self.records if record.split)
+
+    @property
+    def irregular_placements(self) -> int:
+        """Placements that broke iteration adjacency."""
+        return sum(1 for record in self.records if not record.regular)
+
+    @property
+    def peak_words(self) -> int:
+        """Maximum simultaneous occupancy over the round."""
+        events: List[Tuple[int, int]] = []
+        for record in self.records:
+            events.append((record.alloc_step, record.size))
+            events.append((record.free_step, -record.size))
+        events.sort(key=lambda pair: (pair[0], -pair[1]))
+        best = 0
+        current = 0
+        for _, delta in events:
+            current += delta
+            best = max(best, current)
+        return best
+
+    @property
+    def highest_address_used(self) -> int:
+        """One past the highest word ever occupied."""
+        return max(
+            (extent.end for record in self.records for extent in record.extents),
+            default=0,
+        )
+
+    def record_for(self, name: str, instance: int) -> AllocationRecord:
+        """The record of one instance (there is exactly one per round)."""
+        for record in self.records:
+            if record.name == name and record.instance == instance:
+                return record
+        raise KeyError(f"no allocation record for {name}#{instance}")
+
+    def verify(self) -> None:
+        """Re-check that lifetime-overlapping records never share words.
+
+        The allocator already enforces this online through
+        :class:`~repro.arch.frame_buffer.FrameBufferSet`; this is an
+        independent offline check used by the test suite.
+        """
+        for i, first in enumerate(self.records):
+            for second in self.records[i + 1:]:
+                overlap_in_time = (
+                    first.alloc_step < second.free_step
+                    and second.alloc_step < first.free_step
+                )
+                if not overlap_in_time:
+                    continue
+                for extent_a in first.extents:
+                    for extent_b in second.extents:
+                        if extent_a.overlaps(extent_b):
+                            raise AllocationError(
+                                f"{first.name}#{first.instance} and "
+                                f"{second.name}#{second.instance} overlap in "
+                                f"space ({extent_a} vs {extent_b}) and time"
+                            )
+
+
+class FrameBufferAllocator:
+    """Runs the Figure-4 algorithm for one FB set of a schedule.
+
+    Args:
+        schedule: a schedule from any of the data schedulers.
+        allow_split: permit multi-extent placement when no single free
+            block fits (paper section 5); when False, such a situation
+            raises :class:`FragmentationError`.
+        fit_policy: ``"first"`` (the paper's choice — "as data and
+            result sizes are similar, the chosen allocation method is
+            first-fit") or ``"best"`` (smallest sufficient block;
+            ablation baseline).
+    """
+
+    def __init__(self, schedule: Schedule, *, allow_split: bool = True,
+                 fit_policy: str = "first"):
+        if fit_policy not in ("first", "best"):
+            raise AllocationError(f"unknown fit_policy {fit_policy!r}")
+        self.schedule = schedule
+        self.allow_split = allow_split
+        self.fit_policy = fit_policy
+
+    # -- public API -----------------------------------------------------
+
+    def allocate_set(self, fb_set: int) -> AllocationMap:
+        """Produce the :class:`AllocationMap` of one FB set's round."""
+        run = _SetAllocation(self.schedule, fb_set, self.allow_split,
+                             best_fit=(self.fit_policy == "best"))
+        return run.execute()
+
+    def allocate(self) -> Tuple[AllocationMap, AllocationMap]:
+        """Both sets' maps, ``(set0, set1)``."""
+        return (self.allocate_set(0), self.allocate_set(1))
+
+
+class _SetAllocation:
+    """One execution of the Figure-4 algorithm (internal)."""
+
+    def __init__(self, schedule: Schedule, fb_set: int, allow_split: bool,
+                 *, best_fit: bool = False):
+        self.schedule = schedule
+        self.dataflow: DataflowInfo = schedule.dataflow
+        self.fb_set = fb_set
+        self.allow_split = allow_split
+        self.best_fit = best_fit
+        self.rf = schedule.rf
+        self.capacity = schedule.fb_set_words
+        self.free_list = FreeBlockList(self.capacity)
+        self.regions = FrameBufferSet(self.capacity, set_index=fb_set)
+        self.map = AllocationMap(
+            fb_set=fb_set, capacity_words=self.capacity, rf=self.rf
+        )
+        self.step = 0
+        self._open: Dict[Tuple[str, int], Dict] = {}
+        self._last_single_extent: Dict[str, Tuple[int, Extent]] = {}
+        keeps = [k for k in schedule.keeps if k.fb_set == fb_set]
+        self.kept_data: Dict[str, SharedData] = {
+            k.name: k for k in keeps if isinstance(k, SharedData)
+        }
+        self.kept_results: Dict[str, SharedResult] = {
+            k.name: k for k in keeps if isinstance(k, SharedResult)
+        }
+
+    # -- driver -----------------------------------------------------------
+
+    def execute(self) -> AllocationMap:
+        clusters = self.schedule.clustering.on_set(self.fb_set)
+        for cluster in clusters:
+            self._place_cluster_inputs(cluster)
+            self._snapshot(f"after load {cluster.name} input data")
+            self._run_cluster(cluster)
+            self._finish_cluster(cluster)
+            self._snapshot(f"after {cluster.name} stores complete")
+        self._close_round(clusters)
+        for key in list(self._open):
+            raise AllocationError(
+                f"region {key[0]}#{key[1]} still live at end of round"
+            )
+        return self.map
+
+    # -- phases ------------------------------------------------------------
+
+    def _place_cluster_inputs(self, cluster) -> None:
+        """Figure 4, input placement: shared data first (most distant
+        consumer first), then kernel data from the last kernel down."""
+        plan = self.schedule.plan_for(cluster.index)
+        loads = list(plan.loads)
+
+        # 1. Kept shared data whose first consumer is this cluster,
+        #    ordered by last consuming cluster, descending.
+        kept_now = [
+            self.kept_data[name]
+            for name in loads
+            if name in self.kept_data
+            and self.kept_data[name].clusters[0] == cluster.index
+        ]
+        kept_now.sort(key=lambda keep: (-keep.span[1], keep.name))
+        self.step += 1
+        for keep in kept_now:
+            instances = 1 if keep.invariant else self.rf
+            for instance in range(instances):
+                self._allocate(
+                    keep.name, instance, cluster.index, keep.size, "high"
+                )
+
+        # 2. Non-kept inputs, scanned from the last kernel to the first;
+        #    an input belongs to its last consuming kernel (paper d_j).
+        kept_names = {keep.name for keep in kept_now}
+        remaining = [name for name in loads if name not in kept_names]
+        placed: Set[str] = set()
+        for kernel_name in reversed(cluster.kernel_names):
+            for obj_name in remaining:
+                if obj_name in placed:
+                    continue
+                last = self.dataflow.last_use_in_cluster(obj_name, cluster.index)
+                if last == kernel_name:
+                    placed.add(obj_name)
+                    info = self.dataflow[obj_name]
+                    instances = 1 if info.invariant else self.rf
+                    for instance in range(instances):
+                        self._allocate(
+                            obj_name, instance, cluster.index, info.size, "high"
+                        )
+        missing = set(remaining) - placed
+        if missing:  # pragma: no cover — inputs always have a local use
+            raise AllocationError(
+                f"inputs {sorted(missing)} of {cluster.name} have no local use"
+            )
+
+    def _run_cluster(self, cluster) -> None:
+        """Execution: kernels in order, each run ``RF`` times; results
+        placed as produced, dead space released after each execution."""
+        for kernel_name in cluster.kernel_names:
+            kernel = self.dataflow.application.kernel(kernel_name)
+            for instance in range(self.rf):
+                self.step += 1
+                for out_name in kernel.outputs:
+                    info = self.dataflow[out_name]
+                    keep = self.kept_results.get(out_name)
+                    if keep is not None and keep.producer_cluster == cluster.index:
+                        direction = "high"
+                    elif info.object_class is ObjectClass.INTERMEDIATE_RESULT:
+                        direction = "low"
+                    else:
+                        direction = "low"  # final and stored shared results
+                    self._allocate(
+                        out_name, instance, cluster.index, info.size, direction
+                    )
+                self._release_dead(cluster, kernel, instance)
+                self._snapshot(
+                    f"after execution {instance + 1} of {kernel_name}"
+                )
+
+    def _release_dead(self, cluster, kernel, instance: int) -> None:
+        """Paper's ``release(c, k, iter)``."""
+        for in_name in kernel.inputs:
+            info = self.dataflow[in_name]
+            if in_name in self.kept_data or in_name in self.kept_results:
+                continue  # kept items persist to their span end
+            last = self.dataflow.last_use_in_cluster(in_name, cluster.index)
+            if last != kernel.name:
+                continue
+            produced_here = info.producer_cluster == cluster.index
+            if produced_here and (
+                info.is_final or info.consumed_after(cluster.index)
+            ):
+                # Outbound result: freed when its store completes
+                # (cluster end), not at its last local use.
+                continue
+            if info.invariant:
+                # Single shared copy (instance 0): released only after
+                # the last concurrent iteration used it.
+                if instance == self.rf - 1 and self.regions.is_bound(
+                    in_name, 0
+                ):
+                    self._free(in_name, 0)
+                continue
+            if not self.regions.is_bound(in_name, instance):
+                # Served from the other set (cross-set retention):
+                # nothing was placed here.
+                continue
+            # Dead input or intermediate instance: release immediately.
+            self._free(in_name, instance)
+
+    def _finish_cluster(self, cluster) -> None:
+        """Release stored results (their DMA stores complete before the
+        next same-set cluster loads) and keeps whose span ends here."""
+        plan = self.schedule.plan_for(cluster.index)
+        self.step += 1
+        for out_name in plan.stores:
+            if out_name in self.kept_results:
+                continue  # kept-and-stored: released at span end
+            for instance in range(self.rf):
+                if self.regions.is_bound(out_name, instance):
+                    self._free(out_name, instance)
+        # Keeps whose span ended at (or, for cross-set consumers,
+        # before) this cluster are released now.
+        for keep in list(self.kept_data.values()):
+            if keep.span[1] <= cluster.index and self.regions.is_bound(
+                keep.name, 0
+            ):
+                instances = 1 if keep.invariant else self.rf
+                for instance in range(instances):
+                    self._free(keep.name, instance)
+        for keep in list(self.kept_results.values()):
+            if keep.span[1] <= cluster.index and self.regions.is_bound(
+                keep.name, 0
+            ):
+                for instance in range(self.rf):
+                    self._free(keep.name, instance)
+
+    def _close_round(self, clusters) -> None:
+        """Free anything that survives the round boundary.
+
+        Final results of the last cluster were freed in its finish
+        phase.  Keeps whose last consumer sits on the *other* set (the
+        cross-set-retention extension) have no same-set finish phase
+        after their span ends, so they are released here.  Anything
+        else live at the end of :meth:`execute` is a bookkeeping bug.
+        """
+        self.step += 1
+        for keep in list(self.kept_data.values()):
+            if self.regions.is_bound(keep.name, 0):
+                instances = 1 if keep.invariant else self.rf
+                for instance in range(instances):
+                    self._free(keep.name, instance)
+        for keep in list(self.kept_results.values()):
+            if self.regions.is_bound(keep.name, 0):
+                for instance in range(self.rf):
+                    self._free(keep.name, instance)
+
+    # -- placement ---------------------------------------------------------
+
+    def _allocate(
+        self,
+        name: str,
+        instance: int,
+        cluster_index: int,
+        size: int,
+        direction: str,
+    ) -> None:
+        extents: Optional[Tuple[Extent, ...]] = None
+        regular = True
+        expected_start = self._expected_adjacent_start(name, instance, size, direction)
+        if expected_start is not None:
+            try:
+                extents = (self.free_list.allocate_at(expected_start, size),)
+            except FragmentationError:
+                extents = None
+        if extents is None:
+            regular = instance == 0 or expected_start is None
+            try:
+                if direction == "high":
+                    extents = (
+                        self.free_list.allocate_high(
+                            size, best_fit=self.best_fit
+                        ),
+                    )
+                else:
+                    extents = (
+                        self.free_list.allocate_low(
+                            size, best_fit=self.best_fit
+                        ),
+                    )
+            except FragmentationError:
+                if not self.allow_split:
+                    raise
+                extents = self.free_list.allocate_split(
+                    size, from_high=(direction == "high")
+                )
+        self.regions.bind(name, instance, extents)
+        self._open[(name, instance)] = {
+            "extents": extents,
+            "direction": direction,
+            "cluster_index": cluster_index,
+            "alloc_step": self.step,
+            "regular": regular,
+        }
+        if len(extents) == 1:
+            self._last_single_extent[name] = (instance, extents[0])
+
+    def _expected_adjacent_start(
+        self, name: str, instance: int, size: int, direction: str
+    ) -> Optional[int]:
+        """Where iteration adjacency would put this instance."""
+        if instance == 0:
+            return None
+        previous = self._last_single_extent.get(name)
+        if previous is None or previous[0] != instance - 1:
+            return None
+        prev_extent = previous[1]
+        if direction == "high":
+            start = prev_extent.start - size
+        else:
+            start = prev_extent.start + prev_extent.size
+        if start < 0 or start + size > self.capacity:
+            return None
+        return start
+
+    def _free(self, name: str, instance: int) -> None:
+        key = (name, instance)
+        meta = self._open.pop(key, None)
+        if meta is None:
+            raise AllocationError(f"free of unallocated region {name}#{instance}")
+        extents = self.regions.release(name, instance)
+        self.free_list.free_extents(extents)
+        self.map.records.append(
+            AllocationRecord(
+                name=name,
+                instance=instance,
+                cluster_index=meta["cluster_index"],
+                extents=meta["extents"],
+                direction=meta["direction"],
+                alloc_step=meta["alloc_step"],
+                free_step=self.step,
+                regular=meta["regular"],
+            )
+        )
+
+    def _snapshot(self, label: str) -> None:
+        regions = tuple(
+            (name, instance, self.regions.extents_of(name, instance))
+            for (name, instance) in self.regions.live_regions()
+        )
+        self.map.snapshots.append(
+            Snapshot(label=label, step=self.step, regions=regions)
+        )

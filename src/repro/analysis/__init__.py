@@ -1,0 +1,25 @@
+"""Analysis and reporting: regeneration of the paper's evaluation.
+
+* :mod:`repro.analysis.compare` — run Basic / DS / CDS on one workload
+  and collect the comparison row;
+* :mod:`repro.analysis.table1` — the full Table 1;
+* :mod:`repro.analysis.figure6` — the Figure 6 bar chart;
+* :mod:`repro.analysis.ablation` — ablations of the design choices
+  (TF ranking, RF policy, DMA ordering, allocator splitting).
+"""
+
+from repro.analysis.compare import ComparisonRow, SchedulerOutcome, compare_experiment, compare_workload
+from repro.analysis.figure6 import figure6_rows, render_figure6
+from repro.analysis.table1 import Table1Row, build_table1, render_table1
+
+__all__ = [
+    "ComparisonRow",
+    "SchedulerOutcome",
+    "Table1Row",
+    "build_table1",
+    "compare_experiment",
+    "compare_workload",
+    "figure6_rows",
+    "render_figure6",
+    "render_table1",
+]

@@ -1,0 +1,58 @@
+"""Minimal ASCII bar charts for terminal reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+__all__ = ["hbar_chart"]
+
+
+def hbar_chart(
+    rows: Sequence[Tuple[str, Sequence[Optional[float]]]],
+    *,
+    series_labels: Sequence[str],
+    series_marks: Sequence[str] = ("#", "="),
+    width: int = 50,
+    max_value: Optional[float] = None,
+    unit: str = "%",
+) -> str:
+    """Render grouped horizontal bars.
+
+    Args:
+        rows: ``(label, values)`` pairs; a ``None`` value renders as
+            ``n/a`` (e.g. an infeasible schedule).
+        series_labels: one label per series (shown in the legend).
+        series_marks: one bar character per series.
+        width: bar width in characters at ``max_value``.
+        max_value: scale maximum; defaults to the data maximum.
+        unit: suffix for printed values.
+    """
+    if len(series_labels) > len(series_marks):
+        raise ValueError("need one mark per series")
+    values = [
+        value
+        for _, series in rows
+        for value in series
+        if value is not None
+    ]
+    scale = max_value if max_value is not None else max(values or [1.0])
+    scale = scale or 1.0
+    label_width = max((len(label) for label, _ in rows), default=5)
+    lines: List[str] = []
+    legend = "  ".join(
+        f"{mark} {label}"
+        for mark, label in zip(series_marks, series_labels)
+    )
+    lines.append(f"legend: {legend}")
+    for label, series in rows:
+        for mark, value in zip(series_marks, series):
+            if value is None:
+                bar = "(infeasible)"
+                text = "n/a"
+            else:
+                length = max(0, min(width, round(value / scale * width)))
+                bar = mark * length
+                text = f"{value:.1f}{unit}"
+            lines.append(f"{label:>{label_width}} |{bar:<{width}}| {text}")
+        lines.append("")
+    return "\n".join(lines).rstrip()

@@ -1,0 +1,179 @@
+"""Head-to-head comparison of the three schedulers on one workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.arch.machine import MorphoSysM1
+from repro.arch.params import Architecture
+from repro.codegen.generator import generate_program
+from repro.core.application import Application
+from repro.core.cluster import Clustering
+from repro.core.dataflow import analyze_dataflow
+from repro.core.metrics import total_data_size
+from repro.errors import InfeasibleScheduleError
+from repro.schedule.base import DataSchedulerBase, ScheduleOptions
+from repro.schedule.basic import BasicScheduler
+from repro.schedule.complete import CompleteDataScheduler
+from repro.schedule.data_scheduler import DataScheduler
+from repro.schedule.plan import Schedule
+from repro.sim.engine import Simulator
+from repro.sim.report import SimulationReport
+from repro.workloads.spec import ExperimentSpec
+
+__all__ = ["SchedulerOutcome", "ComparisonRow", "compare_workload", "compare_experiment"]
+
+
+@dataclass(frozen=True)
+class SchedulerOutcome:
+    """One scheduler's result on one workload.
+
+    ``schedule``/``report`` are ``None`` when infeasible.
+    """
+
+    scheduler: str
+    feasible: bool
+    schedule: Optional[Schedule] = None
+    report: Optional[SimulationReport] = None
+    infeasible_reason: str = ""
+
+    @property
+    def rf(self) -> Optional[int]:
+        return self.schedule.rf if self.schedule else None
+
+    @property
+    def total_cycles(self) -> Optional[int]:
+        return self.report.total_cycles if self.report else None
+
+    @property
+    def data_words(self) -> Optional[int]:
+        return self.report.data_words if self.report else None
+
+    def improvement_over(self, baseline: "SchedulerOutcome") -> Optional[float]:
+        """Relative execution improvement (%) over *baseline*; ``None``
+        if either run was infeasible."""
+        if self.report is None or baseline.report is None:
+            return None
+        return 100.0 * self.report.improvement_over(baseline.report)
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """All three schedulers on one workload at one architecture."""
+
+    workload: str
+    architecture: str
+    fb_words: int
+    n_clusters: int
+    max_kernels_per_cluster: int
+    total_data_words: int
+    basic: SchedulerOutcome
+    ds: SchedulerOutcome
+    cds: SchedulerOutcome
+
+    @property
+    def ds_improvement_pct(self) -> Optional[float]:
+        """The paper's ``DS`` column (vs the Basic Scheduler)."""
+        return self.ds.improvement_over(self.basic)
+
+    @property
+    def cds_improvement_pct(self) -> Optional[float]:
+        """The paper's ``CDS`` column (vs the Basic Scheduler)."""
+        return self.cds.improvement_over(self.basic)
+
+    @property
+    def dt_words(self) -> Optional[int]:
+        """The paper's ``DT`` column: data transfers avoided per
+        iteration by the Complete Data Scheduler relative to the Data
+        Scheduler's (and Basic's) traffic."""
+        if self.cds.report is None or self.ds.report is None:
+            return None
+        iterations = None
+        if self.cds.schedule is not None:
+            iterations = self.cds.schedule.application.total_iterations
+        if not iterations:
+            return None
+        avoided = self.ds.report.data_words - self.cds.report.data_words
+        return avoided // iterations
+
+    @property
+    def rf(self) -> Optional[int]:
+        """The reuse factor achieved (DS and CDS agree by construction;
+        reported from CDS)."""
+        return self.cds.rf if self.cds.feasible else self.ds.rf
+
+
+def run_scheduler(
+    scheduler: DataSchedulerBase,
+    application: Application,
+    clustering: Clustering,
+    architecture: Architecture,
+) -> SchedulerOutcome:
+    """Schedule, lower, simulate; package the outcome."""
+    try:
+        schedule = scheduler.schedule(application, clustering)
+    except InfeasibleScheduleError as exc:
+        return SchedulerOutcome(
+            scheduler=scheduler.name,
+            feasible=False,
+            infeasible_reason=str(exc),
+        )
+    program = generate_program(schedule)
+    machine = MorphoSysM1(architecture)
+    report = Simulator(machine).run(program)
+    return SchedulerOutcome(
+        scheduler=scheduler.name,
+        feasible=True,
+        schedule=schedule,
+        report=report,
+    )
+
+
+def compare_workload(
+    application: Application,
+    clustering: Clustering,
+    architecture: Architecture,
+    *,
+    options: Optional[ScheduleOptions] = None,
+    workload_name: Optional[str] = None,
+) -> ComparisonRow:
+    """Run Basic, DS and CDS on one workload and collect the row."""
+    dataflow = analyze_dataflow(application, clustering)
+    basic = run_scheduler(
+        BasicScheduler(architecture, options), application, clustering,
+        architecture,
+    )
+    ds = run_scheduler(
+        DataScheduler(architecture, options), application, clustering,
+        architecture,
+    )
+    cds = run_scheduler(
+        CompleteDataScheduler(architecture, options), application, clustering,
+        architecture,
+    )
+    return ComparisonRow(
+        workload=workload_name or application.name,
+        architecture=architecture.name,
+        fb_words=architecture.fb_set_words,
+        n_clusters=len(clustering),
+        max_kernels_per_cluster=max(clustering.sizes()),
+        total_data_words=total_data_size(dataflow),
+        basic=basic,
+        ds=ds,
+        cds=cds,
+    )
+
+
+def compare_experiment(
+    spec: ExperimentSpec,
+    *,
+    options: Optional[ScheduleOptions] = None,
+) -> ComparisonRow:
+    """Run one Table-1 experiment at its paper frame-buffer size."""
+    application, clustering = spec.build()
+    architecture = Architecture.m1(spec.fb)
+    return compare_workload(
+        application, clustering, architecture,
+        options=options, workload_name=spec.id,
+    )

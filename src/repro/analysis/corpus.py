@@ -1,0 +1,98 @@
+"""Robustness study over a corpus of random workloads.
+
+The paper evaluates on twelve hand-picked experiments; this module
+checks the Complete Data Scheduler's claims *in distribution*: over a
+seeded corpus of random applications, how often is CDS strictly better
+than the Data Scheduler, how large is the improvement, and does it ever
+regress?  Used by ``benchmarks/test_corpus_robustness.py``.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.analysis.compare import compare_workload
+from repro.arch.params import Architecture
+from repro.units import SizeLike
+from repro.workloads.random_gen import random_application
+
+__all__ = ["CorpusStats", "corpus_study"]
+
+
+@dataclass
+class CorpusStats:
+    """Aggregate outcomes over the corpus."""
+
+    seeds_total: int
+    feasible: int = 0
+    infeasible: int = 0
+    with_keeps: int = 0
+    cds_strictly_faster_than_ds: int = 0
+    cds_regressions_vs_ds: int = 0
+    ds_improvements_pct: List[float] = field(default_factory=list)
+    cds_improvements_pct: List[float] = field(default_factory=list)
+
+    @property
+    def mean_cds_pct(self) -> Optional[float]:
+        values = self.cds_improvements_pct
+        return statistics.fmean(values) if values else None
+
+    @property
+    def median_cds_pct(self) -> Optional[float]:
+        values = self.cds_improvements_pct
+        return statistics.median(values) if values else None
+
+    @property
+    def min_cds_pct(self) -> Optional[float]:
+        values = self.cds_improvements_pct
+        return min(values) if values else None
+
+    def summary(self) -> str:
+        lines = [
+            f"corpus: {self.seeds_total} workloads, {self.feasible} "
+            f"feasible, {self.infeasible} infeasible at this FB size",
+            f"retention found work on {self.with_keeps}/{self.feasible} "
+            f"feasible workloads",
+            f"CDS strictly faster than DS on "
+            f"{self.cds_strictly_faster_than_ds}, regressions: "
+            f"{self.cds_regressions_vs_ds}",
+        ]
+        if self.cds_improvements_pct:
+            lines.append(
+                f"CDS improvement over Basic: mean {self.mean_cds_pct:.1f}%"
+                f", median {self.median_cds_pct:.1f}%, min "
+                f"{self.min_cds_pct:.1f}%"
+            )
+        return "\n".join(lines)
+
+
+def corpus_study(
+    seeds: Sequence[int],
+    *,
+    fb: SizeLike = "4K",
+    iterations: int = 6,
+) -> CorpusStats:
+    """Run the three-scheduler comparison over seeded random workloads."""
+    architecture = Architecture.m1(fb)
+    stats = CorpusStats(seeds_total=len(seeds))
+    for seed in seeds:
+        application, clustering = random_application(
+            seed, iterations=iterations
+        )
+        row = compare_workload(application, clustering, architecture)
+        if not (row.basic.feasible and row.ds.feasible
+                and row.cds.feasible):
+            stats.infeasible += 1
+            continue
+        stats.feasible += 1
+        if row.cds.schedule.keeps:
+            stats.with_keeps += 1
+        if row.cds.total_cycles < row.ds.total_cycles:
+            stats.cds_strictly_faster_than_ds += 1
+        elif row.cds.total_cycles > row.ds.total_cycles:
+            stats.cds_regressions_vs_ds += 1
+        stats.ds_improvements_pct.append(row.ds_improvement_pct)
+        stats.cds_improvements_pct.append(row.cds_improvement_pct)
+    return stats

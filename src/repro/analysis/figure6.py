@@ -1,0 +1,50 @@
+"""Regeneration of the paper's Figure 6: relative execution improvement
+(%) of the Data Scheduler and the Complete Data Scheduler over the
+Basic Scheduler, for every experiment."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.ascii_chart import hbar_chart
+from repro.analysis.table1 import Table1Row, build_table1
+from repro.workloads.spec import ExperimentSpec
+
+__all__ = ["figure6_rows", "render_figure6"]
+
+
+def figure6_rows(
+    specs: Optional[Sequence[ExperimentSpec]] = None,
+) -> List[Tuple[str, Optional[float], Optional[float]]]:
+    """``(experiment, DS%, CDS%)`` for every experiment.
+
+    ``None`` marks an infeasible schedule (cannot happen for DS/CDS at
+    the paper's sizes, but kept for robustness).
+    """
+    table = build_table1(specs)
+    return [
+        (row.id, row.measured_ds_pct, row.measured_cds_pct)
+        for row in table
+    ]
+
+
+def render_figure6(
+    rows: Optional[Sequence[Tuple[str, Optional[float], Optional[float]]]] = None,
+) -> str:
+    """ASCII bar chart in the style of the paper's Figure 6 (the paper
+    shows CDS and DS bars side by side per experiment)."""
+    rows = list(rows) if rows is not None else figure6_rows()
+    chart_rows = [
+        (experiment, (cds_pct, ds_pct))
+        for experiment, ds_pct, cds_pct in rows
+    ]
+    chart = hbar_chart(
+        chart_rows,
+        series_labels=("CDS (Complete Data Scheduler)", "DS (Data Scheduler)"),
+        series_marks=("#", "="),
+        max_value=100.0,
+    )
+    return (
+        "Figure 6: relative execution improvement over the Basic "
+        "Scheduler\n" + chart
+    )

@@ -1,0 +1,105 @@
+"""Regeneration of the paper's Table 1.
+
+Columns, as in the paper:
+
+* ``N``  — total number of clusters;
+* ``n``  — maximum number of kernels per cluster;
+* ``DS`` — total data size per iteration (input data + intermediate
+  results + final results);
+* ``DT`` — data transfers avoided per iteration;
+* ``RF`` — reuse (context) factor achieved;
+* ``FB`` — one frame-buffer set size;
+* ``DS%``  — Data Scheduler relative execution improvement;
+* ``CDS%`` — Complete Data Scheduler relative execution improvement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.compare import ComparisonRow, compare_experiment
+from repro.units import format_size
+from repro.workloads.spec import ExperimentSpec, paper_experiments
+
+__all__ = ["Table1Row", "build_table1", "render_table1"]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One measured row plus the paper's reported values."""
+
+    spec: ExperimentSpec
+    comparison: ComparisonRow
+
+    @property
+    def id(self) -> str:
+        return self.spec.id
+
+    @property
+    def measured_rf(self) -> Optional[int]:
+        return self.comparison.rf
+
+    @property
+    def measured_dt_words(self) -> Optional[int]:
+        return self.comparison.dt_words
+
+    @property
+    def measured_ds_pct(self) -> Optional[float]:
+        return self.comparison.ds_improvement_pct
+
+    @property
+    def measured_cds_pct(self) -> Optional[float]:
+        return self.comparison.cds_improvement_pct
+
+
+def build_table1(
+    specs: Optional[Sequence[ExperimentSpec]] = None,
+) -> List[Table1Row]:
+    """Run every experiment and collect the rows."""
+    specs = list(specs) if specs is not None else list(paper_experiments())
+    return [
+        Table1Row(spec=spec, comparison=compare_experiment(spec))
+        for spec in specs
+    ]
+
+
+def _fmt_pct(value: Optional[float]) -> str:
+    return "n/a" if value is None else f"{value:.0f}%"
+
+
+def _fmt_opt(value) -> str:
+    return "?" if value is None else str(value)
+
+
+def render_table1(rows: Sequence[Table1Row], *, show_paper: bool = True) -> str:
+    """Text rendering of the measured (and optionally paper) table."""
+    header = (
+        f"{'exp':<10} {'N':>2} {'n':>2} {'DS':>6} {'DT':>6} {'RF':>3} "
+        f"{'FB':>4} {'DS%':>5} {'CDS%':>5}"
+    )
+    if show_paper:
+        header += f"   {'paper RF':>8} {'paper DT':>8} {'paper DS%':>9} {'paper CDS%':>10}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        comparison = row.comparison
+        line = (
+            f"{row.id:<10} {comparison.n_clusters:>2} "
+            f"{comparison.max_kernels_per_cluster:>2} "
+            f"{format_size(comparison.total_data_words):>6} "
+            f"{format_size(row.measured_dt_words or 0):>6} "
+            f"{_fmt_opt(row.measured_rf):>3} "
+            f"{format_size(comparison.fb_words):>4} "
+            f"{_fmt_pct(row.measured_ds_pct):>5} "
+            f"{_fmt_pct(row.measured_cds_pct):>5}"
+        )
+        if show_paper:
+            spec = row.spec
+            line += (
+                f"   {_fmt_opt(spec.paper_rf):>8} "
+                f"{format_size(spec.paper_dt_words) if spec.paper_dt_words else '?':>8} "
+                f"{_fmt_pct(spec.paper_ds_pct):>9} "
+                f"{_fmt_pct(spec.paper_cds_pct):>10}"
+            )
+        lines.append(line)
+    return "\n".join(lines)

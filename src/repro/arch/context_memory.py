@@ -1,0 +1,113 @@
+"""Context memory (CM): on-chip storage for RC-array configurations.
+
+"Its functionality and interconnection network are configured through
+32-bit context words, which are stored in a context memory (CM)"
+(paper, section 2).  M1's CM is organised as two blocks so the contexts
+of the next cluster can be loaded while the current cluster executes —
+the multi-context property that makes dynamic reconfiguration cheap.
+
+The model tracks, per block, which kernels' contexts are resident and
+how many words they occupy.  The simulator asserts a kernel's contexts
+are resident before it launches (a :class:`ProgramVerificationError`
+otherwise would indicate a context-scheduling bug).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CapacityError, SimulationError
+
+__all__ = ["ContextMemory"]
+
+
+class ContextMemory:
+    """Two-block context memory with per-kernel residency tracking."""
+
+    def __init__(self, block_words: int, blocks: int = 2):
+        if block_words <= 0:
+            raise CapacityError(
+                f"context block size must be positive, got {block_words}"
+            )
+        if blocks != 2:
+            raise CapacityError(f"context memory must have 2 blocks, got {blocks}")
+        self.block_words = block_words
+        self.blocks = blocks
+        self._resident: Tuple[Dict[str, int], ...] = tuple(
+            {} for _ in range(blocks)
+        )
+        self.loads_performed = 0
+        self.words_loaded = 0
+
+    def used_words(self, block: int) -> int:
+        """Words occupied in one block."""
+        return sum(self._resident[block].values())
+
+    def free_words(self, block: int) -> int:
+        """Words free in one block."""
+        return self.block_words - self.used_words(block)
+
+    def resident_kernels(self, block: int) -> Tuple[str, ...]:
+        """Kernels whose contexts are resident in a block."""
+        return tuple(self._resident[block].keys())
+
+    def is_resident(self, kernel_name: str, block: Optional[int] = None) -> bool:
+        """True if a kernel's contexts are resident (in *block* or any)."""
+        blocks = range(self.blocks) if block is None else (block,)
+        return any(kernel_name in self._resident[b] for b in blocks)
+
+    def evict_block(self, block: int) -> None:
+        """Drop every kernel resident in a block (reuse for next cluster)."""
+        self._resident[block].clear()
+
+    def load(self, kernel_name: str, context_words: int, block: int) -> None:
+        """Load a kernel's contexts into a block.
+
+        Raises:
+            CapacityError: if the kernel's contexts can never fit a block.
+            SimulationError: if the block currently lacks space (the
+                caller should have evicted the previous cluster first)
+                or the kernel is already resident in that block.
+        """
+        if context_words <= 0:
+            raise CapacityError(
+                f"kernel {kernel_name!r}: context_words must be positive, "
+                f"got {context_words}"
+            )
+        if context_words > self.block_words:
+            raise CapacityError(
+                f"kernel {kernel_name!r} needs {context_words} context words; "
+                f"a CM block holds {self.block_words}"
+            )
+        if kernel_name in self._resident[block]:
+            raise SimulationError(
+                f"kernel {kernel_name!r} contexts already resident in "
+                f"block {block}"
+            )
+        if context_words > self.free_words(block):
+            raise SimulationError(
+                f"CM block {block} has {self.free_words(block)} free words; "
+                f"kernel {kernel_name!r} needs {context_words} "
+                f"(evict the previous cluster first)"
+            )
+        self._resident[block][kernel_name] = context_words
+        self.loads_performed += 1
+        self.words_loaded += context_words
+
+    def clear(self) -> None:
+        """Reset to power-on state (counters preserved)."""
+        for block in self._resident:
+            block.clear()
+
+    def reset_counters(self) -> None:
+        """Zero the load statistics."""
+        self.loads_performed = 0
+        self.words_loaded = 0
+
+    def __str__(self) -> str:
+        blocks = ", ".join(
+            f"b{index}:{self.used_words(index)}/{self.block_words}w"
+            f"({len(self._resident[index])} kernels)"
+            for index in range(self.blocks)
+        )
+        return f"CM({blocks})"

@@ -1,0 +1,119 @@
+"""DMA controller: the single bridge to external memory.
+
+"The DMA controller establishes the bridge that connects the external
+memory the FB or the CM.  Thus simultaneous transfers of data and
+contexts are not possible" (paper, section 2).  This single shared
+channel is *the* structural constraint the Complete Data Scheduler
+optimises around: every avoided data transfer frees DMA time that
+context loads (or the next cluster's data) can use.
+
+:class:`DmaChannel` is a timeline resource: callers request transfers
+with an earliest-start time and receive ``(start, finish)`` cycle
+stamps; the channel serialises everything and accumulates statistics by
+:class:`TransferKind`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.arch.params import TimingModel
+from repro.errors import SimulationError
+
+__all__ = ["TransferKind", "DmaTransfer", "DmaChannel"]
+
+
+class TransferKind(enum.Enum):
+    """What a DMA operation moves."""
+
+    DATA_LOAD = "data_load"        # external memory -> frame buffer
+    DATA_STORE = "data_store"      # frame buffer -> external memory
+    CONTEXT_LOAD = "context_load"  # external memory -> context memory
+
+
+@dataclass(frozen=True)
+class DmaTransfer:
+    """A completed DMA operation (for traces and statistics)."""
+
+    kind: TransferKind
+    label: str
+    words: int
+    start: int
+    finish: int
+
+    @property
+    def cycles(self) -> int:
+        return self.finish - self.start
+
+
+class DmaChannel:
+    """Serialising DMA timeline.
+
+    The channel is non-preemptive: a transfer occupies the channel from
+    its start to its finish, and requests are served in call order (the
+    context scheduler decides that order before simulation).
+    """
+
+    def __init__(self, timing: TimingModel):
+        self.timing = timing
+        self.busy_until = 0
+        self.transfers: List[DmaTransfer] = []
+
+    def request(
+        self,
+        kind: TransferKind,
+        words: int,
+        earliest_start: int,
+        label: str = "",
+    ) -> Tuple[int, int]:
+        """Schedule a transfer at or after *earliest_start*.
+
+        Returns:
+            ``(start, finish)`` cycle stamps.
+        """
+        if words < 0:
+            raise SimulationError(f"negative transfer size {words} ({label})")
+        if earliest_start < 0:
+            raise SimulationError(
+                f"negative earliest_start {earliest_start} ({label})"
+            )
+        if words == 0:
+            start = max(self.busy_until, earliest_start)
+            return (start, start)
+        if kind is TransferKind.CONTEXT_LOAD:
+            duration = self.timing.context_transfer_cycles(words)
+        else:
+            duration = self.timing.data_transfer_cycles(words)
+        start = max(self.busy_until, earliest_start)
+        finish = start + duration
+        self.busy_until = finish
+        self.transfers.append(
+            DmaTransfer(kind=kind, label=label, words=words,
+                        start=start, finish=finish)
+        )
+        return (start, finish)
+
+    # -- statistics ---------------------------------------------------------
+
+    def words_moved(self, kind: TransferKind) -> int:
+        """Total words moved for one transfer kind."""
+        return sum(t.words for t in self.transfers if t.kind is kind)
+
+    def cycles_busy(self) -> int:
+        """Total cycles the channel spent transferring."""
+        return sum(t.cycles for t in self.transfers)
+
+    def count(self, kind: TransferKind) -> int:
+        """Number of transfers of one kind."""
+        return sum(1 for t in self.transfers if t.kind is kind)
+
+    def by_kind(self) -> Dict[TransferKind, int]:
+        """Words moved, keyed by kind."""
+        return {kind: self.words_moved(kind) for kind in TransferKind}
+
+    def reset(self) -> None:
+        """Clear the timeline and statistics."""
+        self.busy_until = 0
+        self.transfers.clear()

@@ -1,0 +1,125 @@
+"""External (off-chip) memory model.
+
+Holds the application's external input data and receives its stored
+results.  In *accounting* mode it only tracks which objects exist and
+counts traffic; in *functional* mode it stores actual NumPy word arrays
+so an end-to-end run can verify that the scheduled program computes the
+same values as a direct (unscheduled) execution of the kernels.
+
+Per-iteration instances are tracked separately — iteration ``i`` of an
+external input is a different block of words than iteration ``i + 1``
+(a new macroblock, a new image tile, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["ExternalMemory"]
+
+
+class ExternalMemory:
+    """Name-addressed external memory with per-iteration instances."""
+
+    def __init__(self):
+        self._store: Dict[Tuple[str, int], Optional[np.ndarray]] = {}
+        self.words_read = 0
+        self.words_written = 0
+
+    # -- population -----------------------------------------------------
+
+    def put(
+        self,
+        name: str,
+        instance: int,
+        values: Optional[np.ndarray] = None,
+        *,
+        size: Optional[int] = None,
+    ) -> None:
+        """Create (or overwrite) an object instance.
+
+        Either *values* (functional mode) or *size* (accounting mode)
+        must be given.
+        """
+        if values is not None:
+            array = np.asarray(values, dtype=np.int64).ravel().copy()
+            self._store[(name, instance)] = array
+        elif size is not None:
+            if size <= 0:
+                raise SimulationError(
+                    f"external object {name}#{instance} needs positive size"
+                )
+            self._store[(name, instance)] = None
+        else:
+            raise SimulationError(
+                f"external object {name}#{instance}: give values or size"
+            )
+
+    def exists(self, name: str, instance: int) -> bool:
+        """True if the instance is present."""
+        return (name, instance) in self._store
+
+    # -- transfers --------------------------------------------------------
+
+    def read(self, name: str, instance: int, words: int) -> Optional[np.ndarray]:
+        """Read an instance (a DMA load source).  Returns the stored
+        array in functional mode, ``None`` in accounting mode."""
+        key = (name, instance)
+        if key not in self._store:
+            raise SimulationError(
+                f"load of {name}#{instance}: not present in external memory"
+            )
+        self.words_read += words
+        values = self._store[key]
+        if values is not None and values.size != words:
+            raise SimulationError(
+                f"load of {name}#{instance}: stored {values.size} words, "
+                f"requested {words}"
+            )
+        return None if values is None else values.copy()
+
+    def write(
+        self,
+        name: str,
+        instance: int,
+        words: int,
+        values: Optional[np.ndarray] = None,
+    ) -> None:
+        """Write an instance (a DMA store destination)."""
+        if words <= 0:
+            raise SimulationError(
+                f"store of {name}#{instance}: non-positive size {words}"
+            )
+        self.words_written += words
+        if values is not None:
+            array = np.asarray(values, dtype=np.int64).ravel()
+            if array.size != words:
+                raise SimulationError(
+                    f"store of {name}#{instance}: got {array.size} words, "
+                    f"declared {words}"
+                )
+            self._store[(name, instance)] = array.copy()
+        else:
+            self._store[(name, instance)] = None
+
+    def get(self, name: str, instance: int) -> Optional[np.ndarray]:
+        """Peek at an instance without counting traffic (for checks)."""
+        return self._store.get((name, instance))
+
+    def instances_of(self, name: str) -> Tuple[int, ...]:
+        """All present instance indices of an object, ascending."""
+        return tuple(sorted(i for (n, i) in self._store if n == name))
+
+    def reset_counters(self) -> None:
+        """Zero the traffic statistics."""
+        self.words_read = 0
+        self.words_written = 0
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._store.clear()
+        self.reset_counters()

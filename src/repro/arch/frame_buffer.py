@@ -1,0 +1,223 @@
+"""Frame buffer: the dual-set on-chip data cache of MorphoSys.
+
+"The frame buffer (FB) serves as a data cache for the RC Array.  This
+buffer has two sets to enable overlapping of computation with data
+transfers.  Data from one set is used for current computation, while
+the other set stores results in the external memory and loads data for
+the next round of computation" (paper, section 2).
+
+:class:`FrameBufferSet` is a word-addressed storage with named,
+possibly multi-extent regions (the allocator may split an object across
+free blocks).  It tracks occupancy and enforces that regions never
+overlap — the runtime check backing the allocator's correctness proofs
+in the test suite.  :class:`FrameBuffer` bundles two sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AllocationError, CapacityError
+from repro.units import format_size
+
+__all__ = ["Extent", "FrameBufferSet", "FrameBuffer"]
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous address range ``[start, start + size)`` in one set."""
+
+    start: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.size <= 0:
+            raise AllocationError(
+                f"invalid extent start={self.start} size={self.size}"
+            )
+
+    @property
+    def end(self) -> int:
+        """One past the last word."""
+        return self.start + self.size
+
+    def overlaps(self, other: "Extent") -> bool:
+        """True if the two ranges share at least one word."""
+        return self.start < other.end and other.start < self.end
+
+    def __str__(self) -> str:
+        return f"[{self.start}..{self.end})"
+
+
+class FrameBufferSet:
+    """One frame-buffer set: word storage plus a named-region directory.
+
+    Regions are identified by ``(name, instance)`` where *instance*
+    distinguishes iteration copies of the same logical object under
+    loop fission.
+    """
+
+    def __init__(self, capacity_words: int, *, set_index: int = 0,
+                 functional: bool = False):
+        if capacity_words <= 0:
+            raise CapacityError(
+                f"frame-buffer set capacity must be positive, "
+                f"got {capacity_words}"
+            )
+        self.capacity_words = capacity_words
+        self.set_index = set_index
+        self._regions: Dict[Tuple[str, int], Tuple[Extent, ...]] = {}
+        self._words: Optional[np.ndarray] = (
+            np.zeros(capacity_words, dtype=np.int64) if functional else None
+        )
+
+    # -- region directory -----------------------------------------------
+
+    def bind(self, name: str, instance: int, extents: Sequence[Extent]) -> None:
+        """Register a region occupying *extents*.
+
+        Raises:
+            AllocationError: on overlap with a live region, duplicate
+                binding, or out-of-range extents.
+        """
+        key = (name, instance)
+        if key in self._regions:
+            raise AllocationError(
+                f"set{self.set_index}: region {name}#{instance} already bound"
+            )
+        extents = tuple(extents)
+        if not extents:
+            raise AllocationError(
+                f"set{self.set_index}: region {name}#{instance} has no extents"
+            )
+        for extent in extents:
+            if extent.end > self.capacity_words:
+                raise AllocationError(
+                    f"set{self.set_index}: extent {extent} of {name}#{instance} "
+                    f"exceeds capacity {self.capacity_words}"
+                )
+        for other_key, other_extents in self._regions.items():
+            for extent in extents:
+                for other in other_extents:
+                    if extent.overlaps(other):
+                        raise AllocationError(
+                            f"set{self.set_index}: {name}#{instance} extent "
+                            f"{extent} overlaps {other_key[0]}#{other_key[1]} "
+                            f"extent {other}"
+                        )
+        self._regions[key] = extents
+
+    def release(self, name: str, instance: int) -> Tuple[Extent, ...]:
+        """Unregister a region, returning its extents."""
+        key = (name, instance)
+        try:
+            return self._regions.pop(key)
+        except KeyError:
+            raise AllocationError(
+                f"set{self.set_index}: region {name}#{instance} is not bound"
+            ) from None
+
+    def is_bound(self, name: str, instance: int) -> bool:
+        """True if the region is currently live."""
+        return (name, instance) in self._regions
+
+    def extents_of(self, name: str, instance: int) -> Tuple[Extent, ...]:
+        """Extents of a live region."""
+        try:
+            return self._regions[(name, instance)]
+        except KeyError:
+            raise AllocationError(
+                f"set{self.set_index}: region {name}#{instance} is not bound"
+            ) from None
+
+    def live_regions(self) -> Tuple[Tuple[str, int], ...]:
+        """All live region keys, in binding order."""
+        return tuple(self._regions.keys())
+
+    @property
+    def occupied_words(self) -> int:
+        """Words currently allocated."""
+        return sum(
+            extent.size
+            for extents in self._regions.values()
+            for extent in extents
+        )
+
+    @property
+    def free_words(self) -> int:
+        """Words currently free."""
+        return self.capacity_words - self.occupied_words
+
+    def clear(self) -> None:
+        """Drop all regions (used between schedules)."""
+        self._regions.clear()
+        if self._words is not None:
+            self._words[:] = 0
+
+    # -- functional storage ------------------------------------------------
+
+    def _require_functional(self) -> np.ndarray:
+        if self._words is None:
+            raise AllocationError(
+                f"set{self.set_index} was created without functional storage"
+            )
+        return self._words
+
+    def write(self, name: str, instance: int, values: np.ndarray) -> None:
+        """Write values into a live region (functional mode only)."""
+        words = self._require_functional()
+        flat = np.asarray(values, dtype=np.int64).ravel()
+        extents = self.extents_of(name, instance)
+        total = sum(extent.size for extent in extents)
+        if flat.size != total:
+            raise AllocationError(
+                f"set{self.set_index}: {name}#{instance} holds {total} words, "
+                f"got {flat.size} values"
+            )
+        cursor = 0
+        for extent in extents:
+            words[extent.start:extent.end] = flat[cursor:cursor + extent.size]
+            cursor += extent.size
+
+    def read(self, name: str, instance: int) -> np.ndarray:
+        """Read a live region's values (functional mode only)."""
+        words = self._require_functional()
+        extents = self.extents_of(name, instance)
+        parts = [words[extent.start:extent.end] for extent in extents]
+        return np.concatenate(parts) if len(parts) > 1 else parts[0].copy()
+
+    def __str__(self) -> str:
+        return (
+            f"FBset{self.set_index}({format_size(self.capacity_words)}, "
+            f"{len(self._regions)} regions, "
+            f"{self.occupied_words}/{self.capacity_words} words)"
+        )
+
+
+class FrameBuffer:
+    """The full frame buffer: two sets of equal capacity."""
+
+    def __init__(self, set_words: int, *, functional: bool = False):
+        self.sets = (
+            FrameBufferSet(set_words, set_index=0, functional=functional),
+            FrameBufferSet(set_words, set_index=1, functional=functional),
+        )
+
+    def __getitem__(self, set_index: int) -> FrameBufferSet:
+        return self.sets[set_index]
+
+    @property
+    def set_words(self) -> int:
+        """Capacity of one set."""
+        return self.sets[0].capacity_words
+
+    def clear(self) -> None:
+        """Drop all regions in both sets."""
+        for fb_set in self.sets:
+            fb_set.clear()
+
+    def __str__(self) -> str:
+        return f"FB({self.sets[0]}, {self.sets[1]})"

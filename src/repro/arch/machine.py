@@ -1,0 +1,63 @@
+"""The assembled M1 machine: RC array + FB + CM + DMA + external memory.
+
+:class:`MorphoSysM1` bundles the component models under one
+:class:`~repro.arch.params.Architecture` description.  The simulator
+(:mod:`repro.sim`) drives a machine instance; analyses that only need
+capacities and timing work directly with the :class:`Architecture`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.arch.context_memory import ContextMemory
+from repro.arch.dma import DmaChannel
+from repro.arch.external_memory import ExternalMemory
+from repro.arch.frame_buffer import FrameBuffer
+from repro.arch.params import Architecture
+from repro.arch.rc_array import RCArray
+
+__all__ = ["MorphoSysM1"]
+
+
+class MorphoSysM1:
+    """A concrete machine instance ready for simulation.
+
+    Args:
+        architecture: capacities and timing (see
+            :meth:`Architecture.m1` for the preset).
+        functional: allocate real word storage in the frame buffer so
+            programs can move and compute actual values; leave False for
+            timing-only runs (much lighter).
+    """
+
+    def __init__(self, architecture: Architecture, *, functional: bool = False):
+        self.architecture = architecture
+        self.functional = functional
+        self.rc_array = RCArray(architecture.rc_rows, architecture.rc_cols)
+        self.frame_buffer = FrameBuffer(
+            architecture.fb_set_words, functional=functional
+        )
+        self.context_memory = ContextMemory(
+            architecture.context_block_words, architecture.context_blocks
+        )
+        self.dma = DmaChannel(architecture.timing)
+        self.external_memory = ExternalMemory()
+
+    @classmethod
+    def m1(cls, fb_set_words="2K", *, functional: bool = False, **kwargs) -> "MorphoSysM1":
+        """Shorthand for ``MorphoSysM1(Architecture.m1(...))``."""
+        return cls(Architecture.m1(fb_set_words, **kwargs), functional=functional)
+
+    def reset(self) -> None:
+        """Return the machine to power-on state (drops all contents)."""
+        self.frame_buffer.clear()
+        self.context_memory.clear()
+        self.context_memory.reset_counters()
+        self.dma.reset()
+        self.external_memory.clear()
+        self.rc_array.reset_counters()
+
+    def __str__(self) -> str:
+        mode = "functional" if self.functional else "timing"
+        return f"MorphoSysM1({self.architecture}, {mode})"

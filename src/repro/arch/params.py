@@ -1,0 +1,183 @@
+"""Architecture description and timing parameters.
+
+The paper's experiments vary the frame-buffer set size (``FB`` column of
+Table 1: 1K .. 8K words) while the rest of M1 stays fixed, so
+:class:`Architecture` exposes the FB set size as the primary knob and
+provides an :meth:`Architecture.m1` preset for everything else.
+
+The timing model is deliberately simple and linear — the schedulers
+reason about *transfer volumes* and *overlap windows*, and the paper
+reports relative improvements, which a linear model preserves:
+
+* moving one data word between external memory and the FB costs
+  ``timing.data_word_cycles`` DMA cycles;
+* loading one 32-bit context word into the CM costs
+  ``timing.context_word_cycles``;
+* every DMA operation pays ``timing.dma_setup_cycles`` once (burst
+  setup);
+* kernels run for their library-supplied cycle count per iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ArchitectureError
+from repro.units import SizeLike, format_size, parse_size
+
+__all__ = ["TimingModel", "Architecture"]
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Linear DMA/compute timing parameters (cycles).
+
+    Attributes:
+        data_word_cycles: DMA cycles to move one data word between
+            external memory and a frame-buffer set.
+        context_word_cycles: DMA cycles to load one context word into
+            the context memory.
+        dma_setup_cycles: fixed cost per DMA operation (burst setup).
+    """
+
+    data_word_cycles: int = 2
+    context_word_cycles: int = 2
+    dma_setup_cycles: int = 8
+
+    def __post_init__(self) -> None:
+        if self.data_word_cycles <= 0:
+            raise ArchitectureError(
+                f"data_word_cycles must be positive, got {self.data_word_cycles}"
+            )
+        if self.context_word_cycles <= 0:
+            raise ArchitectureError(
+                f"context_word_cycles must be positive, "
+                f"got {self.context_word_cycles}"
+            )
+        if self.dma_setup_cycles < 0:
+            raise ArchitectureError(
+                f"dma_setup_cycles must be >= 0, got {self.dma_setup_cycles}"
+            )
+
+    def data_transfer_cycles(self, words: int) -> int:
+        """DMA cycles to move *words* data words (one burst)."""
+        if words < 0:
+            raise ArchitectureError(f"negative transfer size {words}")
+        if words == 0:
+            return 0
+        return self.dma_setup_cycles + words * self.data_word_cycles
+
+    def context_transfer_cycles(self, words: int) -> int:
+        """DMA cycles to load *words* context words (one burst)."""
+        if words < 0:
+            raise ArchitectureError(f"negative transfer size {words}")
+        if words == 0:
+            return 0
+        return self.dma_setup_cycles + words * self.context_word_cycles
+
+
+@dataclass(frozen=True)
+class Architecture:
+    """A multi-context reconfigurable architecture instance.
+
+    Attributes:
+        name: identifier used in reports.
+        rc_rows / rc_cols: RC array dimensions (8x8 for M1).
+        fb_set_words: capacity of **one** frame-buffer set, in words
+            (the ``FBS`` the schedulers check ``DS(C_c)`` against).
+        fb_sets: number of frame-buffer sets (2 for M1: one computes
+            while the other transfers).
+        context_block_words: capacity of one context-memory block, in
+            32-bit context words.  A cluster's kernels must fit in one
+            block; the other block is loaded during execution.
+        context_blocks: number of CM blocks (2 for M1).
+        fb_cross_set_access: the RC array can read operands from the
+            *other* frame-buffer set while computing.  M1 cannot (False)
+            — this models the architectural extension the paper's
+            future work assumes for "data and results reuse among
+            clusters assigned to different sets of the FB".
+        timing: the :class:`TimingModel`.
+    """
+
+    name: str
+    fb_set_words: int
+    rc_rows: int = 8
+    rc_cols: int = 8
+    fb_sets: int = 2
+    context_block_words: int = 512
+    context_blocks: int = 2
+    fb_cross_set_access: bool = False
+    timing: TimingModel = field(default_factory=TimingModel)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "fb_set_words", parse_size(self.fb_set_words))
+        if self.fb_set_words <= 0:
+            raise ArchitectureError(
+                f"fb_set_words must be positive, got {self.fb_set_words}"
+            )
+        if self.rc_rows <= 0 or self.rc_cols <= 0:
+            raise ArchitectureError(
+                f"RC array dimensions must be positive, "
+                f"got {self.rc_rows}x{self.rc_cols}"
+            )
+        if self.fb_sets != 2:
+            raise ArchitectureError(
+                f"the execution model requires exactly 2 FB sets "
+                f"(double buffering), got {self.fb_sets}"
+            )
+        if self.context_block_words <= 0 or self.context_blocks != 2:
+            raise ArchitectureError(
+                f"context memory must have 2 blocks of positive size, got "
+                f"{self.context_blocks} x {self.context_block_words}"
+            )
+
+    @classmethod
+    def m1(
+        cls,
+        fb_set_words: SizeLike = "2K",
+        *,
+        name: Optional[str] = None,
+        context_block_words: int = 512,
+        fb_cross_set_access: bool = False,
+        timing: Optional[TimingModel] = None,
+    ) -> "Architecture":
+        """The M1 (first MorphoSys implementation) preset.
+
+        Only the frame-buffer set size usually varies between the
+        paper's experiments; pass e.g. ``fb_set_words="8K"``.  Set
+        ``fb_cross_set_access=True`` for the future-work architecture
+        variant that can read the other set.
+        """
+        words = parse_size(fb_set_words)
+        return cls(
+            name=name or f"M1-FB{format_size(words)}",
+            fb_set_words=words,
+            context_block_words=context_block_words,
+            fb_cross_set_access=fb_cross_set_access,
+            timing=timing or TimingModel(),
+        )
+
+    def with_fb_set_words(self, fb_set_words: SizeLike) -> "Architecture":
+        """A copy with a different frame-buffer set size."""
+        words = parse_size(fb_set_words)
+        return replace(
+            self, fb_set_words=words, name=f"{self.name.split('-FB')[0]}-FB{format_size(words)}"
+        )
+
+    @property
+    def rc_cells(self) -> int:
+        """Number of reconfigurable cells."""
+        return self.rc_rows * self.rc_cols
+
+    @property
+    def total_fb_words(self) -> int:
+        """Total frame-buffer capacity across sets."""
+        return self.fb_set_words * self.fb_sets
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: RC {self.rc_rows}x{self.rc_cols}, "
+            f"FB {self.fb_sets}x{format_size(self.fb_set_words)}, "
+            f"CM {self.context_blocks}x{self.context_block_words}w"
+        )

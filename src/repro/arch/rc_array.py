@@ -1,0 +1,257 @@
+"""Functional model of the 8x8 reconfigurable-cell array.
+
+The real RC array executes one context (a SIMD instruction broadcast to
+all 64 cells) per cycle.  This model raises the abstraction one notch:
+kernels are *context programs* — sequences of :class:`MacroOp` SIMD
+operations over named integer arrays — and the array executes a macro
+operation over an operand of ``E`` elements in ``ceil(E / cells)``
+cycles (each cell handles one element per cycle), plus one cycle of
+issue overhead per macro op.
+
+This keeps the computation real (the MPEG/ATR kernels in
+:mod:`repro.kernels` produce actual DCT coefficients, SAD values, ...)
+while the cycle estimate scales the way the paper's kernel execution
+times do: linearly with data volume, inversely with array size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.units import ceil_div
+
+__all__ = ["MacroOp", "ContextProgram", "RCArray"]
+
+#: Operations a cell's ALU supports (element-wise unless noted).
+_UNARY_OPS = {"neg", "abs", "copy"}
+_BINARY_OPS = {"add", "sub", "mul", "min", "max"}
+_IMM_OPS = {"addi", "muli", "shr", "shl", "clip", "const", "shift_elems"}
+#: Array-level operations using the row/column interconnect.
+_ARRAY_OPS = {"matmul", "matmul_t", "reduce_sum", "reduce_tail", "transpose"}
+
+_ALL_OPS = _UNARY_OPS | _BINARY_OPS | _IMM_OPS | _ARRAY_OPS
+
+
+@dataclass(frozen=True)
+class MacroOp:
+    """One SIMD macro operation.
+
+    Attributes:
+        op: operation mnemonic (see module source for the supported set).
+        dst: destination register name.
+        srcs: source register names (arity depends on ``op``).
+        imm: immediate operand for ``addi``/``muli``/``shr``/``shl``/
+            ``clip``/``const``.
+    """
+
+    op: str
+    dst: str
+    srcs: Tuple[str, ...] = ()
+    imm: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _ALL_OPS:
+            raise SimulationError(f"unknown macro op {self.op!r}")
+        arity = {
+            **{name: 1 for name in _UNARY_OPS},
+            **{name: 2 for name in _BINARY_OPS},
+            "addi": 1, "muli": 1, "shr": 1, "shl": 1, "clip": 1, "const": 0,
+            "shift_elems": 1,
+            "matmul": 2, "matmul_t": 2, "reduce_sum": 1, "transpose": 1,
+            "reduce_tail": 1,
+        }[self.op]
+        if len(self.srcs) != arity:
+            raise SimulationError(
+                f"macro op {self.op!r} takes {arity} sources, "
+                f"got {len(self.srcs)}"
+            )
+        if (self.op in _IMM_OPS or self.op == "reduce_tail") \
+                and self.imm is None:
+            raise SimulationError(f"macro op {self.op!r} needs an immediate")
+
+
+@dataclass(frozen=True)
+class ContextProgram:
+    """A kernel's computation as a macro-op sequence.
+
+    Attributes:
+        name: program identifier.
+        inputs: register names bound from kernel input objects, in order.
+        outputs: register names exported as kernel outputs, in order.
+        ops: the macro-op sequence.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    ops: Tuple[MacroOp, ...]
+
+    def __post_init__(self) -> None:
+        defined = set(self.inputs)
+        for op in self.ops:
+            for src in op.srcs:
+                if src not in defined:
+                    raise SimulationError(
+                        f"program {self.name!r}: op {op.op!r} reads "
+                        f"undefined register {src!r}"
+                    )
+            defined.add(op.dst)
+        for out in self.outputs:
+            if out not in defined:
+                raise SimulationError(
+                    f"program {self.name!r}: output register {out!r} "
+                    f"is never written"
+                )
+
+
+class RCArray:
+    """The functional RC array: executes context programs."""
+
+    def __init__(self, rows: int = 8, cols: int = 8):
+        if rows <= 0 or cols <= 0:
+            raise SimulationError(f"invalid RC array {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.macro_ops_executed = 0
+        self.cycles_executed = 0
+
+    @property
+    def cells(self) -> int:
+        return self.rows * self.cols
+
+    # -- execution --------------------------------------------------------
+
+    def execute(
+        self,
+        program: ContextProgram,
+        operands: Mapping[str, np.ndarray],
+    ) -> Dict[str, np.ndarray]:
+        """Run a context program; returns its output registers.
+
+        Operand arrays are promoted to ``int64`` (the model's word).
+        """
+        registers: Dict[str, np.ndarray] = {}
+        for name in program.inputs:
+            if name not in operands:
+                raise SimulationError(
+                    f"program {program.name!r}: missing operand {name!r}"
+                )
+            registers[name] = np.asarray(operands[name], dtype=np.int64)
+        for op in program.ops:
+            registers[op.dst] = self._apply(program.name, op, registers)
+            self.macro_ops_executed += 1
+            self.cycles_executed += self._op_cycles(op, registers[op.dst])
+        return {name: registers[name] for name in program.outputs}
+
+    def estimate_cycles(
+        self,
+        program: ContextProgram,
+        operands: Mapping[str, np.ndarray],
+    ) -> int:
+        """Cycle count :meth:`execute` would accrue on these operands."""
+        before = self.cycles_executed
+        self.execute(program, operands)
+        cycles = self.cycles_executed - before
+        self.cycles_executed = before
+        self.macro_ops_executed -= len(program.ops)
+        return cycles
+
+    # -- helpers ------------------------------------------------------------
+
+    def _op_cycles(self, op: MacroOp, result: np.ndarray) -> int:
+        issue = 1
+        if op.op in ("matmul", "matmul_t"):
+            # The MAC tree accumulates one product per cell per cycle.
+            return issue + ceil_div(int(result.size) * _mac_depth(result), self.cells)
+        elements = max(int(result.size), 1)
+        return issue + ceil_div(elements, self.cells)
+
+    def _apply(
+        self,
+        program_name: str,
+        op: MacroOp,
+        registers: Mapping[str, np.ndarray],
+    ) -> np.ndarray:
+        def src(index: int) -> np.ndarray:
+            return registers[op.srcs[index]]
+
+        try:
+            if op.op == "copy":
+                return src(0).copy()
+            if op.op == "neg":
+                return -src(0)
+            if op.op == "abs":
+                return np.abs(src(0))
+            if op.op == "add":
+                return src(0) + src(1)
+            if op.op == "sub":
+                return src(0) - src(1)
+            if op.op == "mul":
+                return src(0) * src(1)
+            if op.op == "min":
+                return np.minimum(src(0), src(1))
+            if op.op == "max":
+                return np.maximum(src(0), src(1))
+            if op.op == "addi":
+                return src(0) + int(op.imm)
+            if op.op == "muli":
+                return src(0) * int(op.imm)
+            if op.op == "shr":
+                return src(0) >> int(op.imm)
+            if op.op == "shl":
+                return src(0) << int(op.imm)
+            if op.op == "clip":
+                bound = int(op.imm)
+                return np.clip(src(0), -bound, bound)
+            if op.op == "const":
+                return np.asarray(int(op.imm), dtype=np.int64)
+            if op.op == "shift_elems":
+                # Shift along the last axis with zero fill (the express
+                # lanes of the RC interconnect); positive = towards
+                # higher indices.
+                source = src(0)
+                amount = int(op.imm)
+                shifted = np.zeros_like(source)
+                if amount == 0:
+                    shifted[...] = source
+                elif amount > 0:
+                    shifted[..., amount:] = source[..., :-amount]
+                else:
+                    shifted[..., :amount] = source[..., -amount:]
+                return shifted
+            if op.op == "matmul":
+                return src(0) @ src(1)
+            if op.op == "matmul_t":
+                return src(0) @ src(1).T
+            if op.op == "reduce_sum":
+                return np.asarray(int(np.sum(src(0))), dtype=np.int64)
+            if op.op == "reduce_tail":
+                # Sum over the last `imm` axes (per-candidate reduction
+                # through the MAC tree).
+                source = src(0)
+                axes = tuple(range(source.ndim - int(op.imm), source.ndim))
+                return np.sum(source, axis=axes)
+            if op.op == "transpose":
+                return src(0).T.copy()
+        except ValueError as exc:
+            raise SimulationError(
+                f"program {program_name!r}: op {op.op!r} operand shape "
+                f"mismatch: {exc}"
+            ) from exc
+        raise SimulationError(f"unhandled macro op {op.op!r}")  # pragma: no cover
+
+    def reset_counters(self) -> None:
+        """Zero the execution statistics."""
+        self.macro_ops_executed = 0
+        self.cycles_executed = 0
+
+
+def _mac_depth(result: np.ndarray) -> int:
+    """Accumulation depth estimate for matmul cycle counting."""
+    if result.ndim >= 1 and result.size:
+        return max(int(result.shape[-1]), 1)
+    return 1

@@ -1,0 +1,217 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro``.
+
+Commands:
+
+* ``table1``   — regenerate the paper's Table 1 (measured vs paper);
+* ``figure6``  — regenerate Figure 6 as an ASCII bar chart;
+* ``run <exp>`` — run one experiment and print the full comparison,
+  schedules and Gantt charts;
+* ``ablation <exp>`` — run the keep/RF/DMA ablations on one experiment;
+* ``alloc <exp>`` — print the frame-buffer allocation walkthrough
+  (Figure 5 style) for the CDS schedule of an experiment;
+* ``sweep <exp>`` — trace RF/traffic/makespan against the FB size;
+* ``tinyrisc <exp>`` — emit the TinyRISC control-program listing;
+* ``list``     — list the available experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.ablation import (
+    cross_set_ablation,
+    dma_policy_ablation,
+    keep_policy_ablation,
+    render_ablation,
+    rf_policy_ablation,
+)
+from repro.analysis.compare import compare_experiment
+from repro.analysis.figure6 import render_figure6
+from repro.analysis.table1 import build_table1, render_table1
+from repro.alloc.allocator import FrameBufferAllocator
+from repro.workloads.spec import ExperimentSpec, paper_experiments
+
+__all__ = ["main"]
+
+
+def _find_spec(experiment_id: str) -> ExperimentSpec:
+    for spec in paper_experiments():
+        if spec.id.lower() == experiment_id.lower():
+            return spec
+    known = ", ".join(spec.id for spec in paper_experiments())
+    raise SystemExit(f"unknown experiment {experiment_id!r}; known: {known}")
+
+
+def _cmd_list(_args) -> None:
+    for spec in paper_experiments():
+        note = f"  ({spec.notes})" if spec.notes else ""
+        print(f"{spec.id:<10} FB={spec.fb:<3} paper RF={spec.paper_rf}{note}")
+
+
+def _cmd_table1(args) -> None:
+    rows = build_table1()
+    if getattr(args, "json", False):
+        import json
+        payload = {}
+        for row in rows:
+            comparison = row.comparison
+            payload[row.id] = {
+                "rf": row.measured_rf,
+                "dt_words": row.measured_dt_words,
+                "ds_pct": row.measured_ds_pct,
+                "cds_pct": row.measured_cds_pct,
+                "basic_cycles": comparison.basic.total_cycles,
+                "ds_cycles": comparison.ds.total_cycles,
+                "cds_cycles": comparison.cds.total_cycles,
+                "cds_data_words": comparison.cds.data_words,
+            }
+        print(json.dumps(payload, indent=1))
+        return
+    print(render_table1(rows))
+
+
+def _cmd_figure6(_args) -> None:
+    print(render_figure6())
+
+
+def _cmd_run(args) -> None:
+    spec = _find_spec(args.experiment)
+    row = compare_experiment(spec)
+    print(f"experiment {spec.id} on {row.architecture}")
+    for outcome in (row.basic, row.ds, row.cds):
+        if not outcome.feasible:
+            print(f"\n[{outcome.scheduler}] INFEASIBLE: "
+                  f"{outcome.infeasible_reason}")
+            continue
+        print(f"\n[{outcome.scheduler}] cycles={outcome.total_cycles} "
+              f"data_words={outcome.data_words} RF={outcome.rf}")
+        print(outcome.schedule.describe())
+        if args.gantt:
+            print(outcome.report.gantt())
+    print(f"\nDS  improvement: {row.ds_improvement_pct:.1f}%"
+          if row.ds_improvement_pct is not None else "\nDS  improvement: n/a")
+    print(f"CDS improvement: {row.cds_improvement_pct:.1f}%"
+          if row.cds_improvement_pct is not None else "CDS improvement: n/a")
+
+
+def _cmd_ablation(args) -> None:
+    spec = _find_spec(args.experiment)
+    results = []
+    results.extend(keep_policy_ablation(spec))
+    results.extend(rf_policy_ablation(spec))
+    results.extend(dma_policy_ablation(spec))
+    results.extend(cross_set_ablation(spec))
+    print(render_ablation(results))
+
+
+def _cmd_tinyrisc(args) -> None:
+    from repro.arch.params import Architecture
+    from repro.codegen.generator import generate_program
+    from repro.codegen.tinyrisc import lower_to_tinyrisc
+    from repro.schedule.complete import CompleteDataScheduler
+
+    spec = _find_spec(args.experiment)
+    application, clustering = spec.build()
+    schedule = CompleteDataScheduler(Architecture.m1(spec.fb)).schedule(
+        application, clustering
+    )
+    control = lower_to_tinyrisc(generate_program(schedule))
+    listing = control.render().splitlines()
+    limit = args.lines if args.lines > 0 else len(listing)
+    print("\n".join(listing[:limit]))
+    if limit < len(listing):
+        print(f"    ... {len(listing) - limit} more instructions")
+    print(
+        f"\n{len(control.instructions)} instructions; data loaded "
+        f"{control.data_words_loaded}w, stored "
+        f"{control.data_words_stored}w, contexts "
+        f"{control.context_words_loaded}w"
+    )
+
+
+def _cmd_sweep(args) -> None:
+    from repro.analysis.sweep import render_sweep, sweep_fb_sizes
+    from repro.units import kwords
+
+    spec = _find_spec(args.experiment)
+    application, clustering = spec.build()
+    sizes = [kwords(k) for k in (0.5, 1, 1.5, 2, 3, 4, 6, 8, 12, 16)]
+    points = sweep_fb_sizes(application, clustering, sizes)
+    print(render_sweep(
+        points, title=f"frame-buffer sweep of {spec.id} "
+                      f"(paper point: FB={spec.fb})"
+    ))
+
+
+def _cmd_alloc(args) -> None:
+    from repro.arch.params import Architecture
+    from repro.schedule.complete import CompleteDataScheduler
+
+    spec = _find_spec(args.experiment)
+    application, clustering = spec.build()
+    architecture = Architecture.m1(spec.fb)
+    schedule = CompleteDataScheduler(architecture).schedule(
+        application, clustering
+    )
+    allocator = FrameBufferAllocator(schedule)
+    for fb_set in (0, 1):
+        allocation = allocator.allocate_set(fb_set)
+        print(f"\n=== FB set {fb_set} "
+              f"(peak {allocation.peak_words}/{allocation.capacity_words} "
+              f"words, {allocation.splits} splits) ===")
+        for snapshot in allocation.snapshots:
+            regions = ", ".join(
+                f"{name}#{instance}@{extents[0]}"
+                for name, instance, extents in snapshot.regions
+            )
+            print(f"  {snapshot.label:<40} [{regions}]")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Complete Data Scheduler reproduction (DATE 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
+    table1 = sub.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    table1.set_defaults(func=_cmd_table1)
+    sub.add_parser("figure6", help="regenerate Figure 6").set_defaults(
+        func=_cmd_figure6
+    )
+    run = sub.add_parser("run", help="run one experiment in detail")
+    run.add_argument("experiment")
+    run.add_argument("--gantt", action="store_true",
+                     help="print per-scheduler Gantt charts")
+    run.set_defaults(func=_cmd_run)
+    ablation = sub.add_parser("ablation", help="design-choice ablations")
+    ablation.add_argument("experiment")
+    ablation.set_defaults(func=_cmd_ablation)
+    alloc = sub.add_parser("alloc", help="FB allocation walkthrough")
+    alloc.add_argument("experiment")
+    alloc.set_defaults(func=_cmd_alloc)
+    sweep = sub.add_parser("sweep", help="frame-buffer size sweep")
+    sweep.add_argument("experiment")
+    sweep.set_defaults(func=_cmd_sweep)
+    tinyrisc = sub.add_parser(
+        "tinyrisc", help="emit the TinyRISC control program"
+    )
+    tinyrisc.add_argument("experiment")
+    tinyrisc.add_argument("--lines", type=int, default=40,
+                          help="listing lines to print (0 = all)")
+    tinyrisc.set_defaults(func=_cmd_tinyrisc)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

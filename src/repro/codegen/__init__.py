@@ -1,0 +1,33 @@
+"""Code generation: lowering a schedule to an op-level program.
+
+The code generator plays the role of the last stage of the paper's
+compilation framework (Figure 2): it turns a :class:`Schedule` into an
+explicit sequence of *visits* — (round, cluster) pairs — each carrying
+its context loads, data loads, kernel launches and result stores.  The
+program is what the event-driven simulator executes and what the static
+verifier checks.
+"""
+
+from repro.codegen.generator import generate_program
+from repro.codegen.ops import (
+    LoadContext,
+    LoadData,
+    RunKernel,
+    StoreData,
+    Visit,
+    VisitOps,
+)
+from repro.codegen.program import Program
+from repro.codegen.verifier import verify_program
+
+__all__ = [
+    "LoadContext",
+    "LoadData",
+    "Program",
+    "RunKernel",
+    "StoreData",
+    "Visit",
+    "VisitOps",
+    "generate_program",
+    "verify_program",
+]

@@ -1,0 +1,141 @@
+"""The op-level intermediate representation.
+
+A program is a sequence of :class:`VisitOps`; a *visit* is one cluster
+executing one round's worth of iterations out of its frame-buffer set.
+All data movement is expressed against **global iteration indices** —
+iteration ``g`` of object ``x`` is a distinct block of words for every
+``g`` (a new macroblock, tile, ...), which is what makes store/load
+round-trips of shared results observable in the functional simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.errors import CodegenError
+
+__all__ = ["Visit", "LoadContext", "LoadData", "StoreData", "RunKernel", "VisitOps"]
+
+
+@dataclass(frozen=True)
+class Visit:
+    """One (round, cluster) execution slot.
+
+    Attributes:
+        index: global visit index (round-major).
+        round_index: which round of ``RF`` iterations.
+        cluster_index: which cluster.
+        fb_set: the frame-buffer set the cluster computes from.
+        iterations: the global iteration indices processed, ascending.
+    """
+
+    index: int
+    round_index: int
+    cluster_index: int
+    fb_set: int
+    iterations: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.iterations:
+            raise CodegenError(f"visit {self.index} processes no iterations")
+        if list(self.iterations) != sorted(self.iterations):
+            raise CodegenError(f"visit {self.index} iterations unsorted")
+
+    @property
+    def cm_block(self) -> int:
+        """Context-memory block used by this visit (blocks alternate)."""
+        return self.index % 2
+
+
+@dataclass(frozen=True)
+class LoadContext:
+    """Load one kernel's contexts into a CM block."""
+
+    kernel: str
+    words: int
+    cm_block: int
+
+    def __post_init__(self) -> None:
+        if self.words <= 0:
+            raise CodegenError(f"context load of {self.kernel!r} has no words")
+
+
+@dataclass(frozen=True)
+class LoadData:
+    """Move one object instance from external memory into an FB set."""
+
+    name: str
+    iteration: int
+    words: int
+    fb_set: int
+
+    def __post_init__(self) -> None:
+        if self.words <= 0:
+            raise CodegenError(f"data load of {self.name!r} has no words")
+        if self.iteration < 0:
+            raise CodegenError(f"data load of {self.name!r}: bad iteration")
+
+
+@dataclass(frozen=True)
+class StoreData:
+    """Move one result instance from an FB set to external memory."""
+
+    name: str
+    iteration: int
+    words: int
+    fb_set: int
+
+    def __post_init__(self) -> None:
+        if self.words <= 0:
+            raise CodegenError(f"store of {self.name!r} has no words")
+        if self.iteration < 0:
+            raise CodegenError(f"store of {self.name!r}: bad iteration")
+
+
+@dataclass(frozen=True)
+class RunKernel:
+    """Execute one kernel for one iteration on the RC array."""
+
+    kernel: str
+    iteration: int
+    cycles: int
+    fb_set: int
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise CodegenError(f"kernel {self.kernel!r} run has no cycles")
+
+
+@dataclass(frozen=True)
+class VisitOps:
+    """All operations of one visit, grouped by phase.
+
+    ``compute`` is kernel-outer, iteration-inner (loop fission order).
+    """
+
+    visit: Visit
+    context_loads: Tuple[LoadContext, ...]
+    data_loads: Tuple[LoadData, ...]
+    compute: Tuple[RunKernel, ...]
+    stores: Tuple[StoreData, ...]
+
+    @property
+    def compute_cycles(self) -> int:
+        """Total RC-array cycles of the visit."""
+        return sum(run.cycles for run in self.compute)
+
+    @property
+    def load_words(self) -> int:
+        """Data words loaded ahead of the visit."""
+        return sum(load.words for load in self.data_loads)
+
+    @property
+    def store_words(self) -> int:
+        """Result words stored after the visit."""
+        return sum(store.words for store in self.stores)
+
+    @property
+    def context_words(self) -> int:
+        """Context words loaded ahead of the visit."""
+        return sum(load.words for load in self.context_loads)

@@ -1,0 +1,34 @@
+"""Application model: kernels, data objects, dataflow and clustering.
+
+This subpackage implements the abstraction level the paper works at: an
+application is a sequence of *kernels* (macro-tasks) characterised by
+their contexts and their input/output data, partitioned into *clusters*
+that alternate between the two frame-buffer sets.
+"""
+
+from repro.core.application import Application, ApplicationBuilder
+from repro.core.cluster import Cluster, Clustering
+from repro.core.dataflow import DataflowInfo, ObjectClass, analyze_dataflow
+from repro.core.dataobj import DataObject
+from repro.core.kernel import Kernel
+from repro.core.metrics import cluster_data_size, cluster_footprint, total_data_size
+from repro.core.reuse import SharedData, SharedResult, find_shared_data, find_shared_results
+
+__all__ = [
+    "Application",
+    "ApplicationBuilder",
+    "Cluster",
+    "Clustering",
+    "DataObject",
+    "DataflowInfo",
+    "Kernel",
+    "ObjectClass",
+    "SharedData",
+    "SharedResult",
+    "analyze_dataflow",
+    "cluster_data_size",
+    "cluster_footprint",
+    "find_shared_data",
+    "find_shared_results",
+    "total_data_size",
+]

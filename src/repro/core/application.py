@@ -1,0 +1,293 @@
+"""Applications: an ordered kernel sequence plus its data objects.
+
+The paper's execution model: "Multimedia applications, such as DSP or
+MPEG, are composed of a sequence of kernels that are consecutively
+executed over a part of the input data, until all the data are
+processed."  An :class:`Application` captures one such sequence, the
+data objects flowing between kernels, the set of *final* outputs that
+must land in external memory, and the total number of iterations
+(data blocks, e.g. macroblocks or image tiles) to process.
+
+Validation enforced at construction time:
+
+* every object referenced by a kernel is declared;
+* an object is produced by at most one kernel (single assignment);
+* every consumer of a produced object runs **after** its producer;
+* final outputs are produced by some kernel;
+* names are unique across kernels and objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.dataobj import DataObject
+from repro.core.kernel import Kernel
+from repro.errors import ApplicationError, DataflowError
+from repro.units import SizeLike, parse_size
+
+__all__ = ["Application", "ApplicationBuilder"]
+
+
+@dataclass(frozen=True)
+class Application:
+    """An immutable, validated application description.
+
+    Use :class:`ApplicationBuilder` (or :meth:`Application.build`) for
+    incremental construction.
+
+    Attributes:
+        name: application identifier (used in reports).
+        kernels: the kernel sequence in execution order.
+        objects: mapping from object name to :class:`DataObject`.
+        final_outputs: names of objects that must be stored to external
+            memory (the application's results).
+        total_iterations: number of data blocks the application processes
+            (``n`` in the paper: without loop fission each kernel's
+            contexts would be loaded ``n`` times).
+    """
+
+    name: str
+    kernels: Tuple[Kernel, ...]
+    objects: Mapping[str, DataObject]
+    final_outputs: frozenset
+    total_iterations: int
+
+    def __post_init__(self) -> None:
+        if not self.kernels:
+            raise ApplicationError(f"application {self.name!r} has no kernels")
+        if self.total_iterations <= 0:
+            raise ApplicationError(
+                f"application {self.name!r}: total_iterations must be positive, "
+                f"got {self.total_iterations}"
+            )
+        object.__setattr__(self, "kernels", tuple(self.kernels))
+        object.__setattr__(self, "objects", dict(self.objects))
+        object.__setattr__(self, "final_outputs", frozenset(self.final_outputs))
+        self._validate()
+
+    # -- validation -----------------------------------------------------
+
+    def _validate(self) -> None:
+        seen_kernels = set()
+        for kernel in self.kernels:
+            if kernel.name in seen_kernels:
+                raise ApplicationError(
+                    f"application {self.name!r} has two kernels named "
+                    f"{kernel.name!r}"
+                )
+            seen_kernels.add(kernel.name)
+        for obj_name, obj in self.objects.items():
+            if obj_name != obj.name:
+                raise ApplicationError(
+                    f"object registered under {obj_name!r} is named {obj.name!r}"
+                )
+            if obj_name in seen_kernels:
+                raise ApplicationError(
+                    f"name {obj_name!r} is used both for a kernel and an object"
+                )
+        producers: Dict[str, int] = {}
+        for position, kernel in enumerate(self.kernels):
+            for obj_name in kernel.inputs + kernel.outputs:
+                if obj_name not in self.objects:
+                    raise ApplicationError(
+                        f"kernel {kernel.name!r} references undeclared object "
+                        f"{obj_name!r}"
+                    )
+            for obj_name in kernel.outputs:
+                if obj_name in producers:
+                    other = self.kernels[producers[obj_name]].name
+                    raise DataflowError(
+                        f"object {obj_name!r} produced by both {other!r} and "
+                        f"{kernel.name!r} (single assignment required)"
+                    )
+                producers[obj_name] = position
+        for position, kernel in enumerate(self.kernels):
+            for obj_name in kernel.inputs:
+                producer_pos = producers.get(obj_name)
+                if producer_pos is not None and producer_pos >= position:
+                    raise DataflowError(
+                        f"kernel {kernel.name!r} consumes {obj_name!r} before "
+                        f"its producer "
+                        f"{self.kernels[producer_pos].name!r} runs"
+                    )
+        for obj_name in self.final_outputs:
+            if obj_name not in self.objects:
+                raise ApplicationError(
+                    f"final output {obj_name!r} is not a declared object"
+                )
+            if obj_name not in producers:
+                raise DataflowError(
+                    f"final output {obj_name!r} is not produced by any kernel"
+                )
+        consumed = {name for k in self.kernels for name in k.inputs}
+        for obj_name, obj in self.objects.items():
+            if obj_name not in consumed and obj_name not in producers:
+                raise ApplicationError(
+                    f"object {obj_name!r} is neither read nor written by any "
+                    f"kernel"
+                )
+            if obj.invariant and obj_name in producers:
+                raise DataflowError(
+                    f"object {obj_name!r} is produced by "
+                    f"{self.kernels[producers[obj_name]].name!r} but marked "
+                    f"iteration-invariant; only external data may be invariant"
+                )
+
+    # -- accessors ------------------------------------------------------
+
+    @property
+    def kernel_names(self) -> Tuple[str, ...]:
+        """Kernel names in execution order."""
+        return tuple(kernel.name for kernel in self.kernels)
+
+    def kernel(self, name: str) -> Kernel:
+        """Look up a kernel by name."""
+        for kernel in self.kernels:
+            if kernel.name == name:
+                return kernel
+        raise KeyError(f"no kernel named {name!r} in application {self.name!r}")
+
+    def kernel_index(self, name: str) -> int:
+        """Position of a kernel in the execution order."""
+        for position, kernel in enumerate(self.kernels):
+            if kernel.name == name:
+                return position
+        raise KeyError(f"no kernel named {name!r} in application {self.name!r}")
+
+    def object(self, name: str) -> DataObject:
+        """Look up a data object by name."""
+        try:
+            return self.objects[name]
+        except KeyError:
+            raise KeyError(
+                f"no object named {name!r} in application {self.name!r}"
+            ) from None
+
+    def producer_of(self, obj_name: str) -> Optional[Kernel]:
+        """The kernel producing *obj_name*, or ``None`` for external data."""
+        for kernel in self.kernels:
+            if kernel.writes(obj_name):
+                return kernel
+        return None
+
+    def consumers_of(self, obj_name: str) -> Tuple[Kernel, ...]:
+        """Kernels consuming *obj_name*, in execution order."""
+        return tuple(kernel for kernel in self.kernels if kernel.reads(obj_name))
+
+    def external_inputs(self) -> Tuple[str, ...]:
+        """Names of objects with no producer (loaded from external memory)."""
+        produced = {name for kernel in self.kernels for name in kernel.outputs}
+        ordered: List[str] = []
+        seen = set()
+        for kernel in self.kernels:
+            for name in kernel.inputs:
+                if name not in produced and name not in seen:
+                    ordered.append(name)
+                    seen.add(name)
+        return tuple(ordered)
+
+    def total_context_words(self) -> int:
+        """Sum of context words over all kernels."""
+        return sum(kernel.context_words for kernel in self.kernels)
+
+    @classmethod
+    def build(cls, name: str, *, total_iterations: int = 1) -> "ApplicationBuilder":
+        """Start an :class:`ApplicationBuilder` for fluent construction."""
+        return ApplicationBuilder(name, total_iterations=total_iterations)
+
+    def __str__(self) -> str:
+        return (
+            f"Application({self.name!r}, {len(self.kernels)} kernels, "
+            f"{len(self.objects)} objects, n={self.total_iterations})"
+        )
+
+
+class ApplicationBuilder:
+    """Incrementally assemble an :class:`Application`.
+
+    Example::
+
+        app = (
+            Application.build("demo", total_iterations=16)
+            .data("d1", "0.5K")
+            .data("d2", 256)
+            .kernel("k1", context_words=32, cycles=400,
+                    inputs=["d1"], outputs=["r12"], result_sizes={"r12": 128})
+            .kernel("k2", context_words=24, cycles=300,
+                    inputs=["d2", "r12"], outputs=["out"],
+                    result_sizes={"out": 128})
+            .final("out")
+            .finish()
+        )
+    """
+
+    def __init__(self, name: str, *, total_iterations: int = 1):
+        self._name = name
+        self._total_iterations = total_iterations
+        self._kernels: List[Kernel] = []
+        self._objects: Dict[str, DataObject] = {}
+        self._finals: List[str] = []
+
+    def data(self, name: str, size: SizeLike, **kwargs) -> "ApplicationBuilder":
+        """Declare a data object (external input or result)."""
+        if name in self._objects:
+            raise ApplicationError(f"object {name!r} declared twice")
+        self._objects[name] = DataObject.of(name, size, **kwargs)
+        return self
+
+    def kernel(
+        self,
+        name: str,
+        *,
+        context_words: int,
+        cycles: int,
+        inputs: Sequence[str] = (),
+        outputs: Sequence[str] = (),
+        result_sizes: Optional[Mapping[str, SizeLike]] = None,
+        library_op: Optional[str] = None,
+    ) -> "ApplicationBuilder":
+        """Append a kernel to the execution sequence.
+
+        ``result_sizes`` lets a kernel declare the sizes of the objects
+        it produces inline, instead of calling :meth:`data` separately.
+        """
+        for obj_name, size in (result_sizes or {}).items():
+            if obj_name not in outputs:
+                raise ApplicationError(
+                    f"kernel {name!r}: result_sizes mentions {obj_name!r} "
+                    f"which is not in outputs"
+                )
+            self.data(obj_name, size)
+        self._kernels.append(
+            Kernel(
+                name=name,
+                context_words=context_words,
+                cycles=cycles,
+                inputs=tuple(inputs),
+                outputs=tuple(outputs),
+                library_op=library_op,
+            )
+        )
+        return self
+
+    def final(self, *names: str) -> "ApplicationBuilder":
+        """Mark objects as final outputs (must be stored externally)."""
+        self._finals.extend(names)
+        return self
+
+    def iterations(self, count: int) -> "ApplicationBuilder":
+        """Set the total iteration count."""
+        self._total_iterations = count
+        return self
+
+    def finish(self) -> Application:
+        """Validate and return the immutable :class:`Application`."""
+        return Application(
+            name=self._name,
+            kernels=tuple(self._kernels),
+            objects=dict(self._objects),
+            final_outputs=frozenset(self._finals),
+            total_iterations=self._total_iterations,
+        )

@@ -1,0 +1,195 @@
+"""Clusters: groups of kernels assigned to one frame-buffer set.
+
+"The term cluster is used here to refer to a set of kernels that is
+assigned to the same FB set and whose components are consecutively
+executed" (paper, section 2).  While one cluster executes out of one
+frame-buffer set, the contexts and data of the next cluster are
+transferred into the context memory and the other set.
+
+A :class:`Clustering` is an ordered partition of the application's
+kernel sequence into contiguous clusters; clusters alternate between the
+two FB sets (cluster ``i`` uses set ``i % 2``) unless explicit set
+assignments are given.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.application import Application
+from repro.core.kernel import Kernel
+from repro.errors import ClusteringError
+
+__all__ = ["Cluster", "Clustering"]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One cluster: an index, its kernels, and its FB set.
+
+    Attributes:
+        index: position of the cluster in the execution order (0-based;
+            the paper's ``Cl_1`` is index 0).
+        kernel_names: names of the kernels, in execution order.
+        fb_set: frame-buffer set (0 or 1) the cluster executes from.
+    """
+
+    index: int
+    kernel_names: Tuple[str, ...]
+    fb_set: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ClusteringError(f"cluster index must be >= 0, got {self.index}")
+        if self.fb_set not in (0, 1):
+            raise ClusteringError(
+                f"cluster {self.index}: fb_set must be 0 or 1, got {self.fb_set}"
+            )
+        if not self.kernel_names:
+            raise ClusteringError(f"cluster {self.index} is empty")
+        object.__setattr__(self, "kernel_names", tuple(self.kernel_names))
+
+    @property
+    def name(self) -> str:
+        """Paper-style name, ``Cl1`` for index 0."""
+        return f"Cl{self.index + 1}"
+
+    @property
+    def size(self) -> int:
+        """Number of kernels in the cluster."""
+        return len(self.kernel_names)
+
+    def __contains__(self, kernel_name: str) -> bool:
+        return kernel_name in self.kernel_names
+
+    def __str__(self) -> str:
+        members = ", ".join(self.kernel_names)
+        return f"{self.name}(set{self.fb_set}: {members})"
+
+
+class Clustering:
+    """An ordered partition of an application's kernels into clusters.
+
+    Args:
+        application: the application being partitioned.
+        groups: sequence of kernel-name groups, each becoming a cluster.
+            Groups must cover the application's kernel sequence exactly,
+            contiguously and in order.
+        fb_sets: optional explicit FB-set assignment per cluster; defaults
+            to alternating ``0, 1, 0, 1, ...``.
+    """
+
+    def __init__(
+        self,
+        application: Application,
+        groups: Sequence[Sequence[str]],
+        fb_sets: Optional[Sequence[int]] = None,
+    ):
+        self.application = application
+        flattened = [name for group in groups for name in group]
+        expected = list(application.kernel_names)
+        if flattened != expected:
+            raise ClusteringError(
+                f"clustering of {application.name!r} must be a contiguous, "
+                f"in-order partition of its kernels; got {flattened}, "
+                f"expected {expected}"
+            )
+        if fb_sets is None:
+            fb_sets = [index % 2 for index in range(len(groups))]
+        if len(fb_sets) != len(groups):
+            raise ClusteringError(
+                f"{len(fb_sets)} fb_set assignments for {len(groups)} clusters"
+            )
+        self.clusters: Tuple[Cluster, ...] = tuple(
+            Cluster(index=i, kernel_names=tuple(group), fb_set=fb_sets[i])
+            for i, group in enumerate(groups)
+        )
+        self._cluster_of = {
+            name: cluster for cluster in self.clusters for name in cluster.kernel_names
+        }
+
+    # -- construction helpers -------------------------------------------
+
+    @classmethod
+    def single(cls, application: Application) -> "Clustering":
+        """All kernels in one cluster (degenerate but legal)."""
+        return cls(application, [list(application.kernel_names)])
+
+    @classmethod
+    def per_kernel(cls, application: Application) -> "Clustering":
+        """One cluster per kernel."""
+        return cls(application, [[name] for name in application.kernel_names])
+
+    @classmethod
+    def from_sizes(cls, application: Application, sizes: Sequence[int]) -> "Clustering":
+        """Partition by consecutive group sizes, e.g. ``[2, 3]``."""
+        if sum(sizes) != len(application.kernels):
+            raise ClusteringError(
+                f"group sizes {list(sizes)} do not sum to "
+                f"{len(application.kernels)} kernels"
+            )
+        if any(size <= 0 for size in sizes):
+            raise ClusteringError(f"group sizes must be positive, got {list(sizes)}")
+        names = list(application.kernel_names)
+        groups: List[List[str]] = []
+        cursor = 0
+        for size in sizes:
+            groups.append(names[cursor:cursor + size])
+            cursor += size
+        return cls(application, groups)
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __iter__(self) -> Iterator[Cluster]:
+        return iter(self.clusters)
+
+    def __getitem__(self, index: int) -> Cluster:
+        return self.clusters[index]
+
+    def cluster_of(self, kernel_name: str) -> Cluster:
+        """The cluster containing *kernel_name*."""
+        try:
+            return self._cluster_of[kernel_name]
+        except KeyError:
+            raise KeyError(
+                f"kernel {kernel_name!r} not in clustering of "
+                f"{self.application.name!r}"
+            ) from None
+
+    def kernels_of(self, cluster: Cluster) -> Tuple[Kernel, ...]:
+        """The :class:`Kernel` objects of a cluster, in order."""
+        return tuple(self.application.kernel(name) for name in cluster.kernel_names)
+
+    def on_set(self, fb_set: int) -> Tuple[Cluster, ...]:
+        """Clusters assigned to a frame-buffer set, in execution order."""
+        return tuple(c for c in self.clusters if c.fb_set == fb_set)
+
+    def same_set(self, first: Cluster, second: Cluster) -> bool:
+        """True if two clusters share a frame-buffer set."""
+        return first.fb_set == second.fb_set
+
+    def context_words_of(self, cluster: Cluster) -> int:
+        """Total context words of a cluster's kernels."""
+        return sum(k.context_words for k in self.kernels_of(cluster))
+
+    def sizes(self) -> Tuple[int, ...]:
+        """Cluster sizes, e.g. ``(2, 3)``."""
+        return tuple(cluster.size for cluster in self.clusters)
+
+    def __str__(self) -> str:
+        return " | ".join(str(cluster) for cluster in self.clusters)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Clustering):
+            return NotImplemented
+        return (
+            self.application.name == other.application.name
+            and self.clusters == other.clusters
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.application.name, self.clusters))

@@ -1,0 +1,81 @@
+"""Data objects: the unit of storage and transfer.
+
+A :class:`DataObject` names a block of words that lives in the external
+memory and/or in a frame-buffer set.  At the abstraction level of the
+paper an object has a compile-time-known size; whether it is an external
+input, an intermediate result, a shared result or a final result is not
+a property of the object itself but of the dataflow and the clustering
+(see :mod:`repro.core.dataflow`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ApplicationError
+from repro.units import SizeLike, format_size, parse_size
+
+__all__ = ["DataObject"]
+
+_NAME_FORBIDDEN = set(" \t\n,;:[]{}()")
+
+
+def _validate_name(name: str, what: str) -> str:
+    if not isinstance(name, str) or not name:
+        raise ApplicationError(f"{what} name must be a non-empty string, got {name!r}")
+    if any(ch in _NAME_FORBIDDEN for ch in name):
+        raise ApplicationError(f"{what} name {name!r} contains forbidden characters")
+    return name
+
+
+@dataclass(frozen=True)
+class DataObject:
+    """A named block of data with a compile-time-known size.
+
+    Attributes:
+        name: unique identifier within the application.
+        size: size in words of **one iteration instance** of the object.
+            With a reuse factor ``RF > 1`` the frame buffer holds ``RF``
+            instances of the object simultaneously — except for
+            iteration-invariant objects, which always occupy one copy.
+        invariant: the object's contents are identical for every
+            iteration (coefficient tables, target-template banks, filter
+            banks, LUTs).  An invariant object is loaded once per round
+            per consuming cluster instead of once per iteration, and a
+            *kept* invariant object occupies ``size`` words rather than
+            ``RF * size``.  Only external data may be invariant.
+        element_shape: optional logical shape (e.g. ``(8, 8)`` for a DCT
+            block) used by the functional kernel library; irrelevant to
+            the scheduler, which only sees ``size``.
+        description: free-form documentation string.
+    """
+
+    name: str
+    size: int
+    invariant: bool = False
+    element_shape: Optional[tuple] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        _validate_name(self.name, "data object")
+        object.__setattr__(self, "size", parse_size(self.size))
+        if self.size <= 0:
+            raise ApplicationError(
+                f"data object {self.name!r} must have positive size, got {self.size}"
+            )
+        if self.element_shape is not None:
+            shape = tuple(int(dim) for dim in self.element_shape)
+            if any(dim <= 0 for dim in shape):
+                raise ApplicationError(
+                    f"data object {self.name!r} has non-positive shape {shape}"
+                )
+            object.__setattr__(self, "element_shape", shape)
+
+    @classmethod
+    def of(cls, name: str, size: SizeLike, **kwargs) -> "DataObject":
+        """Convenience constructor accepting ``"0.3K"``-style sizes."""
+        return cls(name=name, size=parse_size(size), **kwargs)
+
+    def __str__(self) -> str:
+        return f"{self.name}[{format_size(self.size)}]"

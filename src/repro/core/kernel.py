@@ -1,0 +1,90 @@
+"""Kernels: the macro-tasks an application is composed of.
+
+"At the abstraction level on which we are working a kernel is
+characterized by its contexts, as well as, its input and output data"
+(paper, section 1).  A kernel here additionally carries its per-iteration
+execution time (produced by the information extractor in the paper's
+framework, by the kernel library in ours) so schedulers can estimate the
+computation window available for overlapping transfers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.dataobj import _validate_name
+from repro.errors import ApplicationError
+
+__all__ = ["Kernel"]
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One macro-task mapped onto the RC array.
+
+    Attributes:
+        name: unique identifier within the application.
+        context_words: number of 32-bit context words needed to configure
+            the RC array for this kernel.  These are loaded from external
+            memory into the context memory (CM) through the DMA channel.
+        cycles: RC-array cycles for **one iteration** of the kernel.
+        inputs: names of the data objects the kernel reads.
+        outputs: names of the data objects the kernel produces.
+        library_op: optional key into :mod:`repro.kernels` identifying a
+            functional implementation, for end-to-end functional runs.
+    """
+
+    name: str
+    context_words: int
+    cycles: int
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+    library_op: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _validate_name(self.name, "kernel")
+        if not isinstance(self.context_words, int) or self.context_words <= 0:
+            raise ApplicationError(
+                f"kernel {self.name!r}: context_words must be a positive int, "
+                f"got {self.context_words!r}"
+            )
+        if not isinstance(self.cycles, int) or self.cycles <= 0:
+            raise ApplicationError(
+                f"kernel {self.name!r}: cycles must be a positive int, "
+                f"got {self.cycles!r}"
+            )
+        inputs = tuple(self.inputs)
+        outputs = tuple(self.outputs)
+        for group, label in ((inputs, "input"), (outputs, "output")):
+            seen = set()
+            for obj_name in group:
+                _validate_name(obj_name, f"kernel {self.name!r} {label}")
+                if obj_name in seen:
+                    raise ApplicationError(
+                        f"kernel {self.name!r} lists {label} {obj_name!r} twice"
+                    )
+                seen.add(obj_name)
+        overlap = set(inputs) & set(outputs)
+        if overlap:
+            raise ApplicationError(
+                f"kernel {self.name!r} reads and writes the same object(s) "
+                f"{sorted(overlap)}; in-place updates must be modelled as a "
+                f"new output object"
+            )
+        object.__setattr__(self, "inputs", inputs)
+        object.__setattr__(self, "outputs", outputs)
+
+    def reads(self, obj_name: str) -> bool:
+        """True if this kernel consumes *obj_name*."""
+        return obj_name in self.inputs
+
+    def writes(self, obj_name: str) -> bool:
+        """True if this kernel produces *obj_name*."""
+        return obj_name in self.outputs
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}(ctx={self.context_words}w, {self.cycles}cyc, "
+            f"in={list(self.inputs)}, out={list(self.outputs)})"
+        )

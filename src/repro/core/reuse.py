@@ -1,0 +1,259 @@
+"""Detection of data and results shared among clusters.
+
+Section 4 of the paper: "The Complete Data Scheduler finds the shared
+data and the shared results among clusters.  For these cases, ``D_i..j``
+stands for the size of the data shared among clusters ``{C_i,...,C_j}``
+which are assigned to the same FB set.  And ``R_i,j..k`` (shared
+results) stands for the size of cluster ``i`` results that are input
+data for clusters ``{C_j,...,C_k}`` which are assigned to the same FB
+set."
+
+Sharing is only exploitable **within one frame-buffer set**: keeping an
+object in set 0 cannot save a transfer into set 1 (reuse among clusters
+assigned to different sets is the paper's future work).  An external
+datum consumed by clusters of both sets therefore yields up to two
+independent :class:`SharedData` candidates, one per set, each requiring
+at least two consuming clusters on that set.  A result produced in
+cluster ``i`` can only be retained for consumers on cluster ``i``'s own
+set; consumers on the other set always go through external memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.core.dataflow import DataflowInfo, ObjectClass
+
+__all__ = ["SharedData", "SharedResult", "find_shared_data", "find_shared_results"]
+
+
+@dataclass(frozen=True)
+class SharedData:
+    """External data consumed by several clusters of one FB set (``D_i..j``).
+
+    Attributes:
+        name: object name.
+        size: words per iteration instance.
+        fb_set: the frame-buffer set shared on.
+        clusters: consuming cluster indices on that set, ascending.
+        invariant: iteration-invariant contents — when kept it occupies
+            one copy regardless of ``RF``.
+    """
+
+    name: str
+    size: int
+    fb_set: int
+    clusters: Tuple[int, ...]
+    invariant: bool = False
+
+    @property
+    def n_users(self) -> int:
+        """``N`` in the paper's TF formula: clusters using the item."""
+        return len(self.clusters)
+
+    @property
+    def transfers_avoided(self) -> int:
+        """Loads avoided per iteration if kept: ``N - 1`` (the first
+        consuming cluster still performs the one load)."""
+        return self.n_users - 1
+
+    @property
+    def words_avoided(self) -> int:
+        """Words of external traffic avoided per iteration if kept."""
+        return self.size * self.transfers_avoided
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        """``(first, last)`` consuming cluster indices: the object must
+        stay resident in the set for all same-set clusters in between."""
+        return (self.clusters[0], self.clusters[-1])
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``D1..3`` (1-based cluster numbers)."""
+        first, last = self.span
+        return f"D{first + 1}..{last + 1}"
+
+    def resident_for(self, cluster_index: int) -> bool:
+        """True if, when kept, the object occupies the set while cluster
+        *cluster_index* (on the same set) executes."""
+        first, last = self.span
+        return first <= cluster_index <= last
+
+
+@dataclass(frozen=True)
+class SharedResult:
+    """A result retained for later clusters of the same set (``R_i,j..k``).
+
+    Attributes:
+        name: object name.
+        size: words per iteration instance.
+        fb_set: the producing (and consuming) frame-buffer set.
+        producer_cluster: index of the producing cluster.
+        consumer_clusters: same-set consuming cluster indices, ascending,
+            all strictly greater than ``producer_cluster``.
+        is_final: the object is additionally an application output and
+            must be stored externally even when kept.
+        store_required: the store to external memory happens even when
+            the result is kept — because it is a final output and/or
+            some consumer sits on the *other* FB set and must reload it
+            from external memory.
+    """
+
+    name: str
+    size: int
+    fb_set: int
+    producer_cluster: int
+    consumer_clusters: Tuple[int, ...]
+    is_final: bool = False
+    store_required: bool = False
+
+    @property
+    def n_users(self) -> int:
+        """``N`` in the paper's TF formula: consuming clusters."""
+        return len(self.consumer_clusters)
+
+    @property
+    def transfers_avoided(self) -> int:
+        """Transfers avoided per iteration if kept: ``N + 1`` — the store
+        by the producer plus one reload per same-set consuming cluster.
+        When the store happens anyway (final output, or a cross-set
+        consumer reloads from external memory) only the ``N`` reloads
+        are avoided."""
+        if self.store_required:
+            return self.n_users
+        return self.n_users + 1
+
+    @property
+    def words_avoided(self) -> int:
+        """Words of external traffic avoided per iteration if kept."""
+        return self.size * self.transfers_avoided
+
+    @property
+    def span(self) -> Tuple[int, int]:
+        """``(producer, last consumer)`` cluster indices."""
+        return (self.producer_cluster, self.consumer_clusters[-1])
+
+    @property
+    def label(self) -> str:
+        """Paper-style label, e.g. ``R3,5`` (1-based cluster numbers)."""
+        consumers = ",".join(str(c + 1) for c in self.consumer_clusters)
+        return f"R{self.producer_cluster + 1},{consumers}"
+
+    def resident_for(self, cluster_index: int) -> bool:
+        """True if, when kept, the object occupies the set while cluster
+        *cluster_index* (on the same set) executes."""
+        first, last = self.span
+        return first <= cluster_index <= last
+
+
+def find_shared_data(
+    dataflow: DataflowInfo, *, include_cross_set: bool = False
+) -> List[SharedData]:
+    """Enumerate all :class:`SharedData` candidates.
+
+    With ``include_cross_set=False`` (M1): one candidate per FB set with
+    at least two consuming clusters on that set.  With
+    ``include_cross_set=True`` (the paper's future-work architecture):
+    one candidate per object with at least two consuming clusters on
+    *any* sets, homed in the first consumer's set — clusters on the
+    other set read it in place.
+
+    Candidates are returned in a deterministic order: by FB set, then by
+    first consuming cluster, then by name.
+    """
+    candidates: List[SharedData] = []
+    for info in dataflow:
+        if info.object_class is not ObjectClass.EXTERNAL_DATA:
+            continue
+        if include_cross_set:
+            if len(info.consumer_clusters) >= 2:
+                home_set = dataflow.clustering[info.consumer_clusters[0]].fb_set
+                candidates.append(
+                    SharedData(
+                        name=info.name,
+                        size=info.size,
+                        fb_set=home_set,
+                        clusters=info.consumer_clusters,
+                        invariant=info.invariant,
+                    )
+                )
+            continue
+        for fb_set in (0, 1):
+            consumers_on_set = tuple(
+                c for c in info.consumer_clusters
+                if dataflow.clustering[c].fb_set == fb_set
+            )
+            if len(consumers_on_set) >= 2:
+                candidates.append(
+                    SharedData(
+                        name=info.name,
+                        size=info.size,
+                        fb_set=fb_set,
+                        clusters=consumers_on_set,
+                        invariant=info.invariant,
+                    )
+                )
+    candidates.sort(key=lambda c: (c.fb_set, c.span[0], c.name))
+    return candidates
+
+
+def find_shared_results(
+    dataflow: DataflowInfo, *, include_cross_set: bool = False
+) -> List[SharedResult]:
+    """Enumerate all :class:`SharedResult` candidates.
+
+    With ``include_cross_set=False`` (M1) a result qualifies when at
+    least one **later** cluster on the producer's own FB set consumes
+    it; consumers on the other set are served through external memory
+    regardless, which also forces the store.  With
+    ``include_cross_set=True`` (future-work architecture) all later
+    consumers are served from the producer's set, and the store is only
+    forced for final outputs.
+    """
+    candidates: List[SharedResult] = []
+    for info in dataflow:
+        if info.object_class is not ObjectClass.SHARED_RESULT:
+            continue
+        producer_cluster = info.producer_cluster
+        assert producer_cluster is not None
+        fb_set = dataflow.clustering[producer_cluster].fb_set
+        later_consumers = tuple(
+            c for c in info.consumer_clusters if c > producer_cluster
+        )
+        if include_cross_set:
+            if later_consumers:
+                candidates.append(
+                    SharedResult(
+                        name=info.name,
+                        size=info.size,
+                        fb_set=fb_set,
+                        producer_cluster=producer_cluster,
+                        consumer_clusters=later_consumers,
+                        is_final=info.is_final,
+                        store_required=info.is_final,
+                    )
+                )
+            continue
+        same_set_consumers = tuple(
+            c for c in later_consumers
+            if dataflow.clustering[c].fb_set == fb_set
+        )
+        has_cross_set_consumer = any(
+            dataflow.clustering[c].fb_set != fb_set for c in later_consumers
+        )
+        if same_set_consumers:
+            candidates.append(
+                SharedResult(
+                    name=info.name,
+                    size=info.size,
+                    fb_set=fb_set,
+                    producer_cluster=producer_cluster,
+                    consumer_clusters=same_set_consumers,
+                    is_final=info.is_final,
+                    store_required=info.is_final or has_cross_set_consumer,
+                )
+            )
+    candidates.sort(key=lambda c: (c.fb_set, c.producer_cluster, c.name))
+    return candidates

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.  The hierarchy
+mirrors the compilation pipeline: application construction, scheduling,
+allocation, code generation and simulation each have their own subclass.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ApplicationError",
+    "DataflowError",
+    "ClusteringError",
+    "ArchitectureError",
+    "CapacityError",
+    "InfeasibleScheduleError",
+    "AllocationError",
+    "FragmentationError",
+    "CodegenError",
+    "ProgramVerificationError",
+    "SimulationError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+class ApplicationError(ReproError):
+    """An application description is malformed (bad sizes, duplicate names,
+    a data object produced twice, a consumer before its producer, ...)."""
+
+
+class DataflowError(ApplicationError):
+    """The producer/consumer graph is inconsistent."""
+
+
+class ClusteringError(ReproError):
+    """A clustering does not form an ordered partition of the kernel list."""
+
+
+class ArchitectureError(ReproError):
+    """An architecture description is invalid (non-positive capacities,
+    inconsistent timing parameters, ...)."""
+
+
+class CapacityError(ArchitectureError):
+    """A hardware capacity (frame-buffer set, context memory) is exceeded
+    by a request that can never fit, independent of scheduling choices."""
+
+
+class InfeasibleScheduleError(ReproError):
+    """A scheduler cannot produce any legal schedule for the given
+    application on the given architecture.
+
+    The canonical instance from the paper: the Basic Scheduler cannot
+    execute MPEG with a 1K frame-buffer set because a cluster's footprint
+    exceeds the set size.
+    """
+
+    def __init__(self, message: str, *, cluster: str | None = None,
+                 required: int | None = None, available: int | None = None):
+        super().__init__(message)
+        self.cluster = cluster
+        self.required = required
+        self.available = available
+
+
+class AllocationError(ReproError):
+    """The frame-buffer allocator could not place an object."""
+
+
+class FragmentationError(AllocationError):
+    """An object could not be placed even with splitting enabled (the free
+    space exists but is too fragmented, or splitting is disabled)."""
+
+
+class CodegenError(ReproError):
+    """Lowering a schedule to an op-level program failed."""
+
+
+class ProgramVerificationError(CodegenError):
+    """A generated program violates a static invariant (use before load,
+    store of a never-produced result, context missing at kernel launch)."""
+
+
+class SimulationError(ReproError):
+    """The event-driven simulator reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid or cannot be constructed."""

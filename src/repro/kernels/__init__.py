@@ -1,0 +1,49 @@
+"""The kernel library: real DSP kernels for the RC array.
+
+"The application code is written in terms of kernels that are available
+in a kernel library.  The kernel programming is equivalent to
+specifying the mapping of computation to the target architecture, and
+is done only once" (paper, section 2).
+
+Each library entry bundles a :class:`~repro.arch.rc_array.ContextProgram`
+(the RC-array mapping), a NumPy reference implementation, I/O shapes
+and a context-word count.  The library feeds three consumers:
+
+* the **information extractor** derives kernel cycle counts by running
+  the program on representative operands;
+* the **functional simulator** uses the reference as the kernel
+  implementation, so MPEG/ATR example pipelines compute real DCT
+  coefficients, quantised blocks and SAD maps end to end;
+* the **tests** check program-vs-reference equivalence on the RC-array
+  model.
+"""
+
+from repro.kernels.dsp import (
+    dct8x8,
+    dequant8x8,
+    fir,
+    idct8x8,
+    pointwise_abs_diff,
+    quant8x8,
+    sad16,
+    threshold_clip,
+    vector_add,
+    zigzag_pack,
+)
+from repro.kernels.library import KernelLibrary, LibraryKernel, default_library
+
+__all__ = [
+    "KernelLibrary",
+    "LibraryKernel",
+    "dct8x8",
+    "default_library",
+    "dequant8x8",
+    "fir",
+    "idct8x8",
+    "pointwise_abs_diff",
+    "quant8x8",
+    "sad16",
+    "threshold_clip",
+    "vector_add",
+    "zigzag_pack",
+]

@@ -1,0 +1,487 @@
+"""DSP kernel definitions: RC-array programs plus NumPy references.
+
+All arithmetic is integer (the RC cells are 16-bit integer ALUs in M1;
+the model widens to 64-bit to avoid overflow while keeping the same
+values).  Transform kernels use a scaled integer DCT basis with a final
+arithmetic shift, the standard fixed-point factorisation.
+
+Every factory returns a :class:`LibraryKernel`; see
+:mod:`repro.kernels.library` for the registry and simulator adapters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.arch.rc_array import ContextProgram, MacroOp
+from repro.kernels.library import LibraryKernel
+
+__all__ = [
+    "dct8x8",
+    "motion_search",
+    "haar8",
+    "haar_matrix",
+    "rgb_to_luma",
+    "dequant8x8",
+    "fir",
+    "idct8x8",
+    "pointwise_abs_diff",
+    "quant8x8",
+    "sad16",
+    "threshold_clip",
+    "vector_add",
+    "zigzag_pack",
+    "dct_basis_matrix",
+    "zigzag_order",
+]
+
+#: Fixed-point scale for the integer DCT basis (values scaled by 2^SHIFT).
+DCT_SHIFT = 7
+
+
+def dct_basis_matrix(size: int = 8, shift: int = DCT_SHIFT) -> np.ndarray:
+    """The scaled integer DCT-II basis matrix ``C`` (``size x size``)."""
+    scale = 1 << shift
+    basis = np.empty((size, size), dtype=np.int64)
+    for k in range(size):
+        for n in range(size):
+            alpha = math.sqrt(1.0 / size) if k == 0 else math.sqrt(2.0 / size)
+            basis[k, n] = round(
+                scale * alpha * math.cos(math.pi * (2 * n + 1) * k / (2 * size))
+            )
+    return basis
+
+
+def zigzag_order(size: int = 8) -> np.ndarray:
+    """Indices of the classic JPEG/MPEG zig-zag scan of a square block."""
+    order = sorted(
+        ((row, col) for row in range(size) for col in range(size)),
+        # Odd anti-diagonals run top-to-bottom, even ones bottom-to-top.
+        key=lambda rc: (
+            rc[0] + rc[1],
+            rc[0] if (rc[0] + rc[1]) % 2 else -rc[0],
+        ),
+    )
+    flat = np.array([row * size + col for row, col in order], dtype=np.int64)
+    return flat
+
+
+# ---------------------------------------------------------------------------
+# transforms
+# ---------------------------------------------------------------------------
+
+def dct8x8() -> LibraryKernel:
+    """2-D 8x8 integer DCT: ``Y = (C X C^T) >> 2*SHIFT``."""
+    basis = dct_basis_matrix()
+    program = ContextProgram(
+        name="dct8x8",
+        inputs=("x", "c"),
+        outputs=("y",),
+        ops=(
+            MacroOp("matmul", "t", ("c", "x")),
+            MacroOp("matmul_t", "y_raw", ("t", "c")),
+            MacroOp("shr", "y", ("y_raw",), imm=2 * DCT_SHIFT),
+        ),
+    )
+
+    def reference(operands: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        x = operands["x"]
+        c = operands["c"]
+        return {"y": (c @ x @ c.T) >> (2 * DCT_SHIFT)}
+
+    return LibraryKernel(
+        op="dct8x8",
+        program=program,
+        reference=reference,
+        input_shapes={"x": (8, 8), "c": (8, 8)},
+        output_shapes={"y": (8, 8)},
+        constants={"c": basis},
+        context_words=24,
+    )
+
+
+def idct8x8() -> LibraryKernel:
+    """2-D 8x8 integer inverse DCT: ``X = (C^T Y C) >> 2*SHIFT``."""
+    basis = dct_basis_matrix()
+    program = ContextProgram(
+        name="idct8x8",
+        inputs=("y", "c"),
+        outputs=("x",),
+        ops=(
+            MacroOp("transpose", "ct", ("c",)),
+            MacroOp("matmul", "t", ("ct", "y")),
+            MacroOp("matmul", "x_raw", ("t", "c")),
+            MacroOp("shr", "x", ("x_raw",), imm=2 * DCT_SHIFT),
+        ),
+    )
+
+    def reference(operands: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        y = operands["y"]
+        c = operands["c"]
+        return {"x": (c.T @ y @ c) >> (2 * DCT_SHIFT)}
+
+    return LibraryKernel(
+        op="idct8x8",
+        program=program,
+        reference=reference,
+        input_shapes={"y": (8, 8), "c": (8, 8)},
+        output_shapes={"x": (8, 8)},
+        constants={"c": basis},
+        context_words=28,
+    )
+
+
+# ---------------------------------------------------------------------------
+# quantisation
+# ---------------------------------------------------------------------------
+
+def quant8x8(qshift: int = 4) -> LibraryKernel:
+    """Uniform quantiser: ``q = clip(y >> qshift, 255)``."""
+    program = ContextProgram(
+        name="quant8x8",
+        inputs=("y",),
+        outputs=("q",),
+        ops=(
+            MacroOp("shr", "scaled", ("y",), imm=qshift),
+            MacroOp("clip", "q", ("scaled",), imm=255),
+        ),
+    )
+
+    def reference(operands: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"q": np.clip(operands["y"] >> qshift, -255, 255)}
+
+    return LibraryKernel(
+        op="quant8x8",
+        program=program,
+        reference=reference,
+        input_shapes={"y": (8, 8)},
+        output_shapes={"q": (8, 8)},
+        context_words=8,
+    )
+
+
+def dequant8x8(qshift: int = 4) -> LibraryKernel:
+    """Inverse quantiser: ``y = q << qshift``."""
+    program = ContextProgram(
+        name="dequant8x8",
+        inputs=("q",),
+        outputs=("y",),
+        ops=(MacroOp("shl", "y", ("q",), imm=qshift),),
+    )
+
+    def reference(operands: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"y": operands["q"] << qshift}
+
+    return LibraryKernel(
+        op="dequant8x8",
+        program=program,
+        reference=reference,
+        input_shapes={"q": (8, 8)},
+        output_shapes={"y": (8, 8)},
+        context_words=6,
+    )
+
+
+def zigzag_pack() -> LibraryKernel:
+    """Zig-zag scan of an 8x8 block into a 64-vector (entropy-coder feed).
+
+    The permutation is realised with the interconnect (modelled as a
+    matmul with a permutation matrix held as a constant)."""
+    order = zigzag_order()
+    permutation = np.zeros((64, 64), dtype=np.int64)
+    for position, source in enumerate(order):
+        permutation[position, source] = 1
+    program = ContextProgram(
+        name="zigzag_pack",
+        inputs=("q", "p"),
+        outputs=("z",),
+        ops=(MacroOp("matmul", "z", ("p", "q")),),
+    )
+
+    def reference(operands: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        q = operands["q"].reshape(64)
+        return {"z": q[order]}
+
+    return LibraryKernel(
+        op="zigzag_pack",
+        program=program,
+        reference=reference,
+        input_shapes={"q": (64,), "p": (64, 64)},
+        output_shapes={"z": (64,)},
+        constants={"p": permutation},
+        context_words=10,
+    )
+
+
+# ---------------------------------------------------------------------------
+# filtering
+# ---------------------------------------------------------------------------
+
+def fir(taps: Tuple[int, ...] = (1, 4, 6, 4, 1), length: int = 64) -> LibraryKernel:
+    """Causal FIR filter with compile-time integer taps.
+
+    ``y[n] = sum_k taps[k] * x[n - k]`` with zero history, followed by a
+    normalising shift when the tap sum is a power of two.
+    """
+    if not taps:
+        raise ValueError("fir needs at least one tap")
+    tap_sum = sum(taps)
+    shift = tap_sum.bit_length() - 1 if tap_sum and tap_sum & (tap_sum - 1) == 0 else 0
+    ops = []
+    for index, tap in enumerate(taps):
+        ops.append(MacroOp("shift_elems", f"s{index}", ("x",), imm=index))
+        ops.append(MacroOp("muli", f"m{index}", (f"s{index}",), imm=int(tap)))
+        if index == 0:
+            ops.append(MacroOp("copy", "acc0", ("m0",)))
+        else:
+            ops.append(MacroOp("add", f"acc{index}", (f"acc{index - 1}", f"m{index}")))
+    last_acc = f"acc{len(taps) - 1}"
+    if shift:
+        ops.append(MacroOp("shr", "y", (last_acc,), imm=shift))
+    else:
+        ops.append(MacroOp("copy", "y", (last_acc,)))
+    program = ContextProgram(
+        name="fir",
+        inputs=("x",),
+        outputs=("y",),
+        ops=tuple(ops),
+    )
+
+    def reference(operands: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        x = operands["x"]
+        acc = np.zeros_like(x)
+        for index, tap in enumerate(taps):
+            shifted = np.zeros_like(x)
+            if index == 0:
+                shifted[...] = x
+            else:
+                shifted[..., index:] = x[..., :-index]
+            acc = acc + tap * shifted
+        if shift:
+            acc = acc >> shift
+        return {"y": acc}
+
+    return LibraryKernel(
+        op="fir",
+        program=program,
+        reference=reference,
+        input_shapes={"x": (length,)},
+        output_shapes={"y": (length,)},
+        context_words=4 + 3 * len(taps),
+    )
+
+
+def threshold_clip(bound: int = 64) -> LibraryKernel:
+    """Symmetric clipping (ATR detection thresholding stage)."""
+    program = ContextProgram(
+        name="threshold_clip",
+        inputs=("x",),
+        outputs=("y",),
+        ops=(MacroOp("clip", "y", ("x",), imm=bound),),
+    )
+
+    def reference(operands: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"y": np.clip(operands["x"], -bound, bound)}
+
+    return LibraryKernel(
+        op="threshold_clip",
+        program=program,
+        reference=reference,
+        input_shapes={"x": (64,)},
+        output_shapes={"y": (64,)},
+        context_words=4,
+    )
+
+
+# ---------------------------------------------------------------------------
+# block matching / correlation
+# ---------------------------------------------------------------------------
+
+def sad16() -> LibraryKernel:
+    """Sum of absolute differences of two 16x16 blocks (motion
+    estimation metric; the heart of MPEG's ME and ATR's correlation)."""
+    program = ContextProgram(
+        name="sad16",
+        inputs=("a", "b"),
+        outputs=("sad",),
+        ops=(
+            MacroOp("sub", "d", ("a", "b")),
+            MacroOp("abs", "ad", ("d",)),
+            MacroOp("reduce_sum", "sad", ("ad",)),
+        ),
+    )
+
+    def reference(operands: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        diff = np.abs(operands["a"] - operands["b"])
+        return {"sad": np.asarray(int(diff.sum()), dtype=np.int64)}
+
+    return LibraryKernel(
+        op="sad16",
+        program=program,
+        reference=reference,
+        input_shapes={"a": (16, 16), "b": (16, 16)},
+        output_shapes={"sad": ()},
+        context_words=6,
+    )
+
+
+def pointwise_abs_diff(length: int = 256) -> LibraryKernel:
+    """Elementwise |a - b| (ATR shift-and-difference stage)."""
+    program = ContextProgram(
+        name="pointwise_abs_diff",
+        inputs=("a", "b"),
+        outputs=("d",),
+        ops=(
+            MacroOp("sub", "raw", ("a", "b")),
+            MacroOp("abs", "d", ("raw",)),
+        ),
+    )
+
+    def reference(operands: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"d": np.abs(operands["a"] - operands["b"])}
+
+    return LibraryKernel(
+        op="pointwise_abs_diff",
+        program=program,
+        reference=reference,
+        input_shapes={"a": (length,), "b": (length,)},
+        output_shapes={"d": (length,)},
+        context_words=5,
+    )
+
+
+def vector_add(length: int = 256) -> LibraryKernel:
+    """Elementwise addition (accumulation stages)."""
+    program = ContextProgram(
+        name="vector_add",
+        inputs=("a", "b"),
+        outputs=("s",),
+        ops=(MacroOp("add", "s", ("a", "b")),),
+    )
+
+    def reference(operands: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"s": operands["a"] + operands["b"]}
+
+    return LibraryKernel(
+        op="vector_add",
+        program=program,
+        reference=reference,
+        input_shapes={"a": (length,), "b": (length,)},
+        output_shapes={"s": (length,)},
+        context_words=3,
+    )
+
+
+# ---------------------------------------------------------------------------
+# motion estimation / colour / wavelets
+# ---------------------------------------------------------------------------
+
+def motion_search(candidates: int = 4, block: int = 16) -> LibraryKernel:
+    """Block-matching motion search: SAD of the current block against a
+    stack of candidate reference blocks (one per motion-vector
+    hypothesis).  Outputs the SAD vector; the controller picks the
+    minimum downstream."""
+    program = ContextProgram(
+        name="motion_search",
+        inputs=("cur", "cands"),
+        outputs=("sads",),
+        ops=(
+            MacroOp("sub", "d", ("cands", "cur")),
+            MacroOp("abs", "ad", ("d",)),
+            MacroOp("reduce_tail", "sads", ("ad",), imm=2),
+        ),
+    )
+
+    def reference(operands: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        diff = np.abs(operands["cands"] - operands["cur"])
+        return {"sads": diff.sum(axis=(1, 2))}
+
+    return LibraryKernel(
+        op="motion_search",
+        program=program,
+        reference=reference,
+        input_shapes={
+            "cur": (block, block),
+            "cands": (candidates, block, block),
+        },
+        output_shapes={"sads": (candidates,)},
+        context_words=10,
+    )
+
+
+def haar_matrix(size: int = 8) -> np.ndarray:
+    """One level of the (unnormalised) Haar analysis transform: the
+    first ``size/2`` rows are pairwise sums, the rest pairwise
+    differences."""
+    if size % 2:
+        raise ValueError(f"haar size must be even, got {size}")
+    matrix = np.zeros((size, size), dtype=np.int64)
+    half = size // 2
+    for index in range(half):
+        matrix[index, 2 * index] = 1
+        matrix[index, 2 * index + 1] = 1
+        matrix[half + index, 2 * index] = 1
+        matrix[half + index, 2 * index + 1] = -1
+    return matrix
+
+
+def haar8() -> LibraryKernel:
+    """One 1-D Haar analysis level over rows of an 8x8 tile, with a
+    one-bit normalising shift of the averages band folded in later
+    stages (kept exact here)."""
+    matrix = haar_matrix(8)
+    program = ContextProgram(
+        name="haar8",
+        inputs=("x", "h"),
+        outputs=("y",),
+        ops=(MacroOp("matmul_t", "y", ("x", "h")),),
+    )
+
+    def reference(operands: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        return {"y": operands["x"] @ operands["h"].T}
+
+    return LibraryKernel(
+        op="haar8",
+        program=program,
+        reference=reference,
+        input_shapes={"x": (8, 8), "h": (8, 8)},
+        output_shapes={"y": (8, 8)},
+        constants={"h": matrix},
+        context_words=12,
+    )
+
+
+def rgb_to_luma(pixels: int = 64) -> LibraryKernel:
+    """ITU-R BT.601 luma from planar RGB:
+    ``y = (66 r + 129 g + 25 b + 128) >> 8``."""
+    program = ContextProgram(
+        name="rgb_to_luma",
+        inputs=("r", "g", "b"),
+        outputs=("y",),
+        ops=(
+            MacroOp("muli", "wr", ("r",), imm=66),
+            MacroOp("muli", "wg", ("g",), imm=129),
+            MacroOp("muli", "wb", ("b",), imm=25),
+            MacroOp("add", "rg", ("wr", "wg")),
+            MacroOp("add", "rgb", ("rg", "wb")),
+            MacroOp("addi", "biased", ("rgb",), imm=128),
+            MacroOp("shr", "y", ("biased",), imm=8),
+        ),
+    )
+
+    def reference(operands: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        value = (66 * operands["r"] + 129 * operands["g"]
+                 + 25 * operands["b"] + 128) >> 8
+        return {"y": value}
+
+    return LibraryKernel(
+        op="rgb_to_luma",
+        program=program,
+        reference=reference,
+        input_shapes={"r": (pixels,), "g": (pixels,), "b": (pixels,)},
+        output_shapes={"y": (pixels,)},
+        context_words=14,
+    )

@@ -1,0 +1,254 @@
+"""Kernel library registry and simulator adapters.
+
+:class:`LibraryKernel` couples an RC-array context program with a NumPy
+reference; :class:`KernelLibrary` registers the standard DSP set and
+adapts entries to the two consumers:
+
+* :meth:`KernelLibrary.impl_for` builds a functional-simulator
+  implementation (:data:`~repro.sim.functional.KernelImpl`) for an
+  application kernel, binding the kernel's input/output object names to
+  the program's operand roles positionally;
+* :meth:`KernelLibrary.cycles_for` estimates a kernel's per-iteration
+  cycle count by executing its program on the RC-array model — the
+  "kernel execution time" the paper's information extractor supplies to
+  the schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.rc_array import ContextProgram, RCArray
+from repro.core.application import Application
+from repro.core.kernel import Kernel
+from repro.errors import WorkloadError
+
+__all__ = ["LibraryKernel", "KernelLibrary", "default_library"]
+
+Reference = Callable[[Mapping[str, np.ndarray]], Dict[str, np.ndarray]]
+
+
+def _shape_words(shape: Tuple[int, ...]) -> int:
+    words = 1
+    for dim in shape:
+        words *= dim
+    return words
+
+
+@dataclass
+class LibraryKernel:
+    """One library entry.
+
+    Attributes:
+        op: library key (e.g. ``"dct8x8"``).
+        program: the RC-array mapping.
+        reference: NumPy golden implementation over role-named operands.
+        input_shapes / output_shapes: role name -> logical shape.
+        constants: roles bound to compile-time constants (e.g. the DCT
+            basis) rather than data objects.
+        context_words: configuration size of the mapping.
+    """
+
+    op: str
+    program: ContextProgram
+    reference: Reference
+    input_shapes: Dict[str, Tuple[int, ...]]
+    output_shapes: Dict[str, Tuple[int, ...]]
+    context_words: int
+    constants: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for role in self.program.inputs:
+            if role not in self.input_shapes and role not in self.constants:
+                raise WorkloadError(
+                    f"library kernel {self.op!r}: program input {role!r} has "
+                    f"neither a shape nor a constant binding"
+                )
+        for role in self.program.outputs:
+            if role not in self.output_shapes:
+                raise WorkloadError(
+                    f"library kernel {self.op!r}: program output {role!r} "
+                    f"has no declared shape"
+                )
+
+    @property
+    def data_input_roles(self) -> Tuple[str, ...]:
+        """Program inputs bound to data objects (constants excluded),
+        in program order."""
+        return tuple(
+            role for role in self.program.inputs if role not in self.constants
+        )
+
+    @property
+    def output_roles(self) -> Tuple[str, ...]:
+        """Program outputs, in program order."""
+        return tuple(self.program.outputs)
+
+    def input_words(self, role: str) -> int:
+        """Word size of one input role."""
+        return _shape_words(self.input_shapes[role])
+
+    def output_words(self, role: str) -> int:
+        """Word size of one output role."""
+        return _shape_words(self.output_shapes[role])
+
+    def run_reference(
+        self, operands: Mapping[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Run the golden implementation with constants injected."""
+        bound = dict(operands)
+        bound.update(self.constants)
+        return self.reference(bound)
+
+    def run_program(
+        self, rc_array: RCArray, operands: Mapping[str, np.ndarray]
+    ) -> Dict[str, np.ndarray]:
+        """Run the RC-array program with constants injected."""
+        bound = dict(operands)
+        bound.update(self.constants)
+        return rc_array.execute(self.program, bound)
+
+    def representative_operands(self, *, seed: int = 7) -> Dict[str, np.ndarray]:
+        """Deterministic operands matching the declared input shapes."""
+        rng = np.random.RandomState(seed)
+        return {
+            role: rng.randint(-128, 128, size=shape or (1,)).reshape(shape).astype(np.int64)
+            if shape else np.asarray(rng.randint(-128, 128), dtype=np.int64)
+            for role, shape in self.input_shapes.items()
+        }
+
+
+class KernelLibrary:
+    """A registry of :class:`LibraryKernel` entries."""
+
+    def __init__(self):
+        self._entries: Dict[str, LibraryKernel] = {}
+
+    def register(self, entry: LibraryKernel) -> None:
+        """Add an entry; the op key must be unused."""
+        if entry.op in self._entries:
+            raise WorkloadError(f"library op {entry.op!r} already registered")
+        self._entries[entry.op] = entry
+
+    def get(self, op: str) -> LibraryKernel:
+        """Look up an entry."""
+        try:
+            return self._entries[op]
+        except KeyError:
+            raise KeyError(
+                f"no library kernel {op!r}; available: {sorted(self._entries)}"
+            ) from None
+
+    def __contains__(self, op: str) -> bool:
+        return op in self._entries
+
+    def ops(self) -> Tuple[str, ...]:
+        """Registered op keys, sorted."""
+        return tuple(sorted(self._entries))
+
+    # -- adapters -----------------------------------------------------------
+
+    def cycles_for(self, op: str, rc_array: Optional[RCArray] = None) -> int:
+        """Per-iteration cycle estimate for one op on the RC array."""
+        entry = self.get(op)
+        array = rc_array or RCArray()
+        operands = entry.representative_operands()
+        operands.update(entry.constants)
+        return array.estimate_cycles(entry.program, operands)
+
+    def impl_for(self, application: Application, kernel: Kernel):
+        """A functional-simulator implementation for *kernel*.
+
+        The kernel's ``library_op`` selects the entry; the kernel's
+        input object names bind to the entry's data input roles
+        positionally, and output names to output roles positionally.
+        Object sizes must match the role sizes exactly.
+        """
+        if kernel.library_op is None:
+            raise WorkloadError(
+                f"kernel {kernel.name!r} has no library_op; use a surrogate"
+            )
+        entry = self.get(kernel.library_op)
+        input_roles = entry.data_input_roles
+        output_roles = entry.output_roles
+        if len(kernel.inputs) != len(input_roles):
+            raise WorkloadError(
+                f"kernel {kernel.name!r} has {len(kernel.inputs)} inputs; "
+                f"library op {entry.op!r} expects {len(input_roles)}"
+            )
+        if len(kernel.outputs) != len(output_roles):
+            raise WorkloadError(
+                f"kernel {kernel.name!r} has {len(kernel.outputs)} outputs; "
+                f"library op {entry.op!r} expects {len(output_roles)}"
+            )
+        for obj_name, role in zip(kernel.inputs, input_roles):
+            expected = entry.input_words(role)
+            actual = application.object(obj_name).size
+            if actual != expected:
+                raise WorkloadError(
+                    f"kernel {kernel.name!r}: object {obj_name!r} has "
+                    f"{actual} words, role {role!r} of {entry.op!r} needs "
+                    f"{expected}"
+                )
+        for obj_name, role in zip(kernel.outputs, output_roles):
+            expected = entry.output_words(role)
+            actual = application.object(obj_name).size
+            if actual != expected:
+                raise WorkloadError(
+                    f"kernel {kernel.name!r}: object {obj_name!r} has "
+                    f"{actual} words, role {role!r} of {entry.op!r} needs "
+                    f"{expected}"
+                )
+
+        def implementation(
+            inputs: Mapping[str, np.ndarray], iteration: int
+        ) -> Dict[str, np.ndarray]:
+            del iteration  # library kernels are iteration-independent
+            operands = {}
+            for obj_name, role in zip(kernel.inputs, input_roles):
+                shape = entry.input_shapes[role]
+                flat = np.asarray(inputs[obj_name], dtype=np.int64).ravel()
+                operands[role] = flat.reshape(shape) if shape else flat[0]
+            results = entry.run_reference(operands)
+            outputs: Dict[str, np.ndarray] = {}
+            for obj_name, role in zip(kernel.outputs, output_roles):
+                outputs[obj_name] = np.asarray(
+                    results[role], dtype=np.int64
+                ).ravel()
+            return outputs
+
+        return implementation
+
+    def impls_for(self, application: Application) -> Dict[str, "KernelImpl"]:
+        """Implementations for every kernel of *application* that names
+        a ``library_op`` (others are left to surrogates)."""
+        impls = {}
+        for kernel in application.kernels:
+            if kernel.library_op is not None:
+                impls[kernel.name] = self.impl_for(application, kernel)
+        return impls
+
+
+def default_library() -> KernelLibrary:
+    """The standard library with all built-in DSP kernels registered."""
+    # Imported here to avoid a circular import with repro.kernels.dsp.
+    from repro.kernels import dsp
+
+    library = KernelLibrary()
+    library.register(dsp.dct8x8())
+    library.register(dsp.idct8x8())
+    library.register(dsp.quant8x8())
+    library.register(dsp.dequant8x8())
+    library.register(dsp.zigzag_pack())
+    library.register(dsp.fir())
+    library.register(dsp.threshold_clip())
+    library.register(dsp.sad16())
+    library.register(dsp.pointwise_abs_diff())
+    library.register(dsp.vector_add())
+    library.register(dsp.motion_search())
+    library.register(dsp.haar8())
+    library.register(dsp.rgb_to_luma())
+    return library

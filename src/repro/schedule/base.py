@@ -1,0 +1,266 @@
+"""Common machinery for the three data schedulers.
+
+All schedulers share the same output contract (:class:`Schedule`) and
+most of the plan-building logic: given a reuse factor and a set of keep
+decisions, derive per-cluster load/store/keep lists and validate
+capacities.  Subclasses differ only in how they choose ``RF`` and the
+keeps — which is exactly how the paper frames the progression Basic
+[3] -> Data Scheduler [5] -> Complete Data Scheduler.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.params import Architecture
+from repro.core.application import Application
+from repro.core.cluster import Clustering
+from repro.core.dataflow import DataflowInfo, analyze_dataflow
+from repro.core.metrics import KeepDecision, cluster_data_size, cluster_footprint
+from repro.core.reuse import SharedData, SharedResult
+from repro.errors import InfeasibleScheduleError
+from repro.schedule.plan import ClusterPlan, Schedule
+from repro.units import format_size
+
+__all__ = ["ScheduleOptions", "DataSchedulerBase"]
+
+
+@dataclass(frozen=True)
+class ScheduleOptions:
+    """Tunables common to all schedulers.
+
+    Attributes:
+        rf_cap: upper bound on the reuse factor (0 = only bounded by the
+            application's iteration count).  Useful for ablations.
+        keep_policy: how the Complete Data Scheduler ranks retention
+            candidates — ``"tf"`` (the paper's time factor), ``"size"``
+            (largest first; ablation) or ``"fifo"`` (discovery order;
+            ablation).
+        rf_policy: ``"max_then_keep"`` (the paper: maximise the common
+            RF first, then keep what still fits) or ``"joint"`` (sweep
+            RF values and pick the combination with the best estimated
+            execution time; ablation).
+        cross_set_retention: offer retention candidates whose consumers
+            sit on the *other* frame-buffer set — the paper's future
+            work.  Requires an architecture with
+            ``fb_cross_set_access=True``; the Complete Data Scheduler
+            rejects the combination otherwise.
+    """
+
+    rf_cap: int = 0
+    keep_policy: str = "tf"
+    rf_policy: str = "max_then_keep"
+    cross_set_retention: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rf_cap < 0:
+            raise ValueError(f"rf_cap must be >= 0, got {self.rf_cap}")
+        if self.keep_policy not in ("tf", "size", "fifo"):
+            raise ValueError(f"unknown keep_policy {self.keep_policy!r}")
+        if self.rf_policy not in ("max_then_keep", "joint"):
+            raise ValueError(f"unknown rf_policy {self.rf_policy!r}")
+
+
+class DataSchedulerBase(abc.ABC):
+    """Template for the Basic / Data / Complete schedulers."""
+
+    #: Short identifier used in schedules and reports.
+    name: str = "base"
+
+    def __init__(self, architecture: Architecture,
+                 options: Optional[ScheduleOptions] = None):
+        self.architecture = architecture
+        self.options = options or ScheduleOptions()
+
+    # -- public API ---------------------------------------------------------
+
+    def schedule(
+        self,
+        application: Application,
+        clustering: Optional[Clustering] = None,
+    ) -> Schedule:
+        """Produce a validated :class:`Schedule`.
+
+        Args:
+            application: the application to schedule.
+            clustering: cluster partition; defaults to one cluster per
+                kernel (callers normally obtain a good partition from
+                :class:`~repro.schedule.kernel_scheduler.KernelScheduler`).
+
+        Raises:
+            InfeasibleScheduleError: if no legal schedule exists on this
+                architecture (e.g. a cluster cannot fit a frame-buffer
+                set — the paper's "Basic Scheduler cannot execute MPEG
+                if memory size is 1K" case).
+        """
+        if clustering is None:
+            clustering = Clustering.per_kernel(application)
+        dataflow = analyze_dataflow(application, clustering)
+        self._check_static_capacities(dataflow)
+        return self._schedule(dataflow)
+
+    # -- subclass hook --------------------------------------------------------
+
+    @abc.abstractmethod
+    def _schedule(self, dataflow: DataflowInfo) -> Schedule:
+        """Choose RF and keeps; build and return the schedule."""
+
+    # -- shared machinery -------------------------------------------------
+
+    def _check_static_capacities(self, dataflow: DataflowInfo) -> None:
+        """Checks independent of any scheduling decision."""
+        arch = self.architecture
+        for info in dataflow:
+            if info.size > arch.fb_set_words:
+                raise InfeasibleScheduleError(
+                    f"object {info.name!r} ({format_size(info.size)}) exceeds "
+                    f"one frame-buffer set ({format_size(arch.fb_set_words)})",
+                    required=info.size,
+                    available=arch.fb_set_words,
+                )
+        for cluster in dataflow.clustering:
+            words = dataflow.clustering.context_words_of(cluster)
+            if words > arch.context_block_words:
+                raise InfeasibleScheduleError(
+                    f"cluster {cluster.name} needs {words} context words; a "
+                    f"context-memory block holds {arch.context_block_words}",
+                    cluster=cluster.name,
+                    required=words,
+                    available=arch.context_block_words,
+                )
+
+    def _require_cluster_fit(
+        self,
+        dataflow: DataflowInfo,
+        rf: int,
+        keeps: Sequence[KeepDecision],
+        occupancy_fn,
+    ) -> Dict[int, int]:
+        """Compute per-cluster occupancy and verify it fits one FB set."""
+        fbs = self.architecture.fb_set_words
+        occupancy: Dict[int, int] = {}
+        for cluster in dataflow.clustering:
+            peak = occupancy_fn(cluster.index)
+            occupancy[cluster.index] = peak
+            if peak > fbs:
+                raise InfeasibleScheduleError(
+                    f"{self.name}: cluster {cluster.name} needs "
+                    f"{format_size(peak)} (RF={rf}) but one frame-buffer set "
+                    f"holds {format_size(fbs)}",
+                    cluster=cluster.name,
+                    required=peak,
+                    available=fbs,
+                )
+        return occupancy
+
+    def _build_schedule(
+        self,
+        dataflow: DataflowInfo,
+        rf: int,
+        keeps: Sequence[KeepDecision],
+        *,
+        contexts_per_iteration: bool,
+        basic_occupancy: bool = False,
+        overlap_transfers: bool = True,
+    ) -> Schedule:
+        """Derive cluster plans from (RF, keeps) and assemble a Schedule."""
+        clustering = dataflow.clustering
+        if basic_occupancy:
+            occupancy = self._require_cluster_fit(
+                dataflow, rf, keeps,
+                lambda index: cluster_footprint(dataflow, index),
+            )
+        else:
+            occupancy = self._require_cluster_fit(
+                dataflow, rf, keeps,
+                lambda index: cluster_data_size(dataflow, index, rf, keeps),
+            )
+
+        kept_data: List[SharedData] = [
+            keep for keep in keeps if isinstance(keep, SharedData)
+        ]
+        kept_results: List[SharedResult] = [
+            keep for keep in keeps if isinstance(keep, SharedResult)
+        ]
+
+        plans: List[ClusterPlan] = []
+        for cluster in clustering:
+            loads: List[str] = []
+            kept_inputs: List[str] = []
+            for obj_name in dataflow.inputs_of_cluster(cluster.index):
+                keep = self._keep_serving(
+                    obj_name, cluster, kept_data, kept_results
+                )
+                if keep is None:
+                    loads.append(obj_name)
+                elif isinstance(keep, SharedData) and cluster.index == keep.clusters[0]:
+                    # The first consuming cluster performs the one load.
+                    loads.append(obj_name)
+                else:
+                    kept_inputs.append(obj_name)
+
+            stores: List[str] = []
+            retained: List[str] = []
+            for obj_name in dataflow.produced_by_cluster(cluster.index):
+                info = dataflow[obj_name]
+                keep = next(
+                    (k for k in kept_results
+                     if k.name == obj_name
+                     and k.producer_cluster == cluster.index),
+                    None,
+                )
+                if keep is not None:
+                    retained.append(obj_name)
+                later = [c for c in info.consumer_clusters if c > cluster.index]
+                served = set(keep.consumer_clusters) if keep else set()
+                unserved = [c for c in later if c not in served]
+                needs_store = info.is_final or bool(unserved)
+                if needs_store:
+                    stores.append(obj_name)
+
+            plans.append(
+                ClusterPlan(
+                    cluster_index=cluster.index,
+                    fb_set=cluster.fb_set,
+                    loads=tuple(loads),
+                    kept_inputs=tuple(kept_inputs),
+                    stores=tuple(stores),
+                    retained_outputs=tuple(retained),
+                    peak_occupancy=occupancy[cluster.index],
+                )
+            )
+
+        return Schedule(
+            scheduler=self.name,
+            application=dataflow.application,
+            clustering=clustering,
+            dataflow=dataflow,
+            rf=rf,
+            keeps=tuple(keeps),
+            cluster_plans=tuple(plans),
+            contexts_per_iteration=contexts_per_iteration,
+            fb_set_words=self.architecture.fb_set_words,
+            context_block_words=self.architecture.context_block_words,
+            overlap_transfers=overlap_transfers,
+        )
+
+    @staticmethod
+    def _keep_serving(
+        obj_name: str,
+        cluster,
+        kept_data: Sequence[SharedData],
+        kept_results: Sequence[SharedResult],
+    ) -> Optional[KeepDecision]:
+        """The keep decision (if any) covering *obj_name* as an input of
+        *cluster*.  Candidate construction guarantees consumers are
+        reachable (same set on M1, any set on cross-set architectures),
+        so membership in the consumer list is the whole check."""
+        for keep in kept_data:
+            if keep.name == obj_name and cluster.index in keep.clusters:
+                return keep
+        for keep in kept_results:
+            if keep.name == obj_name and cluster.index in keep.consumer_clusters:
+                return keep
+        return None

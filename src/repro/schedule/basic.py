@@ -1,0 +1,46 @@
+"""The Basic Scheduler — baseline [3].
+
+Kernel scheduling with a tentative data schedule and no data-level
+optimisation:
+
+* no replacement: every input and every result of a cluster is
+  simultaneously resident (feasibility is checked against the full
+  :func:`~repro.core.metrics.cluster_footprint`);
+* no loop fission: ``RF = 1``, so kernel contexts are reloaded for every
+  one of the application's ``n`` iterations;
+* no inter-cluster retention: data shared among clusters are reloaded by
+  every consumer, results consumed later are stored and reloaded;
+* no transfer/compute overlap: the Basic Scheduler's data schedule is
+  only tentative (per kernel, on demand), so a visit's loads and the
+  previous visit's stores serialise with computation instead of hiding
+  behind it.  This is what makes the paper's DS column non-zero even
+  for ``RF = 1`` schedules (ATR-SLD: 15%) and exactly 0% when clusters
+  hold a single kernel (ATR-SLD*: nothing to prefetch behind).
+
+This is the reference the paper's Figure 6 / Table 1 improvements are
+measured against.
+"""
+
+from __future__ import annotations
+
+from repro.core.dataflow import DataflowInfo
+from repro.schedule.base import DataSchedulerBase
+from repro.schedule.plan import Schedule
+
+__all__ = ["BasicScheduler"]
+
+
+class BasicScheduler(DataSchedulerBase):
+    """Baseline scheduler [3]: no reuse of any kind."""
+
+    name = "basic"
+
+    def _schedule(self, dataflow: DataflowInfo) -> Schedule:
+        return self._build_schedule(
+            dataflow,
+            rf=1,
+            keeps=(),
+            contexts_per_iteration=True,
+            basic_occupancy=True,
+            overlap_transfers=False,
+        )

@@ -1,0 +1,149 @@
+"""The Complete Data Scheduler — the paper's contribution (section 4).
+
+On top of the Data Scheduler's within-cluster replacement and loop
+fission, the Complete Data Scheduler (CDS):
+
+1. achieves the highest common reuse factor ``RF`` allowed by the
+   frame-buffer set size, so contexts are loaded ``n / RF`` times;
+2. finds the data (``D_i..j``) and results (``R_i,j..k``) shared among
+   clusters of the same FB set;
+3. ranks them by the time factor ``TF`` and keeps as many as fit:
+   "It starts checking that ``DS(C_c) <= FBS`` for all clusters assigned
+   to that FB set for shared data or results with the highest TF.
+   Scheduling continues with shared data or results with less TF.  If
+   ``DS(C_c) > FBS`` for some shared data or results, these are not
+   kept."
+
+The greedy acceptance is exactly the paper's: candidates are considered
+in decreasing ``TF`` order; a candidate is accepted iff, together with
+the already-accepted keeps, every cluster of its FB set still fits.
+Rejected candidates do not stop the scan — smaller candidates later in
+the order may still fit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.dataflow import DataflowInfo
+from repro.core.metrics import KeepDecision, cluster_data_size, total_data_size
+from repro.errors import InfeasibleScheduleError
+from repro.schedule.base import DataSchedulerBase
+from repro.schedule.estimate import estimate_execution_cycles
+from repro.schedule.plan import Schedule
+from repro.schedule.rf import max_common_rf
+from repro.schedule.tf import rank_by_time_factor, retention_candidates
+from repro.units import format_size
+
+__all__ = ["CompleteDataScheduler"]
+
+
+class CompleteDataScheduler(DataSchedulerBase):
+    """The paper's scheduler: RF maximisation + TF-ranked retention."""
+
+    name = "cds"
+
+    def _schedule(self, dataflow: DataflowInfo) -> Schedule:
+        if self.options.rf_policy == "joint":
+            rf, keeps = self._choose_jointly(dataflow)
+        else:
+            rf = self._max_rf(dataflow)
+            keeps = self._choose_keeps(dataflow, rf)
+        return self._build_schedule(
+            dataflow,
+            rf=rf,
+            keeps=keeps,
+            contexts_per_iteration=False,
+        )
+
+    # -- RF ------------------------------------------------------------------
+
+    def _max_rf(self, dataflow: DataflowInfo) -> int:
+        rf = max_common_rf(
+            dataflow,
+            self.architecture.fb_set_words,
+            keeps=(),
+            max_rf=self.options.rf_cap,
+        )
+        if rf == 0:
+            raise InfeasibleScheduleError(
+                f"{self.name}: some cluster exceeds one frame-buffer set "
+                f"({format_size(self.architecture.fb_set_words)}) even at RF=1",
+                available=self.architecture.fb_set_words,
+            )
+        return rf
+
+    # -- keep selection ---------------------------------------------------
+
+    def _ranked_candidates(self, dataflow: DataflowInfo) -> List[KeepDecision]:
+        cross_set = self.options.cross_set_retention
+        if cross_set and not self.architecture.fb_cross_set_access:
+            raise InfeasibleScheduleError(
+                f"{self.name}: cross_set_retention requires an "
+                f"architecture with fb_cross_set_access "
+                f"({self.architecture.name} lacks it)"
+            )
+        candidates = retention_candidates(
+            dataflow, include_cross_set=cross_set
+        )
+        if not candidates:
+            return []
+        policy = self.options.keep_policy
+        if policy == "tf":
+            return rank_by_time_factor(candidates, total_data_size(dataflow))
+        if policy == "size":
+            return sorted(candidates, key=lambda c: (-c.size, c.name))
+        return list(candidates)  # "fifo": discovery order
+
+    def _choose_keeps(
+        self, dataflow: DataflowInfo, rf: int
+    ) -> Tuple[KeepDecision, ...]:
+        """Greedy TF-ordered acceptance at a fixed RF."""
+        fbs = self.architecture.fb_set_words
+        accepted: List[KeepDecision] = []
+        for candidate in self._ranked_candidates(dataflow):
+            trial = accepted + [candidate]
+            if self._fits_set(dataflow, candidate.fb_set, rf, trial, fbs):
+                accepted.append(candidate)
+        return tuple(accepted)
+
+    @staticmethod
+    def _fits_set(
+        dataflow: DataflowInfo,
+        fb_set: int,
+        rf: int,
+        keeps: Sequence[KeepDecision],
+        fbs: int,
+    ) -> bool:
+        """``DS(C_c) <= FBS`` for every cluster of one FB set.
+
+        Clusters of the other set are unaffected by a keep on this set,
+        so only this set needs re-checking.
+        """
+        return all(
+            cluster_data_size(dataflow, cluster.index, rf, keeps) <= fbs
+            for cluster in dataflow.clustering.on_set(fb_set)
+        )
+
+    # -- joint RF/keep exploration (ablation) --------------------------------
+
+    def _choose_jointly(
+        self, dataflow: DataflowInfo
+    ) -> Tuple[int, Tuple[KeepDecision, ...]]:
+        """Sweep RF from its maximum down to 1, choose keeps at each
+        level, and pick the (RF, keeps) pair with the smallest estimated
+        execution time.  Exposes the trade-off the paper's default
+        (RF first) resolves by fiat."""
+        rf_max = self._max_rf(dataflow)
+        best: Tuple[int, Tuple[KeepDecision, ...]] = (rf_max, ())
+        best_cycles = None
+        for rf in range(rf_max, 0, -1):
+            keeps = self._choose_keeps(dataflow, rf)
+            schedule = self._build_schedule(
+                dataflow, rf=rf, keeps=keeps, contexts_per_iteration=False
+            )
+            cycles = estimate_execution_cycles(schedule, self.architecture)
+            if best_cycles is None or cycles < best_cycles:
+                best_cycles = cycles
+                best = (rf, keeps)
+        return best

@@ -1,0 +1,83 @@
+"""Reuse-factor (loop fission depth) computation.
+
+Section 3 of the paper: "The number of consecutive executions of one
+kernel RF (Context Reuse Factor) is limited by the internal memory
+size. ... In this case their contexts are only loaded n/RF times, so
+reducing context reloading and minimizing execution time."
+
+Section 4: the Complete Data Scheduler "achieves the highest common RF
+value, to all clusters, allowed by the internal memory size".
+
+:func:`max_common_rf` returns the largest ``RF`` such that the peak
+occupancy ``DS(C_c, RF)`` of **every** cluster fits in one frame-buffer
+set, capped at the application's total iteration count.  Occupancy is
+monotonically non-decreasing in ``RF`` (each extra concurrent iteration
+adds instances), so a galloping + binary search is used.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.dataflow import DataflowInfo
+from repro.core.metrics import KeepDecision, cluster_data_size
+
+__all__ = ["fits", "max_common_rf"]
+
+
+def fits(
+    dataflow: DataflowInfo,
+    rf: int,
+    fb_set_words: int,
+    keeps: Sequence[KeepDecision] = (),
+) -> bool:
+    """True if every cluster's ``DS(C_c, rf, keeps)`` fits one FB set."""
+    return all(
+        cluster_data_size(dataflow, cluster.index, rf, keeps) <= fb_set_words
+        for cluster in dataflow.clustering
+    )
+
+
+def max_common_rf(
+    dataflow: DataflowInfo,
+    fb_set_words: int,
+    keeps: Sequence[KeepDecision] = (),
+    max_rf: int = 0,
+) -> int:
+    """Highest common reuse factor fitting every cluster in ``fb_set_words``.
+
+    Args:
+        dataflow: dataflow analysis of the clustered application.
+        fb_set_words: capacity of one frame-buffer set, in words.
+        keeps: retention decisions already in effect (they consume space
+            and hence can lower the achievable ``RF``).
+        max_rf: optional cap; defaults to the application's
+            ``total_iterations`` (fissioning deeper than the iteration
+            count is pointless).
+
+    Returns:
+        The largest feasible ``RF >= 1``, or ``0`` if even ``RF = 1``
+        does not fit (the schedule is infeasible at this capacity).
+    """
+    cap = max_rf if max_rf > 0 else dataflow.application.total_iterations
+    if cap < 1 or not fits(dataflow, 1, fb_set_words, keeps):
+        return 0
+    # Gallop to an infeasible upper bound.
+    low = 1
+    high = 1
+    while high < cap and fits(dataflow, min(high * 2, cap), fb_set_words, keeps):
+        high = min(high * 2, cap)
+        low = high
+    if high >= cap:
+        return cap
+    high = min(high * 2, cap)
+    # Invariant: fits(low), not fits(high) unless high == cap handled above.
+    if fits(dataflow, high, fb_set_words, keeps):
+        return high
+    while high - low > 1:
+        mid = (low + high) // 2
+        if fits(dataflow, mid, fb_set_words, keeps):
+            low = mid
+        else:
+            high = mid
+    return low

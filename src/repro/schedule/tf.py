@@ -1,0 +1,75 @@
+"""Time-factor (TF) ranking of retention candidates.
+
+Section 4 of the paper: "The Complete Data Scheduler chooses the shared
+data or results to be kept into FB according to a factor TF (time
+factor), which reflects the time saving gained from keeping these
+shared data or results:
+
+    TF(D_i..j)   = |D_i..j|   * (N - 1) / TDS
+    TF(R_i,j..k) = |R_i,j..k| * (N + 1) / TDS
+
+N: number of clusters that use as input data these shared data or
+result.  TDS: total data and result sizes."
+
+Shared data save ``N - 1`` loads (they are loaded once for the first
+consumer); shared results save one store plus ``N`` reloads.  ``TDS``
+is a constant normaliser, so the *ranking* depends only on
+``size * transfers_avoided`` — but the normalised value is exposed
+because the paper reports it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Union
+
+from repro.core.dataflow import DataflowInfo
+from repro.core.metrics import KeepDecision, total_data_size
+from repro.core.reuse import (
+    SharedData,
+    SharedResult,
+    find_shared_data,
+    find_shared_results,
+)
+
+__all__ = ["time_factor", "rank_by_time_factor", "retention_candidates"]
+
+
+def time_factor(candidate: KeepDecision, tds: int) -> float:
+    """The paper's ``TF`` for one candidate, normalised by ``TDS``."""
+    if tds <= 0:
+        raise ValueError(f"TDS must be positive, got {tds}")
+    return candidate.words_avoided / tds
+
+
+def retention_candidates(
+    dataflow: DataflowInfo, *, include_cross_set: bool = False
+) -> List[KeepDecision]:
+    """All shared-data and shared-result candidates of the application.
+
+    ``include_cross_set=True`` additionally offers candidates whose
+    consumers sit on the other frame-buffer set (the paper's future-work
+    architecture; requires ``Architecture.fb_cross_set_access``).
+    """
+    candidates: List[KeepDecision] = []
+    candidates.extend(
+        find_shared_data(dataflow, include_cross_set=include_cross_set)
+    )
+    candidates.extend(
+        find_shared_results(dataflow, include_cross_set=include_cross_set)
+    )
+    return candidates
+
+
+def rank_by_time_factor(
+    candidates: Sequence[KeepDecision],
+    tds: int,
+) -> List[KeepDecision]:
+    """Sort candidates by decreasing ``TF``.
+
+    Ties are broken by smaller size first (a smaller item achieving the
+    same saving is cheaper to retain), then by name for determinism.
+    """
+    return sorted(
+        candidates,
+        key=lambda c: (-time_factor(c, tds), c.size, c.name),
+    )

@@ -1,0 +1,419 @@
+"""The event-driven execution engine.
+
+Timing model (paper section 2's structural constraints):
+
+* one **DMA channel** serialises every transfer — data loads, result
+  stores and context loads never overlap each other;
+* a visit's computation starts when (a) the RC array is free and (b) the
+  visit's *preparation* (context loads + data loads) has finished;
+* preparation of visit ``v + 1`` overlaps visit ``v``'s computation
+  **when they use different FB sets** (the normal alternating case);
+  when consecutive visits share a set (odd cluster counts at round
+  boundaries) the loads additionally wait for the set to drain —
+  compute finished and outgoing stores issued first;
+* stores of visit ``v`` are issued during visit ``v + 1`` (the set is
+  idle then) and precede the loads of the next same-set visit, so the
+  space freed by departing results is available to arriving data (the
+  ordering assumed by the ``DS(C_c) <= FBS`` feasibility check);
+* within one overlap window the :class:`ContextScheduler` policy orders
+  contexts / stores / loads (default: contexts first, per [4]).
+
+Functional mode additionally moves real values through the machine's
+external memory and checks every final output against the reference
+execution.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.arch.dma import TransferKind
+from repro.arch.machine import MorphoSysM1
+from repro.codegen.program import Program
+from repro.codegen.verifier import verify_program
+from repro.errors import SimulationError
+from repro.schedule.context_scheduler import (
+    ContextScheduler,
+    DmaPolicy,
+    loads_may_precede_stores,
+)
+from repro.sim.functional import (
+    KernelImpl,
+    build_impls,
+    populate_external_inputs,
+    reference_outputs,
+)
+from repro.sim.report import SimulationReport, VisitTiming
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Executes a :class:`Program` on a :class:`MorphoSysM1`.
+
+    Args:
+        machine: the machine instance (its DMA timeline and counters are
+            consumed; call :meth:`MorphoSysM1.reset` between runs).
+        dma_policy: ordering of DMA work inside overlap windows.
+        verify: run the static program verifier before executing.
+    """
+
+    def __init__(
+        self,
+        machine: MorphoSysM1,
+        *,
+        dma_policy: DmaPolicy = DmaPolicy.CONTEXTS_FIRST,
+        verify: bool = True,
+    ):
+        self.machine = machine
+        self.context_scheduler = ContextScheduler(dma_policy)
+        self.verify = verify
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self,
+        program: Program,
+        *,
+        functional: Optional[bool] = None,
+        kernel_impls: Optional[Mapping[str, KernelImpl]] = None,
+        seed: int = 2002,
+    ) -> SimulationReport:
+        """Simulate *program* and return the :class:`SimulationReport`.
+
+        Args:
+            program: the lowered schedule.
+            functional: move real values (defaults to the machine's
+                ``functional`` flag).
+            kernel_impls: per-kernel implementations for functional
+                mode; kernels not listed get surrogates.
+            seed: seed for auto-populated external inputs (only used if
+                the machine's external memory is empty).
+        """
+        if self.verify:
+            verify_program(program)
+        functional = self.machine.functional if functional is None else functional
+
+        application = program.schedule.application
+        impls: Dict[str, KernelImpl] = {}
+        golden = {}
+        if functional:
+            impls = build_impls(application, kernel_impls or {})
+            if not any(
+                self.machine.external_memory.exists(name, 0)
+                for name in application.external_inputs()
+            ):
+                populate_external_inputs(
+                    application, self.machine.external_memory, seed=seed
+                )
+            golden = reference_outputs(
+                application, self.machine.external_memory, impls
+            )
+        else:
+            self._populate_accounting(application)
+
+        timings = self._execute(program, functional, impls)
+
+        verified: Optional[bool] = None
+        if functional:
+            verified = self._check_outputs(application, golden)
+
+        dma = self.machine.dma
+        compute_cycles = sum(t.compute_end - t.compute_start for t in timings)
+        total = max(
+            dma.busy_until, timings[-1].compute_end if timings else 0
+        )
+        stall = self._stall_cycles(timings)
+        return SimulationReport(
+            scheduler=program.schedule.scheduler,
+            application=application.name,
+            total_cycles=total,
+            compute_cycles=compute_cycles,
+            rc_stall_cycles=stall,
+            dma_busy_cycles=dma.cycles_busy(),
+            data_load_words=dma.words_moved(TransferKind.DATA_LOAD),
+            data_store_words=dma.words_moved(TransferKind.DATA_STORE),
+            context_words=dma.words_moved(TransferKind.CONTEXT_LOAD),
+            data_load_count=dma.count(TransferKind.DATA_LOAD),
+            data_store_count=dma.count(TransferKind.DATA_STORE),
+            context_load_count=dma.count(TransferKind.CONTEXT_LOAD),
+            visits=tuple(timings),
+            transfers=tuple(dma.transfers),
+            functional_verified=verified,
+        )
+
+    # -- engine -----------------------------------------------------------
+
+    def _execute(
+        self,
+        program: Program,
+        functional: bool,
+        impls: Mapping[str, KernelImpl],
+    ) -> List[VisitTiming]:
+        visits = program.visits
+        if not visits:
+            return []
+        dma = self.machine.dma
+        fb_values: Tuple[Dict, Dict] = ({}, {})
+
+        count = len(visits)
+        prep_finish = [0] * count
+        compute_end = [0] * count
+        stores_issued = [False] * count
+        timings: List[VisitTiming] = []
+
+        def last_same_set_end(index: int) -> int:
+            fb_set = visits[index].visit.fb_set
+            for prev in range(index - 1, -1, -1):
+                if visits[prev].visit.fb_set == fb_set:
+                    return compute_end[prev]
+            return 0
+
+        loads_before_contexts = (
+            self.context_scheduler.policy is DmaPolicy.LOADS_FIRST
+        )
+
+        def issue_prep(index: int, earliest: int) -> None:
+            ops = visits[index]
+            finish = earliest
+            set_free = last_same_set_end(index)
+
+            def issue_contexts() -> int:
+                done_at = earliest
+                for load in ops.context_loads:
+                    _, done = dma.request(
+                        TransferKind.CONTEXT_LOAD,
+                        load.words,
+                        earliest,
+                        label=f"ctx:{load.kernel}@v{index}",
+                    )
+                    done_at = max(done_at, done)
+                return done_at
+
+            def issue_loads() -> int:
+                done_at = earliest
+                for load in ops.data_loads:
+                    _, done = dma.request(
+                        TransferKind.DATA_LOAD,
+                        load.words,
+                        max(earliest, set_free),
+                        label=f"ld:{load.name}#{load.iteration}@v{index}",
+                    )
+                    done_at = max(done_at, done)
+                return done_at
+
+            if loads_before_contexts:
+                finish = max(finish, issue_loads(), issue_contexts())
+            else:
+                finish = max(finish, issue_contexts(), issue_loads())
+            prep_finish[index] = finish
+
+        def issue_stores(index: int) -> None:
+            if stores_issued[index]:
+                return
+            stores_issued[index] = True
+            ops = visits[index]
+            for store in ops.stores:
+                dma.request(
+                    TransferKind.DATA_STORE,
+                    store.words,
+                    compute_end[index],
+                    label=f"st:{store.name}#{store.iteration}@v{index}",
+                )
+
+        pipelined = program.schedule.overlap_transfers
+        if pipelined:
+            issue_prep(0, 0)
+        for index in range(count):
+            ops = visits[index]
+            previous_end = compute_end[index - 1] if index else 0
+            if not pipelined:
+                # Serial mode (Basic Scheduler): the previous visit's
+                # stores and this visit's preparation all happen after
+                # the previous computation, before this one.
+                if index > 0:
+                    issue_stores(index - 1)
+                issue_prep(index, previous_end)
+            start = max(prep_finish[index], previous_end)
+            end = start + ops.compute_cycles
+            compute_end[index] = end
+            if functional:
+                # Functional data movement follows strict program order
+                # (the verifier's order); DMA timing is tracked
+                # independently below.
+                for load in ops.data_loads:
+                    self._do_load(load, fb_values)
+                self._do_compute(program, index, fb_values, impls)
+                for store in ops.stores:
+                    self._do_store(store, fb_values)
+                self._drain_set(program, index, fb_values)
+            timings.append(
+                VisitTiming(
+                    index=ops.visit.index,
+                    round_index=ops.visit.round_index,
+                    cluster_index=ops.visit.cluster_index,
+                    fb_set=ops.visit.fb_set,
+                    prep_finish=prep_finish[index],
+                    compute_start=start,
+                    compute_end=end,
+                )
+            )
+            # Overlap window during this visit's compute: by policy,
+            # contexts for v+1 go first, then the previous visit's
+            # stores, then v+1's data loads (issue_prep handles the
+            # context/load order internally; stores are interleaved
+            # here according to set conflicts).
+            if not pipelined:
+                continue
+            if index + 1 < count:
+                same_set_next = (
+                    visits[index + 1].visit.fb_set == ops.visit.fb_set
+                )
+                policy = self.context_scheduler.policy
+                loads_first = policy is DmaPolicy.LOADS_FIRST
+                if policy is DmaPolicy.ADAPTIVE and index > 0:
+                    # Sound reordering: loads may overtake the previous
+                    # visit's stores when the set has room for both the
+                    # departing results and the arriving working set.
+                    loads_first = loads_may_precede_stores(
+                        program.schedule,
+                        visits[index - 1].visit.cluster_index,
+                        visits[index + 1].visit.cluster_index,
+                        len(visits[index - 1].visit.iterations),
+                    )
+                if same_set_next:
+                    # The next visit reuses this set: its loads must
+                    # follow this visit's compute and stores, whatever
+                    # the policy says.
+                    if index > 0:
+                        issue_stores(index - 1)
+                    issue_stores(index)
+                    issue_prep(index + 1, end)
+                elif not loads_first:
+                    if index > 0:
+                        issue_stores(index - 1)
+                    issue_prep(index + 1, previous_end)
+                else:
+                    issue_prep(index + 1, previous_end)
+                    if index > 0:
+                        issue_stores(index - 1)
+            else:
+                if index > 0:
+                    issue_stores(index - 1)
+        issue_stores(count - 1)
+        return timings
+
+    def _stall_cycles(self, timings: List[VisitTiming]) -> int:
+        stall = 0
+        previous_end = 0
+        for timing in timings:
+            stall += max(0, timing.compute_start - previous_end)
+            previous_end = timing.compute_end
+        return stall
+
+    # -- accounting-mode support --------------------------------------------
+
+    def _populate_accounting(self, application) -> None:
+        """Ensure external inputs exist (size-only) so loads are legal."""
+        memory = self.machine.external_memory
+        for name in application.external_inputs():
+            obj = application.object(name)
+            instances = (
+                (0,) if obj.invariant
+                else range(application.total_iterations)
+            )
+            for iteration in instances:
+                if not memory.exists(name, iteration):
+                    memory.put(name, iteration, size=obj.size)
+
+    # -- functional data movement ---------------------------------------
+
+    def _do_load(self, load, fb_values) -> None:
+        values = self.machine.external_memory.read(
+            load.name, load.iteration, load.words
+        )
+        if values is None:
+            raise SimulationError(
+                f"functional load of {load.name}#{load.iteration}: external "
+                f"memory holds no values"
+            )
+        fb_values[load.fb_set][(load.name, load.iteration)] = values
+
+    def _do_store(self, store, fb_values) -> None:
+        key = (store.name, store.iteration)
+        if key not in fb_values[store.fb_set]:
+            raise SimulationError(
+                f"functional store of {store.name}#{store.iteration}: "
+                f"not in set{store.fb_set}"
+            )
+        self.machine.external_memory.write(
+            store.name, store.iteration, store.words,
+            values=fb_values[store.fb_set][key],
+        )
+
+    def _do_compute(self, program: Program, index: int, fb_values, impls) -> None:
+        ops = program.visits[index]
+        application = program.schedule.application
+        dataflow = program.schedule.dataflow
+        keeps_by_name = {k.name: k for k in program.schedule.keeps}
+        for run in ops.compute:
+            kernel = application.kernel(run.kernel)
+            inputs = {}
+            for in_name in kernel.inputs:
+                instance = 0 if dataflow[in_name].invariant else run.iteration
+                key = (in_name, instance)
+                if key in fb_values[run.fb_set]:
+                    inputs[in_name] = fb_values[run.fb_set][key]
+                    continue
+                keep = keeps_by_name.get(in_name)
+                if (
+                    keep is not None
+                    and keep.fb_set != run.fb_set
+                    and key in fb_values[keep.fb_set]
+                ):
+                    # Cross-set retention: read the operand in place.
+                    inputs[in_name] = fb_values[keep.fb_set][key]
+                    continue
+                raise SimulationError(
+                    f"kernel {run.kernel!r}#{run.iteration}: input "
+                    f"{in_name!r} not in set{run.fb_set}"
+                )
+            outputs = impls[run.kernel](inputs, run.iteration)
+            for out_name in kernel.outputs:
+                fb_values[run.fb_set][(out_name, run.iteration)] = np.asarray(
+                    outputs[out_name], dtype=np.int64
+                )
+
+    def _drain_set(self, program: Program, index: int, fb_values) -> None:
+        """Drop non-kept contents after a visit's stores complete."""
+        schedule = program.schedule
+        visit = program.visits[index].visit
+        survivors: Set[str] = set()
+        for keep in schedule.keeps:
+            if keep.fb_set != visit.fb_set:
+                continue
+            first, last = keep.span
+            if first <= visit.cluster_index < last:
+                survivors.add(keep.name)
+        if visit.cluster_index == len(schedule.clustering) - 1:
+            survivors = set()
+        retained = {
+            key: value
+            for key, value in fb_values[visit.fb_set].items()
+            if key[0] in survivors
+        }
+        fb_values[visit.fb_set].clear()
+        fb_values[visit.fb_set].update(retained)
+
+    def _check_outputs(self, application, golden) -> bool:
+        memory = self.machine.external_memory
+        for (name, iteration), expected in golden.items():
+            actual = memory.get(name, iteration)
+            if actual is None or not np.array_equal(actual, expected):
+                raise SimulationError(
+                    f"functional mismatch: final output {name}#{iteration} "
+                    f"differs from the reference execution"
+                )
+        return True

@@ -1,0 +1,146 @@
+"""Functional execution support: values, surrogates and the reference.
+
+The functional simulator needs a concrete function for every kernel.
+Real DSP kernels come from :mod:`repro.kernels`; for workloads defined
+only by sizes (the paper's synthetic experiments) a *surrogate kernel*
+provides a deterministic, input-sensitive stand-in: every output word
+depends on the sum of every input word, the iteration index and the
+(kernel, output) identity.  Any scheduling bug that delivers a stale,
+missing or wrong-iteration operand changes the output values and is
+caught by comparing against :func:`reference_outputs`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.arch.external_memory import ExternalMemory
+from repro.core.application import Application
+from repro.errors import SimulationError
+
+__all__ = [
+    "KernelImpl",
+    "surrogate_kernel",
+    "populate_external_inputs",
+    "reference_outputs",
+]
+
+#: Signature of a functional kernel implementation: takes the kernel's
+#: input arrays (by object name) and the iteration index, returns its
+#: output arrays (by object name).
+KernelImpl = Callable[[Mapping[str, np.ndarray], int], Dict[str, np.ndarray]]
+
+_MODULUS = 2 ** 31 - 1
+
+
+def _salt(kernel_name: str, out_name: str) -> int:
+    return zlib.crc32(f"{kernel_name}/{out_name}".encode()) % 1000003
+
+
+def surrogate_kernel(application: Application, kernel_name: str) -> KernelImpl:
+    """A deterministic stand-in implementation for one kernel.
+
+    For each output of *size* words::
+
+        out[i] = (sum(all input words) + iteration + salt + i) mod (2^31 - 1)
+
+    The full dependence on every input word makes the surrogate a
+    sensitive detector of data-movement bugs.
+    """
+    kernel = application.kernel(kernel_name)
+    output_sizes = {
+        name: application.object(name).size for name in kernel.outputs
+    }
+
+    def implementation(
+        inputs: Mapping[str, np.ndarray], iteration: int
+    ) -> Dict[str, np.ndarray]:
+        missing = [name for name in kernel.inputs if name not in inputs]
+        if missing:
+            raise SimulationError(
+                f"kernel {kernel_name!r}: missing inputs {missing}"
+            )
+        base = sum(int(np.sum(inputs[name])) for name in kernel.inputs)
+        base = (base + iteration) % _MODULUS
+        outputs: Dict[str, np.ndarray] = {}
+        for out_name, size in output_sizes.items():
+            ramp = np.arange(size, dtype=np.int64)
+            outputs[out_name] = (base + _salt(kernel_name, out_name) + ramp) % _MODULUS
+        return outputs
+
+    return implementation
+
+
+def build_impls(
+    application: Application,
+    overrides: Mapping[str, KernelImpl] = (),
+) -> Dict[str, KernelImpl]:
+    """Implementations for every kernel: overrides, else surrogates."""
+    overrides = dict(overrides or {})
+    impls: Dict[str, KernelImpl] = {}
+    for kernel in application.kernels:
+        impls[kernel.name] = overrides.get(
+            kernel.name, surrogate_kernel(application, kernel.name)
+        )
+    return impls
+
+
+def populate_external_inputs(
+    application: Application,
+    memory: ExternalMemory,
+    *,
+    seed: int = 2002,
+) -> None:
+    """Fill external memory with deterministic pseudo-random inputs for
+    every iteration of every external object."""
+    rng = np.random.RandomState(seed)
+    for name in application.external_inputs():
+        obj = application.object(name)
+        if obj.invariant:
+            values = rng.randint(0, 1 << 15, size=obj.size).astype(np.int64)
+            memory.put(name, 0, values)
+            continue
+        for iteration in range(application.total_iterations):
+            values = rng.randint(0, 1 << 15, size=obj.size).astype(np.int64)
+            memory.put(name, iteration, values)
+
+
+def reference_outputs(
+    application: Application,
+    memory: ExternalMemory,
+    impls: Mapping[str, KernelImpl],
+) -> Dict[Tuple[str, int], np.ndarray]:
+    """Direct (unscheduled) execution of the application.
+
+    Reads external inputs from *memory* without counting traffic and
+    returns ``{(final_output, iteration): values}`` — the golden data
+    the scheduled run must reproduce.
+    """
+    golden: Dict[Tuple[str, int], np.ndarray] = {}
+    for iteration in range(application.total_iterations):
+        values: Dict[str, np.ndarray] = {}
+        for name in application.external_inputs():
+            instance = 0 if application.object(name).invariant else iteration
+            stored = memory.get(name, instance)
+            if stored is None:
+                raise SimulationError(
+                    f"external input {name}#{iteration} missing or not "
+                    f"functional; call populate_external_inputs first"
+                )
+            values[name] = stored
+        for kernel in application.kernels:
+            inputs = {name: values[name] for name in kernel.inputs}
+            outputs = impls[kernel.name](inputs, iteration)
+            for out_name in kernel.outputs:
+                if out_name not in outputs:
+                    raise SimulationError(
+                        f"kernel {kernel.name!r} implementation did not "
+                        f"produce {out_name!r}"
+                    )
+                values[out_name] = np.asarray(outputs[out_name], dtype=np.int64)
+        for final_name in application.final_outputs:
+            golden[(final_name, iteration)] = values[final_name]
+    return golden

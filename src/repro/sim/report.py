@@ -1,0 +1,124 @@
+"""Simulation results: timing, traffic and the per-visit Gantt trace."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.dma import DmaTransfer, TransferKind
+
+__all__ = ["VisitTiming", "SimulationReport"]
+
+
+@dataclass(frozen=True)
+class VisitTiming:
+    """When one visit's computation ran.
+
+    Attributes:
+        index: visit index (round-major).
+        round_index / cluster_index / fb_set: identification.
+        prep_finish: cycle when the visit's loads and contexts were all
+            in place.
+        compute_start / compute_end: the RC-array busy window.
+    """
+
+    index: int
+    round_index: int
+    cluster_index: int
+    fb_set: int
+    prep_finish: int
+    compute_start: int
+    compute_end: int
+
+    @property
+    def compute_cycles(self) -> int:
+        return self.compute_end - self.compute_start
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Everything a simulation run measured.
+
+    Attributes:
+        scheduler: scheduler name from the schedule.
+        application: application name.
+        total_cycles: the makespan (DMA drain included).
+        compute_cycles: total RC-array busy cycles.
+        rc_stall_cycles: cycles the RC array sat idle between visits
+            waiting for transfers.
+        dma_busy_cycles: cycles the DMA channel was transferring.
+        data_load_words / data_store_words / context_words: traffic.
+        data_load_count / data_store_count / context_load_count:
+            transfer operation counts.
+        visits: per-visit timing (the Gantt trace rows).
+        transfers: the raw DMA transfer trace.
+        functional_verified: True when functional mode ran and every
+            final output matched the reference execution.
+    """
+
+    scheduler: str
+    application: str
+    total_cycles: int
+    compute_cycles: int
+    rc_stall_cycles: int
+    dma_busy_cycles: int
+    data_load_words: int
+    data_store_words: int
+    context_words: int
+    data_load_count: int
+    data_store_count: int
+    context_load_count: int
+    visits: Tuple[VisitTiming, ...]
+    transfers: Tuple[DmaTransfer, ...]
+    functional_verified: Optional[bool] = None
+
+    @property
+    def data_words(self) -> int:
+        """Total data traffic (loads + stores)."""
+        return self.data_load_words + self.data_store_words
+
+    @property
+    def dma_utilisation(self) -> float:
+        """Fraction of the makespan the DMA channel was busy."""
+        return self.dma_busy_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def rc_utilisation(self) -> float:
+        """Fraction of the makespan the RC array was busy."""
+        return self.compute_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    def improvement_over(self, baseline: "SimulationReport") -> float:
+        """Relative execution improvement (the paper's Figure 6 metric):
+        ``(T_baseline - T_this) / T_baseline``, in [0, 1] when faster."""
+        if baseline.total_cycles <= 0:
+            raise ValueError("baseline has non-positive makespan")
+        return (baseline.total_cycles - self.total_cycles) / baseline.total_cycles
+
+    def gantt(self, *, width: int = 72) -> str:
+        """ASCII Gantt chart of compute windows and DMA activity."""
+        if not self.visits:
+            return "(empty run)"
+        scale = max(self.total_cycles, 1)
+        lines: List[str] = [
+            f"{'visit':>6} {'cluster':>8} {'set':>3}  timeline "
+            f"(total {self.total_cycles} cycles)"
+        ]
+        for timing in self.visits:
+            start = int(timing.compute_start / scale * width)
+            end = max(int(timing.compute_end / scale * width), start + 1)
+            bar = " " * start + "#" * (end - start)
+            lines.append(
+                f"{timing.index:>6} {('Cl' + str(timing.cluster_index + 1)):>8} "
+                f"{timing.fb_set:>3}  |{bar:<{width}}|"
+            )
+        dma_bar = [" "] * width
+        for transfer in self.transfers:
+            start = int(transfer.start / scale * width)
+            end = max(int(transfer.finish / scale * width), start + 1)
+            mark = {"data_load": "L", "data_store": "S", "context_load": "C"}[
+                transfer.kind.value
+            ]
+            for position in range(start, min(end, width)):
+                dma_bar[position] = mark
+        lines.append(f"{'DMA':>19}  |{''.join(dma_bar)}|")
+        return "\n".join(lines)

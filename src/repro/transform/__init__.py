@@ -1,0 +1,10 @@
+"""Application transforms.
+
+Currently: intra-kernel tiling (:mod:`repro.transform.tiling`), a
+reduced form of the paper's first future-work item, "data management
+within a kernel".
+"""
+
+from repro.transform.tiling import tile_kernel, tiled_names
+
+__all__ = ["tile_kernel", "tiled_names"]

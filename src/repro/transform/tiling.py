@@ -1,0 +1,182 @@
+"""Intra-kernel tiling: data management *within* a kernel.
+
+The paper's section 7 names "data management within a kernel" as future
+work: the data scheduler treats a kernel's inputs and outputs as
+monolithic blocks, so a kernel whose working set exceeds one
+frame-buffer set can never be scheduled, however large ``RF`` head-room
+the rest of the application has.
+
+:func:`tile_kernel` implements the standard remedy at the scheduler's
+abstraction level: the kernel is split into ``factor`` sub-kernels,
+each processing one tile of the data.
+
+* An input consumed **only** by the tiled kernel is split into tiles;
+  sub-kernel ``t`` consumes only tile ``t`` — this is where the
+  footprint shrinks.
+* An input shared with other kernels stays whole (every sub-kernel
+  consumes it): splitting it would change the rest of the dataflow.
+* Outputs are split into tiles; every downstream consumer of the
+  original output consumes all tiles (same total volume, finer grain),
+  and final outputs propagate the final flag to each tile.
+* Sub-kernel 0 carries the kernel's full context words; later tiles
+  only pay a small reconfiguration cost (address-register updates),
+  reflecting that the RC-array configuration is reused across tiles.
+* Cycles divide evenly across tiles (with the remainder on tile 0).
+
+The transform preserves application validity by construction and is
+tested to make otherwise-infeasible applications schedulable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.application import Application
+from repro.core.kernel import Kernel
+from repro.errors import WorkloadError
+from repro.units import ceil_div
+
+__all__ = ["tile_kernel", "tiled_names"]
+
+
+def tiled_names(name: str, factor: int) -> Tuple[str, ...]:
+    """The names the tiles of *name* get: ``name@0 .. name@{factor-1}``."""
+    return tuple(f"{name}@{tile}" for tile in range(factor))
+
+
+def _split_words(words: int, factor: int) -> List[int]:
+    """Split *words* into *factor* positive parts, remainder up front."""
+    base = words // factor
+    remainder = words - base * factor
+    parts = [base + (1 if tile < remainder else 0) for tile in range(factor)]
+    if any(part <= 0 for part in parts):
+        raise WorkloadError(
+            f"cannot split {words} words into {factor} tiles"
+        )
+    return parts
+
+
+def tile_kernel(
+    application: Application,
+    kernel_name: str,
+    factor: int,
+    *,
+    reconfig_context_words: int = 8,
+) -> Application:
+    """Return a new application with *kernel_name* split into *factor*
+    tile sub-kernels (``kernel@0`` ... ``kernel@{factor-1}``).
+
+    Args:
+        application: the source application (unchanged).
+        kernel_name: kernel to tile.
+        factor: number of tiles, >= 2.
+        reconfig_context_words: context words charged to tiles after the
+            first (address-register updates; the RC configuration
+            itself is reused).
+
+    Raises:
+        WorkloadError: if the factor is invalid, the kernel is unknown,
+            or some private input/output is too small to split.
+    """
+    if factor < 2:
+        raise WorkloadError(f"tiling factor must be >= 2, got {factor}")
+    target = application.kernel(kernel_name)  # KeyError if unknown
+
+    # Which inputs are private to the tiled kernel?
+    private_inputs = {
+        name for name in target.inputs
+        if not application.object(name).invariant
+        and all(
+            kernel.name == kernel_name or not kernel.reads(name)
+            for kernel in application.kernels
+        )
+    }
+
+    builder = Application.build(
+        application.name + f"+tiled({kernel_name}x{factor})",
+        total_iterations=application.total_iterations,
+    )
+
+    # Declare external objects (tiles for private external inputs).
+    produced = {
+        name for kernel in application.kernels for name in kernel.outputs
+    }
+    tile_sizes: Dict[str, List[int]] = {}
+    for name, obj in application.objects.items():
+        split = (
+            (name in private_inputs and name not in produced)
+            or name in target.outputs
+        )
+        if split:
+            tile_sizes[name] = _split_words(obj.size, factor)
+        if name in produced or name in target.outputs:
+            continue  # results are declared with their producer kernel
+        if split:
+            for tile, words in zip(tiled_names(name, factor),
+                                   tile_sizes[name]):
+                builder.data(tile, words, invariant=obj.invariant)
+        else:
+            builder.data(name, obj.size, invariant=obj.invariant)
+
+    def mapped_inputs(kernel: Kernel) -> List[str]:
+        names: List[str] = []
+        for name in kernel.inputs:
+            if name in tile_sizes and (
+                name in private_inputs or name in target.outputs
+            ):
+                names.extend(tiled_names(name, factor))
+            else:
+                names.append(name)
+        return names
+
+    finals: List[str] = []
+    for kernel in application.kernels:
+        if kernel.name != kernel_name:
+            outputs = list(kernel.outputs)
+            result_sizes = {
+                name: application.object(name).size for name in outputs
+            }
+            builder.kernel(
+                kernel.name,
+                context_words=kernel.context_words,
+                cycles=kernel.cycles,
+                inputs=mapped_inputs(kernel),
+                outputs=outputs,
+                result_sizes=result_sizes,
+                library_op=kernel.library_op,
+            )
+            finals.extend(
+                name for name in outputs
+                if name in application.final_outputs
+            )
+            continue
+        # Emit the tile sub-kernels.
+        cycle_parts = _split_words(kernel.cycles, factor)
+        for tile in range(factor):
+            inputs: List[str] = []
+            for name in kernel.inputs:
+                if name in private_inputs and name in tile_sizes:
+                    inputs.append(tiled_names(name, factor)[tile])
+                else:
+                    inputs.append(name)
+            outputs = []
+            result_sizes = {}
+            for name in kernel.outputs:
+                tile_name = tiled_names(name, factor)[tile]
+                outputs.append(tile_name)
+                result_sizes[tile_name] = tile_sizes[name][tile]
+                if name in application.final_outputs:
+                    finals.append(tile_name)
+            builder.kernel(
+                f"{kernel_name}@{tile}",
+                context_words=(
+                    kernel.context_words if tile == 0
+                    else max(1, reconfig_context_words)
+                ),
+                cycles=max(1, cycle_parts[tile]),
+                inputs=inputs,
+                outputs=outputs,
+                result_sizes=result_sizes,
+            )
+    builder.final(*finals)
+    return builder.finish()

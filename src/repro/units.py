@@ -1,0 +1,116 @@
+"""Size arithmetic for the frame buffer and external memory.
+
+Throughout the library sizes are expressed in **words** — the native
+transfer unit of the MorphoSys frame buffer (the paper quotes sizes such
+as ``1K``, ``2K``, ``8K`` for one frame-buffer set).  This module
+provides parsing of human-readable size strings (``"2K"``, ``"0.3K"``,
+``"512"``), formatting back into the paper's notation, and a couple of
+small helpers used by capacity checks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+__all__ = [
+    "WORDS_PER_K",
+    "parse_size",
+    "format_size",
+    "kwords",
+    "ceil_div",
+    "align_up",
+]
+
+#: One "K" in the paper's tables equals 1024 words.
+WORDS_PER_K = 1024
+
+SizeLike = Union[int, float, str]
+
+
+def parse_size(value: SizeLike) -> int:
+    """Parse a size into an integer number of words.
+
+    Accepts plain integers, floats (rounded up to a whole word) and
+    strings in the paper's notation::
+
+        >>> parse_size(512)
+        512
+        >>> parse_size("2K")
+        2048
+        >>> parse_size("0.3K")
+        308
+        >>> parse_size("1.5k")
+        1536
+
+    Raises:
+        ValueError: if the value is negative or not parseable.
+    """
+    if isinstance(value, bool):  # bool is an int subclass; reject explicitly
+        raise ValueError(f"not a size: {value!r}")
+    if isinstance(value, int):
+        words = value
+    elif isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError(f"not a size: {value!r}")
+        words = math.ceil(value)
+    elif isinstance(value, str):
+        text = value.strip()
+        if not text:
+            raise ValueError("empty size string")
+        multiplier = 1
+        if text[-1] in ("k", "K"):
+            multiplier = WORDS_PER_K
+            text = text[:-1]
+        try:
+            numeric = float(text)
+        except ValueError as exc:
+            raise ValueError(f"not a size: {value!r}") from exc
+        if math.isnan(numeric) or math.isinf(numeric):
+            raise ValueError(f"not a size: {value!r}")
+        words = math.ceil(numeric * multiplier)
+    else:
+        raise ValueError(f"not a size: {value!r}")
+    if words < 0:
+        raise ValueError(f"size must be non-negative, got {value!r}")
+    return words
+
+
+def format_size(words: int) -> str:
+    """Format a word count using the paper's ``K`` notation when exact.
+
+    >>> format_size(2048)
+    '2K'
+    >>> format_size(512)
+    '512'
+    >>> format_size(1536)
+    '1.5K'
+    """
+    if words < 0:
+        raise ValueError(f"size must be non-negative, got {words}")
+    if words and words % WORDS_PER_K == 0:
+        return f"{words // WORDS_PER_K}K"
+    if words >= WORDS_PER_K:
+        value = words / WORDS_PER_K
+        text = f"{value:.2f}".rstrip("0").rstrip(".")
+        return f"{text}K"
+    return str(words)
+
+
+def kwords(value: float) -> int:
+    """Shorthand for ``parse_size(f"{value}K")``: ``kwords(2) == 2048``."""
+    return parse_size(f"{value}K")
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division; used for round counts ``ceil(n / RF)``."""
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    return -(-numerator // denominator)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to the next multiple of *alignment*."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return ceil_div(value, alignment) * alignment

@@ -1,0 +1,40 @@
+"""Workloads: the paper's experiments and generators.
+
+The evaluation (paper section 6, Table 1 / Figure 6) uses a group of
+synthetic experiments (E1, E1*, E2, E3) and real applications — MPEG
+(video compression) and ATR (automatic target recognition), each under
+several kernel schedules and frame-buffer sizes.
+
+The source text of Table 1 is partially illegible (the ``N``, ``n`` and
+``DS`` columns are corrupted); each workload here is reconstructed from
+the legible columns (``DT``, ``RF``, ``FB``, the improvement
+percentages) and the paper's qualitative claims.  EXPERIMENTS.md
+records, per row, which numbers are verbatim and which are
+reconstructed.
+"""
+
+from repro.workloads.atr import atr_fi, atr_fi_star, atr_fi_star2, atr_sld, atr_sld_star, atr_sld_star2
+from repro.workloads.mpeg import mpeg, mpeg_functional, mpeg_star
+from repro.workloads.random_gen import random_application
+from repro.workloads.spec import ExperimentSpec, paper_experiments
+from repro.workloads.synthetic import e1, e1_star, e2, e3, synthetic_chain
+
+__all__ = [
+    "ExperimentSpec",
+    "atr_fi",
+    "atr_fi_star",
+    "atr_fi_star2",
+    "atr_sld",
+    "atr_sld_star",
+    "atr_sld_star2",
+    "e1",
+    "e1_star",
+    "e2",
+    "e3",
+    "mpeg",
+    "mpeg_functional",
+    "mpeg_star",
+    "paper_experiments",
+    "random_application",
+    "synthetic_chain",
+]

@@ -1,0 +1,178 @@
+"""ATR (Automatic Target Recognition) workloads.
+
+ATR pipelines correlate image chips against banks of target templates.
+The template banks are the archetypal *shared data*: they are constant
+across the image, consumed by several correlation kernels spread over
+clusters, and large — exactly the retention opportunity the Complete
+Data Scheduler exploits (the ATR-SLD rows have the largest ``DT``
+values of Table 1).
+
+Two pipelines, following the paper's experiment families:
+
+* **ATR-SLD** (second-level detection): a five-kernel chain
+  ``prep -> corr1 -> norm -> corr2 -> decide`` over large chips with a
+  big template bank used by both correlation kernels.  The three table
+  rows are three *kernel schedules* (clusterings) of the same chain at
+  a fixed FB=8K — "We have tested different kernel schedules for a
+  fixed memory size as shown ATR-SLD".
+* **ATR-FI** (focus of attention / indexing): a lighter six-kernel
+  chain over small regions with a shared filter bank, evaluated at
+  FB=1K (RF=2), FB=2K (RF=5, the ``*`` row) and under an alternative
+  schedule at FB=1K (the ``**`` row).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.application import Application
+from repro.core.cluster import Clustering
+from repro.units import kwords
+
+__all__ = [
+    "atr_sld",
+    "atr_sld_star",
+    "atr_sld_star2",
+    "atr_fi",
+    "atr_fi_star",
+    "atr_fi_star2",
+]
+
+
+# ---------------------------------------------------------------------------
+# ATR-SLD: second-level detection
+# ---------------------------------------------------------------------------
+
+def _sld_app(name: str) -> Application:
+    templates = kwords(6)      # invariant template bank, shared by both correlators
+    chip = kwords(0.75)        # preprocessed image chip
+    corr_map = kwords(0.5)     # correlation surface
+    return (
+        Application.build(name, total_iterations=24)
+        .data("raw_chip", kwords(0.75))
+        .data("templates", templates, invariant=True)
+        .kernel("prep", context_words=96, cycles=2300,
+                inputs=["raw_chip"],
+                outputs=["chip"], result_sizes={"chip": chip})
+        .kernel("corr1", context_words=160, cycles=3600,
+                inputs=["chip", "templates"],
+                outputs=["map1"], result_sizes={"map1": corr_map})
+        .kernel("norm", context_words=64, cycles=1800,
+                inputs=["map1"],
+                outputs=["nmap"], result_sizes={"nmap": corr_map})
+        .kernel("corr2", context_words=160, cycles=3600,
+                inputs=["nmap", "templates", "map1"],
+                outputs=["map2"], result_sizes={"map2": corr_map})
+        .kernel("decide", context_words=48, cycles=1300,
+                inputs=["map2", "nmap"],
+                outputs=["detections"], result_sizes={"detections": 256})
+        .final("detections")
+        .finish()
+    )
+
+
+def atr_sld() -> Tuple[Application, Clustering]:
+    """ATR-SLD: schedule ``[prep corr1 | norm | corr2 decide]``.
+
+    The template bank is consumed by clusters 1 and 3 (both set 0):
+    keeping it avoids one 3K reload per iteration; ``map1`` is also
+    reusable by ``corr2`` two clusters later (paper row: FB=8K, RF=1,
+    DS=15%, CDS=32%)."""
+    application = _sld_app("ATR-SLD")
+    clustering = Clustering(
+        application,
+        [["prep", "corr1"], ["norm"], ["corr2", "decide"]],
+    )
+    return application, clustering
+
+
+def atr_sld_star() -> Tuple[Application, Clustering]:
+    """ATR-SLD*: the fully-split schedule (one kernel per cluster).
+
+    Both correlators land on set 1 with three clusters between loads,
+    and ``map1``/``nmap`` become same-set shared results too — the
+    largest retention volume of the family (paper row: FB=8K, RF=1,
+    DS=0%, CDS=60%)."""
+    application = _sld_app("ATR-SLD*")
+    clustering = Clustering.per_kernel(application)
+    return application, clustering
+
+
+def atr_sld_star2() -> Tuple[Application, Clustering]:
+    """ATR-SLD**: schedule ``[prep | corr1 norm | corr2 | decide]``.
+
+    The correlators sit on different sets, so the template bank cannot
+    be retained for both; only the smaller result reuse survives
+    (paper row: FB=8K, RF=1, DS=13%, CDS=27%)."""
+    application = _sld_app("ATR-SLD**")
+    clustering = Clustering(
+        application,
+        [["prep"], ["corr1", "norm"], ["corr2"], ["decide"]],
+    )
+    return application, clustering
+
+
+# ---------------------------------------------------------------------------
+# ATR-FI: focus of attention / indexing
+# ---------------------------------------------------------------------------
+
+def _fi_app(name: str) -> Application:
+    region = 195               # image region slice
+    bank = 280                 # invariant filter bank
+    feature = 112
+    return (
+        Application.build(name, total_iterations=60)
+        .data("region", region)
+        .data("filter_bank", bank, invariant=True)
+        .kernel("gabor_a", context_words=112, cycles=700,
+                inputs=["region", "filter_bank"],
+                outputs=["resp_a"], result_sizes={"resp_a": feature})
+        .kernel("gabor_b", context_words=112, cycles=700,
+                inputs=["region", "resp_a"],
+                outputs=["resp_b"], result_sizes={"resp_b": feature})
+        .kernel("energy", context_words=72, cycles=560,
+                inputs=["resp_b"],
+                outputs=["energy_map"], result_sizes={"energy_map": feature})
+        .kernel("index", context_words=96, cycles=620,
+                inputs=["energy_map", "filter_bank"],
+                outputs=["index_map"], result_sizes={"index_map": feature})
+        .kernel("rank", context_words=64, cycles=480,
+                inputs=["index_map"],
+                outputs=["roi"], result_sizes={"roi": 32})
+        .final("roi")
+        .finish()
+    )
+
+
+def atr_fi() -> Tuple[Application, Clustering]:
+    """ATR-FI: schedule ``[gabor_a gabor_b | energy | index rank]``.
+
+    The filter bank feeds clusters 1 and 3 (set 0); at FB=1K the paper
+    reports RF=2, DS=26%, CDS=30%."""
+    application = _fi_app("ATR-FI")
+    clustering = Clustering(
+        application,
+        [["gabor_a", "gabor_b"], ["energy"], ["index", "rank"]],
+    )
+    return application, clustering
+
+
+def atr_fi_star() -> Tuple[Application, Clustering]:
+    """ATR-FI*: the same schedule evaluated at FB=2K (paper RF=5)."""
+    application = _fi_app("ATR-FI*")
+    clustering = Clustering(
+        application,
+        [["gabor_a", "gabor_b"], ["energy"], ["index", "rank"]],
+    )
+    return application, clustering
+
+
+def atr_fi_star2() -> Tuple[Application, Clustering]:
+    """ATR-FI**: alternative schedule ``[gabor_a | gabor_b energy | index | rank]``
+    at FB=1K (paper: RF=2, DS=33%, CDS=37%)."""
+    application = _fi_app("ATR-FI**")
+    clustering = Clustering(
+        application,
+        [["gabor_a"], ["gabor_b", "energy"], ["index"], ["rank"]],
+    )
+    return application, clustering

@@ -1,0 +1,136 @@
+"""MPEG video-compression workloads.
+
+Two builders:
+
+* :func:`mpeg` — the Table-1-scale MPEG encoder macroblock pipeline
+  (motion estimation, motion compensation, DCT, quantisation, the
+  reconstruction loop and entropy packing), sized so that the Basic
+  Scheduler **cannot** execute it with a 1K frame-buffer set while the
+  Data and Complete Data Schedulers can (the paper's feasibility
+  claim), and so the scheduled ``RF`` at FB=2K / FB=3K matches the
+  paper's 2 / 4.
+* :func:`mpeg_functional` — a small 8x8-block pipeline wired to the
+  real kernel library (DCT -> quant -> dequant -> IDCT -> zig-zag) so
+  the functional simulator computes actual coefficients.
+
+Structure of :func:`mpeg` (clusters alternate FB sets 0,1,0,1):
+
+* ``Cl1`` (set 0): ``me`` (block matching against the reference
+  window), ``mc`` (motion-compensated difference);
+* ``Cl2`` (set 1): ``dct``, ``quant``;
+* ``Cl3`` (set 0): ``iquant``, ``idct``, ``recon`` — reconstruction
+  reuses the **reference window** loaded for ``Cl1`` (same set: a
+  shared-data retention opportunity) ;
+* ``Cl4`` (set 1): ``pack`` (zig-zag / VLC feed) — consumes the
+  quantised coefficients produced by ``Cl2`` (same set: a
+  shared-result retention opportunity).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.application import Application
+from repro.core.cluster import Clustering
+from repro.kernels.library import KernelLibrary, default_library
+
+__all__ = ["mpeg", "mpeg_star", "mpeg_functional"]
+
+
+def _mpeg_app(name: str) -> Tuple[Application, Clustering]:
+    mb = 256        # one 16x16 macroblock, in words
+    window = 352    # reference search window slice shared by me/mc/recon
+    coeff = 256     # coefficient block
+    builder = (
+        Application.build(name, total_iterations=40)
+        .data("cur_mb", mb)           # current macroblock
+        .data("ref_window", window)   # reference window (shared Cl1/Cl3)
+        .kernel("me", context_words=120, cycles=640,
+                inputs=["cur_mb", "ref_window"],
+                outputs=["mv"], result_sizes={"mv": 16})
+        .kernel("mc", context_words=72, cycles=320,
+                inputs=["cur_mb", "ref_window", "mv"],
+                outputs=["diff_mb", "mv_out"],
+                result_sizes={"diff_mb": mb, "mv_out": 16})
+        .kernel("dct", context_words=96, cycles=540,
+                inputs=["diff_mb"],
+                outputs=["coef"], result_sizes={"coef": coeff})
+        .kernel("quant", context_words=48, cycles=240,
+                inputs=["coef"],
+                outputs=["qcoef"], result_sizes={"qcoef": coeff})
+        .kernel("iquant", context_words=48, cycles=240,
+                inputs=["qcoef"],
+                outputs=["rcoef"], result_sizes={"rcoef": coeff})
+        .kernel("idct", context_words=96, cycles=540,
+                inputs=["rcoef"],
+                outputs=["rdiff"], result_sizes={"rdiff": mb})
+        .kernel("recon", context_words=56, cycles=280,
+                inputs=["rdiff", "ref_window", "mv_out"],
+                outputs=["recon_mb"], result_sizes={"recon_mb": mb})
+        .kernel("pack", context_words=64, cycles=360,
+                inputs=["qcoef"],
+                outputs=["bits"], result_sizes={"bits": 192})
+        .final("bits", "recon_mb", "mv_out")
+    )
+    application = builder.finish()
+    clustering = Clustering(
+        application,
+        [
+            ["me", "mc"],
+            ["dct", "quant"],
+            ["iquant", "idct", "recon"],
+            ["pack"],
+        ],
+    )
+    return application, clustering
+
+
+def mpeg() -> Tuple[Application, Clustering]:
+    """The MPEG row of Table 1 (evaluate at FB=2K; paper RF=2)."""
+    return _mpeg_app("MPEG")
+
+
+def mpeg_star() -> Tuple[Application, Clustering]:
+    """MPEG*: the same pipeline evaluated at FB=3K (paper RF=4)."""
+    return _mpeg_app("MPEG*")
+
+
+def mpeg_functional(
+    library: KernelLibrary = None,
+) -> Tuple[Application, Clustering, Dict]:
+    """A small, fully-functional 8x8 coding loop using the real kernel
+    library.
+
+    Returns ``(application, clustering, kernel_impls)`` ready to pass
+    to the functional simulator: the pipeline computes an actual DCT,
+    quantises, reconstructs and zig-zag-packs each block.
+    """
+    library = library or default_library()
+    block = 64  # 8x8
+    builder = (
+        Application.build("MPEG-functional", total_iterations=6)
+        .data("x", block)
+        .kernel("dct", context_words=24, cycles=320,
+                inputs=["x"], outputs=["y"], result_sizes={"y": block},
+                library_op="dct8x8")
+        .kernel("quant", context_words=8, cycles=130,
+                inputs=["y"], outputs=["q"], result_sizes={"q": block},
+                library_op="quant8x8")
+        .kernel("dequant", context_words=6, cycles=120,
+                inputs=["q"], outputs=["yr"], result_sizes={"yr": block},
+                library_op="dequant8x8")
+        .kernel("idct", context_words=28, cycles=330,
+                inputs=["yr"], outputs=["xr"], result_sizes={"xr": block},
+                library_op="idct8x8")
+        .kernel("pack", context_words=10, cycles=150,
+                inputs=["q"], outputs=["z"], result_sizes={"z": block},
+                library_op="zigzag_pack")
+        .final("xr", "z")
+    )
+    application = builder.finish()
+    clustering = Clustering(
+        application,
+        [["dct", "quant"], ["dequant", "idct"], ["pack"]],
+    )
+    impls = library.impls_for(application)
+    return application, clustering, impls

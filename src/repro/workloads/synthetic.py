@@ -1,0 +1,281 @@
+"""Synthetic experiments E1, E1*, E2, E3 and the generator behind them.
+
+"Synthetic experiments have been generated manually in order to
+consider additional features that are not present in the analyzed real
+applications.  The experiments differ in data dependencies, number of
+kernels, number of clusters, and data and result sizes" (paper,
+section 6).
+
+:func:`synthetic_chain` builds a family of layered applications: each
+cluster is a chain of kernels (external input + predecessor's
+intermediate in, intermediate out, final result at the end), decorated
+with cross-cluster shared data and shared results.  The E* instances
+are calibrated so the scheduled ``RF`` at the paper's frame-buffer size
+matches the paper's ``RF`` column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.core.application import Application
+from repro.core.cluster import Clustering
+from repro.errors import WorkloadError
+from repro.units import parse_size
+
+__all__ = [
+    "SharedDataSpec",
+    "SharedResultSpec",
+    "synthetic_chain",
+    "e1",
+    "e1_star",
+    "e2",
+    "e3",
+]
+
+
+@dataclass(frozen=True)
+class SharedDataSpec:
+    """External data consumed by several clusters.
+
+    Attributes:
+        name: object name.
+        size: words per iteration.
+        clusters: consuming cluster indices (consumed by the first
+            kernel of each).
+        invariant: iteration-invariant contents (coefficient tables).
+    """
+
+    name: str
+    size: int
+    clusters: Tuple[int, ...]
+    invariant: bool = False
+
+
+@dataclass(frozen=True)
+class SharedResultSpec:
+    """A result of one cluster consumed by later clusters.
+
+    Attributes:
+        producer: producing cluster index (emitted by its last kernel).
+        consumers: consuming cluster indices (first kernel of each).
+        size: words per iteration.
+        final: the result is additionally an application output.
+    """
+
+    producer: int
+    consumers: Tuple[int, ...]
+    size: int
+    final: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"R{self.producer + 1}_" + "_".join(
+            str(c + 1) for c in self.consumers
+        )
+
+
+def synthetic_chain(
+    name: str,
+    *,
+    n_clusters: int,
+    kernels_per_cluster: Union[int, Sequence[int]],
+    iterations: int,
+    input_words: int,
+    inter_words: int,
+    final_words: int,
+    context_words: int,
+    cycles: int,
+    shared_data: Sequence[SharedDataSpec] = (),
+    shared_results: Sequence[SharedResultSpec] = (),
+) -> Tuple[Application, Clustering]:
+    """Build a layered synthetic application.
+
+    Cluster ``i`` holds kernels ``k{i+1}_{j+1}``; kernel ``j`` of a
+    cluster consumes its own external input ``d{i+1}_{j+1}`` plus its
+    predecessor's intermediate result, and the cluster's last kernel
+    emits a final output ``f{i+1}``.  Shared data attach to the first
+    kernel of each consuming cluster; shared results flow from the last
+    kernel of the producer to the first kernel of each consumer.
+
+    Returns:
+        ``(application, clustering)`` with clusters alternating FB sets.
+    """
+    if n_clusters < 1:
+        raise WorkloadError(f"{name}: need at least one cluster")
+    if isinstance(kernels_per_cluster, int):
+        sizes = [kernels_per_cluster] * n_clusters
+    else:
+        sizes = list(kernels_per_cluster)
+    if len(sizes) != n_clusters or any(size < 1 for size in sizes):
+        raise WorkloadError(
+            f"{name}: kernels_per_cluster {sizes} invalid for "
+            f"{n_clusters} clusters"
+        )
+    for spec in shared_data:
+        if len(spec.clusters) < 2:
+            raise WorkloadError(
+                f"{name}: shared data {spec.name!r} needs >= 2 consumers"
+            )
+        if any(c >= n_clusters for c in spec.clusters):
+            raise WorkloadError(
+                f"{name}: shared data {spec.name!r} names a missing cluster"
+            )
+    for spec in shared_results:
+        if any(c <= spec.producer or c >= n_clusters for c in spec.consumers):
+            raise WorkloadError(
+                f"{name}: shared result {spec.name!r} has an invalid consumer"
+            )
+
+    builder = Application.build(name, total_iterations=iterations)
+    for spec in shared_data:
+        builder.data(spec.name, spec.size, invariant=spec.invariant)
+
+    groups: List[List[str]] = []
+    for cluster_index, kernel_count in enumerate(sizes):
+        group: List[str] = []
+        previous_inter: Optional[str] = None
+        for kernel_index in range(kernel_count):
+            kernel_name = f"k{cluster_index + 1}_{kernel_index + 1}"
+            group.append(kernel_name)
+            inputs: List[str] = []
+            if input_words > 0:
+                ext_name = f"d{cluster_index + 1}_{kernel_index + 1}"
+                builder.data(ext_name, input_words)
+                inputs.append(ext_name)
+            if previous_inter is not None:
+                inputs.append(previous_inter)
+            if kernel_index == 0:
+                for spec in shared_data:
+                    if cluster_index in spec.clusters:
+                        inputs.append(spec.name)
+                for spec in shared_results:
+                    if cluster_index in spec.consumers:
+                        inputs.append(spec.name)
+            outputs: List[str] = []
+            result_sizes = {}
+            last_kernel = kernel_index == kernel_count - 1
+            if not last_kernel:
+                inter_name = f"r{cluster_index + 1}_{kernel_index + 1}"
+                outputs.append(inter_name)
+                result_sizes[inter_name] = inter_words
+                previous_inter = inter_name
+            else:
+                final_name = f"f{cluster_index + 1}"
+                outputs.append(final_name)
+                result_sizes[final_name] = final_words
+                builder.final(final_name)
+                for spec in shared_results:
+                    if spec.producer == cluster_index:
+                        outputs.append(spec.name)
+                        result_sizes[spec.name] = spec.size
+                        if spec.final:
+                            builder.final(spec.name)
+            if not inputs:
+                raise WorkloadError(
+                    f"{name}: kernel {kernel_name} would have no inputs; "
+                    f"give input_words > 0 or add shared data"
+                )
+            builder.kernel(
+                kernel_name,
+                context_words=context_words,
+                cycles=cycles,
+                inputs=inputs,
+                outputs=outputs,
+                result_sizes=result_sizes,
+            )
+        groups.append(group)
+    application = builder.finish()
+    return application, Clustering(application, groups)
+
+
+# ---------------------------------------------------------------------------
+# The paper's synthetic experiments.
+#
+# Calibration targets (legible Table 1 columns):
+#   E1  : FB=1K, RF=1,  DS=0%,  CDS=19%
+#   E1* : FB=2K, RF=3,  DS=38%, CDS=58%   (same application, bigger FB)
+#   E2  : FB=2K, RF=3,  DS=44%, CDS=48%
+#   E3  : FB=3K, RF=11, DS=67%, CDS=76%
+# ---------------------------------------------------------------------------
+
+def _e1_app(name: str) -> Tuple[Application, Clustering]:
+    return synthetic_chain(
+        name,
+        n_clusters=4,
+        kernels_per_cluster=2,
+        iterations=48,
+        input_words=120,
+        inter_words=120,
+        final_words=80,
+        context_words=240,
+        cycles=40,
+        shared_data=(
+            SharedDataSpec("coeffs_a", 384, (0, 2), invariant=True),
+            SharedDataSpec("coeffs_b", 384, (1, 3), invariant=True),
+        ),
+        shared_results=(
+            SharedResultSpec(producer=0, consumers=(2,), size=160),
+            SharedResultSpec(producer=1, consumers=(3,), size=160),
+        ),
+    )
+
+
+def e1() -> Tuple[Application, Clustering]:
+    """E1: four 2-kernel clusters dominated by context traffic, with
+    large invariant coefficient tables shared across same-set clusters.
+
+    At FB=1K (the paper's E1 row) the reuse factor stays 1 and the Data
+    Scheduler gains almost nothing (computation is tiny, so there is
+    little to hide behind); the Complete Data Scheduler still keeps the
+    tables and the cross-cluster result."""
+    return _e1_app("E1")
+
+
+def e1_star() -> Tuple[Application, Clustering]:
+    """E1*: the same application evaluated at FB=2K (RF grows to 3 and
+    both schedulers benefit from loop fission; see Table 1)."""
+    return _e1_app("E1*")
+
+
+def e2() -> Tuple[Application, Clustering]:
+    """E2: three clusters of three kernels; most reuse is *within*
+    clusters, so the Data Scheduler captures nearly everything and the
+    Complete Data Scheduler adds only a small margin (44% vs 48%)."""
+    return synthetic_chain(
+        "E2",
+        n_clusters=3,
+        kernels_per_cluster=3,
+        iterations=48,
+        input_words=136,
+        inter_words=200,
+        final_words=96,
+        context_words=150,
+        cycles=180,
+        shared_data=(
+            SharedDataSpec("window", 192, (0, 2), invariant=True),
+        ),
+    )
+
+
+def e3() -> Tuple[Application, Clustering]:
+    """E3: small per-iteration footprint and heavy contexts — deep loop
+    fission (RF=11 at FB=3K) dominates the gain; keeps add the rest."""
+    return synthetic_chain(
+        "E3",
+        n_clusters=3,
+        kernels_per_cluster=2,
+        iterations=66,
+        input_words=96,
+        inter_words=90,
+        final_words=54,
+        context_words=256,
+        cycles=90,
+        shared_data=(
+            SharedDataSpec("lut", 96, (0, 2), invariant=True),
+        ),
+        shared_results=(
+            SharedResultSpec(producer=0, consumers=(2,), size=54),
+        ),
+    )

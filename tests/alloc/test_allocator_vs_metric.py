@@ -1,0 +1,73 @@
+"""Cross-layer property: the allocator never exceeds the occupancy the
+scheduler budgeted.
+
+The scheduler admits (RF, keeps) because ``DS(C_c, RF, keeps) <= FBS``
+for every cluster; the allocator then has to realise that layout.  The
+link between the two layers is the invariant tested here: the
+allocator's measured peak occupancy on a set never exceeds the maximum
+budgeted ``DS(C_c)`` over that set's clusters (the metric is
+deliberately conservative — e.g. kept shared results are charged for
+the whole round — so the allocator has at least as much room as the
+scheduler assumed)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.allocator import FrameBufferAllocator
+from repro.arch.params import Architecture
+from repro.core.metrics import cluster_data_size
+from repro.errors import InfeasibleScheduleError
+from repro.schedule.complete import CompleteDataScheduler
+from repro.schedule.data_scheduler import DataScheduler
+from repro.workloads.random_gen import random_application
+from repro.workloads.spec import paper_experiments
+
+
+def _check(schedule):
+    dataflow = schedule.dataflow
+    for fb_set in (0, 1):
+        clusters = schedule.clustering.on_set(fb_set)
+        if not clusters:
+            continue
+        budget = max(
+            cluster_data_size(
+                dataflow, cluster.index, schedule.rf, schedule.keeps
+            )
+            for cluster in clusters
+        )
+        allocation = FrameBufferAllocator(schedule).allocate_set(fb_set)
+        assert allocation.peak_words <= budget, (
+            f"set {fb_set}: allocator peak {allocation.peak_words} exceeds "
+            f"budget {budget}"
+        )
+
+
+class TestAllocatorWithinBudget:
+    @pytest.mark.parametrize(
+        "experiment_id", [spec.id for spec in paper_experiments()]
+    )
+    def test_paper_workloads(self, experiment_id):
+        spec = next(
+            s for s in paper_experiments() if s.id == experiment_id
+        )
+        application, clustering = spec.build()
+        schedule = CompleteDataScheduler(
+            Architecture.m1(spec.fb)
+        ).schedule(application, clustering)
+        _check(schedule)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=8000),
+           st.sampled_from(["2K", "8K"]))
+    def test_random_workloads(self, seed, fb):
+        application, clustering = random_application(seed, iterations=4)
+        architecture = Architecture.m1(fb)
+        for scheduler_cls in (DataScheduler, CompleteDataScheduler):
+            try:
+                schedule = scheduler_cls(architecture).schedule(
+                    application, clustering
+                )
+            except InfeasibleScheduleError:
+                continue
+            _check(schedule)

@@ -1,0 +1,176 @@
+"""Tests for the FB_list free-block list, including property-based ones."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.free_list import FreeBlockList
+from repro.errors import AllocationError, FragmentationError
+
+
+class TestFirstFit:
+    def test_high_allocates_from_top(self):
+        fbl = FreeBlockList(1024)
+        extent = fbl.allocate_high(100)
+        assert extent.start == 924
+        assert extent.end == 1024
+
+    def test_low_allocates_from_bottom(self):
+        fbl = FreeBlockList(1024)
+        extent = fbl.allocate_low(100)
+        assert extent.start == 0
+
+    def test_high_and_low_grow_towards_each_other(self):
+        fbl = FreeBlockList(1024)
+        top = fbl.allocate_high(100)
+        bottom = fbl.allocate_low(100)
+        assert bottom.end <= top.start
+        assert fbl.free_words == 824
+
+    def test_high_scans_blocks_downwards(self):
+        fbl = FreeBlockList(1024)
+        fbl.allocate_at(900, 100)        # hole near the top
+        extent = fbl.allocate_high(200)  # doesn't fit above -> below
+        assert extent.end <= 900
+
+    def test_low_scans_blocks_upwards(self):
+        fbl = FreeBlockList(1024)
+        fbl.allocate_at(0, 100)
+        extent = fbl.allocate_low(50)
+        assert extent.start == 100
+
+    def test_exhaustion_raises(self):
+        fbl = FreeBlockList(64)
+        fbl.allocate_high(64)
+        with pytest.raises(FragmentationError):
+            fbl.allocate_high(1)
+
+    def test_fragmented_raises_even_with_enough_total(self):
+        fbl = FreeBlockList(100)
+        fbl.allocate_at(40, 20)  # splits free space into 40 + 40
+        assert fbl.free_words == 80
+        with pytest.raises(FragmentationError):
+            fbl.allocate_high(60)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(AllocationError):
+            FreeBlockList(100).allocate_high(0)
+
+
+class TestAllocateAt:
+    def test_exact_placement(self):
+        fbl = FreeBlockList(1024)
+        extent = fbl.allocate_at(500, 24)
+        assert extent.start == 500
+        assert not fbl.is_free(500, 1)
+
+    def test_occupied_range_rejected(self):
+        fbl = FreeBlockList(1024)
+        fbl.allocate_at(500, 24)
+        with pytest.raises(FragmentationError):
+            fbl.allocate_at(510, 24)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(FragmentationError):
+            FreeBlockList(100).allocate_at(90, 20)
+
+
+class TestSplit:
+    def test_split_across_blocks(self):
+        fbl = FreeBlockList(100)
+        fbl.allocate_at(40, 20)  # free: [0,40) and [60,100)
+        extents = fbl.allocate_split(60, from_high=True)
+        assert sum(e.size for e in extents) == 60
+        assert len(extents) == 2
+        assert fbl.free_words == 20
+
+    def test_split_single_block_gives_one_extent(self):
+        fbl = FreeBlockList(100)
+        extents = fbl.allocate_split(30, from_high=False)
+        assert len(extents) == 1
+
+    def test_split_insufficient_raises(self):
+        fbl = FreeBlockList(100)
+        fbl.allocate_low(80)
+        with pytest.raises(FragmentationError):
+            fbl.allocate_split(30, from_high=True)
+
+
+class TestFree:
+    def test_free_and_coalesce(self):
+        fbl = FreeBlockList(100)
+        a = fbl.allocate_low(30)
+        b = fbl.allocate_low(30)
+        fbl.free(a.start, a.size)
+        fbl.free(b.start, b.size)
+        assert fbl.largest_block == 100
+        assert len(fbl.blocks()) == 1
+
+    def test_double_free_rejected(self):
+        fbl = FreeBlockList(100)
+        a = fbl.allocate_low(30)
+        fbl.free(a.start, a.size)
+        with pytest.raises(AllocationError, match="double free"):
+            fbl.free(a.start, a.size)
+
+    def test_free_outside_capacity_rejected(self):
+        with pytest.raises(AllocationError):
+            FreeBlockList(100).free(90, 20)
+
+    def test_free_extents(self):
+        fbl = FreeBlockList(100)
+        extents = fbl.allocate_split(100, from_high=True)
+        fbl.free_extents(extents)
+        assert fbl.free_words == 100
+
+
+@st.composite
+def _operations(draw):
+    return draw(st.lists(
+        st.tuples(
+            st.sampled_from(["high", "low", "free"]),
+            st.integers(min_value=1, max_value=64),
+        ),
+        min_size=1, max_size=60,
+    ))
+
+
+class TestProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(_operations())
+    def test_invariants_under_random_workload(self, operations):
+        """Free words stay consistent; blocks stay sorted/coalesced; no
+        allocation overlaps another live allocation."""
+        fbl = FreeBlockList(512)
+        live = []
+        for action, size in operations:
+            if action == "free" and live:
+                extent = live.pop(0)
+                fbl.free(extent.start, extent.size)
+            elif action in ("high", "low"):
+                try:
+                    extent = (fbl.allocate_high(size) if action == "high"
+                              else fbl.allocate_low(size))
+                except FragmentationError:
+                    continue
+                for other in live:
+                    assert not extent.overlaps(other), (extent, other)
+                live.append(extent)
+            fbl.check_invariants()
+            assert fbl.free_words == 512 - sum(e.size for e in live)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=1, max_value=100),
+                    min_size=1, max_size=20))
+    def test_alloc_free_all_restores_capacity(self, sizes):
+        fbl = FreeBlockList(2048)
+        extents = []
+        for size in sizes:
+            try:
+                extents.append(fbl.allocate_high(size))
+            except FragmentationError:
+                break
+        for extent in extents:
+            fbl.free(extent.start, extent.size)
+        assert fbl.free_words == 2048
+        assert fbl.largest_block == 2048

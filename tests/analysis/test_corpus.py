@@ -1,0 +1,48 @@
+"""Unit tests for the corpus robustness study."""
+
+import pytest
+
+from repro.analysis.corpus import CorpusStats, corpus_study
+
+
+class TestCorpusStudy:
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return corpus_study(list(range(12)), fb="4K", iterations=3)
+
+    def test_accounting_adds_up(self, stats):
+        assert stats.feasible + stats.infeasible == stats.seeds_total
+        assert len(stats.cds_improvements_pct) == stats.feasible
+
+    def test_no_regressions(self, stats):
+        assert stats.cds_regressions_vs_ds == 0
+
+    def test_stats_derived(self, stats):
+        if stats.cds_improvements_pct:
+            assert stats.min_cds_pct <= stats.median_cds_pct
+            assert stats.mean_cds_pct > 0
+
+    def test_summary_renders(self, stats):
+        text = stats.summary()
+        assert "corpus" in text
+        assert "regressions: 0" in text
+
+    def test_empty_corpus(self):
+        stats = CorpusStats(seeds_total=0)
+        assert stats.mean_cds_pct is None
+        assert stats.median_cds_pct is None
+        assert stats.min_cds_pct is None
+        assert "corpus: 0" in stats.summary()
+
+
+class TestExperimentSpec:
+    def test_fb_words_parses(self):
+        from repro.workloads.spec import paper_experiments
+        for spec in paper_experiments():
+            assert spec.fb_words > 0
+            assert spec.fb_words % 2 == 0
+
+    def test_ids_unique(self):
+        from repro.workloads.spec import paper_experiments
+        ids = [spec.id for spec in paper_experiments()]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,81 @@
+"""Tests for the one-call schedule validator."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.validate import validate_schedule
+from repro.arch.params import Architecture
+from repro.errors import ReproError
+from repro.schedule.base import ScheduleOptions
+from repro.schedule.basic import BasicScheduler
+from repro.schedule.complete import CompleteDataScheduler
+
+
+class TestValidateSchedule:
+    def test_good_schedule_passes_everything(self, sharing_app,
+                                             sharing_clustering):
+        schedule = CompleteDataScheduler(Architecture.m1("2K")).schedule(
+            sharing_app, sharing_clustering
+        )
+        report = validate_schedule(schedule)
+        assert report.ok
+        assert len(report.checks_passed) == 4
+        assert report.timing_report is not None
+        assert report.functional_report.functional_verified is True
+        assert "OK" in report.summary()
+
+    def test_timing_only_mode(self, sharing_app, sharing_clustering):
+        schedule = BasicScheduler(Architecture.m1("2K")).schedule(
+            sharing_app, sharing_clustering
+        )
+        report = validate_schedule(schedule, functional=False)
+        assert report.ok
+        assert report.functional_report is None
+
+    def test_corrupted_schedule_fails(self, sharing_app,
+                                      sharing_clustering):
+        schedule = CompleteDataScheduler(Architecture.m1("2K")).schedule(
+            sharing_app, sharing_clustering
+        )
+        # Claim a keep that was never planned: the op stream omits
+        # loads the drain logic now drops.
+        bad = dataclasses.replace(schedule, keeps=())
+        # Plans still reference kept inputs -> generator emits no loads
+        # for them -> verification fails.
+        report = validate_schedule(bad)
+        assert not report.ok
+        assert report.failures
+        assert "FAIL" in report.summary()
+
+    def test_raise_on_error(self, sharing_app, sharing_clustering):
+        schedule = CompleteDataScheduler(Architecture.m1("2K")).schedule(
+            sharing_app, sharing_clustering
+        )
+        bad = dataclasses.replace(schedule, keeps=())
+        with pytest.raises(ReproError):
+            validate_schedule(bad, raise_on_error=True)
+
+    def test_cross_set_schedule_gets_capable_architecture(self):
+        """Default-architecture inference detects cross-set keeps."""
+        from repro.core.application import Application
+        from repro.core.cluster import Clustering
+        app = (
+            Application.build("cross", total_iterations=4)
+            .data("d1", 128).data("d2", 128).data("both", 96)
+            .kernel("k1", context_words=16, cycles=200,
+                    inputs=["d1", "both"],
+                    outputs=["r1"], result_sizes={"r1": 64})
+            .kernel("k2", context_words=16, cycles=200,
+                    inputs=["d2", "both", "r1"],
+                    outputs=["out"], result_sizes={"out": 64})
+            .final("out")
+            .finish()
+        )
+        arch = Architecture.m1("1K", fb_cross_set_access=True)
+        schedule = CompleteDataScheduler(
+            arch, ScheduleOptions(cross_set_retention=True)
+        ).schedule(app, Clustering.per_kernel(app))
+        assert schedule.keeps
+        report = validate_schedule(schedule)  # no architecture passed
+        assert report.ok, report.summary()

@@ -1,0 +1,79 @@
+"""Tests for the two-block context memory."""
+
+import pytest
+
+from repro.arch.context_memory import ContextMemory
+from repro.errors import CapacityError, SimulationError
+
+
+class TestContextMemory:
+    def test_load_and_residency(self):
+        cm = ContextMemory(512)
+        cm.load("k1", 100, block=0)
+        assert cm.is_resident("k1")
+        assert cm.is_resident("k1", block=0)
+        assert not cm.is_resident("k1", block=1)
+        assert cm.used_words(0) == 100
+        assert cm.free_words(0) == 412
+
+    def test_two_blocks_independent(self):
+        cm = ContextMemory(512)
+        cm.load("a", 400, block=0)
+        cm.load("b", 400, block=1)
+        assert cm.used_words(0) == cm.used_words(1) == 400
+
+    def test_block_overflow_rejected(self):
+        cm = ContextMemory(512)
+        cm.load("a", 400, block=0)
+        with pytest.raises(SimulationError, match="free words"):
+            cm.load("b", 200, block=0)
+
+    def test_oversized_kernel_rejected(self):
+        cm = ContextMemory(512)
+        with pytest.raises(CapacityError, match="holds"):
+            cm.load("huge", 513, block=0)
+
+    def test_double_load_rejected(self):
+        cm = ContextMemory(512)
+        cm.load("a", 100, block=0)
+        with pytest.raises(SimulationError, match="already resident"):
+            cm.load("a", 100, block=0)
+
+    def test_evict_block(self):
+        cm = ContextMemory(512)
+        cm.load("a", 400, block=0)
+        cm.evict_block(0)
+        assert cm.used_words(0) == 0
+        cm.load("b", 400, block=0)  # now fits
+
+    def test_counters(self):
+        cm = ContextMemory(512)
+        cm.load("a", 100, block=0)
+        cm.load("b", 50, block=1)
+        assert cm.loads_performed == 2
+        assert cm.words_loaded == 150
+        cm.reset_counters()
+        assert cm.loads_performed == 0
+
+    def test_clear_preserves_counters(self):
+        cm = ContextMemory(512)
+        cm.load("a", 100, block=0)
+        cm.clear()
+        assert cm.used_words(0) == 0
+        assert cm.loads_performed == 1
+
+    def test_resident_kernels(self):
+        cm = ContextMemory(512)
+        cm.load("a", 10, block=0)
+        cm.load("b", 10, block=0)
+        assert cm.resident_kernels(0) == ("a", "b")
+
+    def test_invalid_construction(self):
+        with pytest.raises(CapacityError):
+            ContextMemory(0)
+        with pytest.raises(CapacityError):
+            ContextMemory(512, blocks=1)
+
+    def test_zero_word_kernel_rejected(self):
+        with pytest.raises(CapacityError):
+            ContextMemory(512).load("a", 0, block=0)

@@ -1,0 +1,77 @@
+"""Tests for the serialising DMA channel."""
+
+import pytest
+
+from repro.arch.dma import DmaChannel, TransferKind
+from repro.arch.params import TimingModel
+from repro.errors import SimulationError
+
+
+def _channel():
+    return DmaChannel(TimingModel(
+        data_word_cycles=2, context_word_cycles=3, dma_setup_cycles=10
+    ))
+
+
+class TestDmaChannel:
+    def test_single_transfer_timing(self):
+        dma = _channel()
+        start, finish = dma.request(TransferKind.DATA_LOAD, 100, 0, "ld")
+        assert start == 0
+        assert finish == 10 + 200
+
+    def test_context_timing_uses_context_cost(self):
+        dma = _channel()
+        _, finish = dma.request(TransferKind.CONTEXT_LOAD, 100, 0, "ctx")
+        assert finish == 10 + 300
+
+    def test_serialisation(self):
+        dma = _channel()
+        _, first_finish = dma.request(TransferKind.DATA_LOAD, 10, 0, "a")
+        second_start, _ = dma.request(TransferKind.DATA_LOAD, 10, 0, "b")
+        assert second_start == first_finish
+
+    def test_earliest_start_respected(self):
+        dma = _channel()
+        start, _ = dma.request(TransferKind.DATA_STORE, 10, 500, "st")
+        assert start == 500
+
+    def test_idle_gap_when_earliest_late(self):
+        dma = _channel()
+        dma.request(TransferKind.DATA_LOAD, 10, 0, "a")
+        start, _ = dma.request(TransferKind.DATA_LOAD, 10, 10_000, "b")
+        assert start == 10_000
+
+    def test_zero_word_transfer_is_free(self):
+        dma = _channel()
+        start, finish = dma.request(TransferKind.DATA_LOAD, 0, 5, "empty")
+        assert start == finish
+        assert dma.transfers == []
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(SimulationError):
+            _channel().request(TransferKind.DATA_LOAD, -1, 0, "bad")
+
+    def test_negative_earliest_rejected(self):
+        with pytest.raises(SimulationError):
+            _channel().request(TransferKind.DATA_LOAD, 1, -1, "bad")
+
+    def test_statistics(self):
+        dma = _channel()
+        dma.request(TransferKind.DATA_LOAD, 100, 0, "a")
+        dma.request(TransferKind.DATA_LOAD, 50, 0, "b")
+        dma.request(TransferKind.DATA_STORE, 30, 0, "c")
+        dma.request(TransferKind.CONTEXT_LOAD, 20, 0, "d")
+        assert dma.words_moved(TransferKind.DATA_LOAD) == 150
+        assert dma.words_moved(TransferKind.DATA_STORE) == 30
+        assert dma.words_moved(TransferKind.CONTEXT_LOAD) == 20
+        assert dma.count(TransferKind.DATA_LOAD) == 2
+        assert dma.cycles_busy() == sum(t.cycles for t in dma.transfers)
+        assert dma.by_kind()[TransferKind.DATA_LOAD] == 150
+
+    def test_reset(self):
+        dma = _channel()
+        dma.request(TransferKind.DATA_LOAD, 100, 0, "a")
+        dma.reset()
+        assert dma.busy_until == 0
+        assert dma.transfers == []

@@ -1,0 +1,88 @@
+"""Tests for the external memory model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.external_memory import ExternalMemory
+from repro.errors import SimulationError
+
+
+class TestAccountingMode:
+    def test_put_and_exists(self):
+        mem = ExternalMemory()
+        mem.put("d", 0, size=64)
+        assert mem.exists("d", 0)
+        assert not mem.exists("d", 1)
+
+    def test_read_counts_traffic(self):
+        mem = ExternalMemory()
+        mem.put("d", 0, size=64)
+        assert mem.read("d", 0, 64) is None
+        assert mem.words_read == 64
+
+    def test_write_counts_traffic(self):
+        mem = ExternalMemory()
+        mem.write("r", 0, 32)
+        assert mem.words_written == 32
+        assert mem.exists("r", 0)
+
+    def test_read_missing_rejected(self):
+        with pytest.raises(SimulationError, match="not present"):
+            ExternalMemory().read("ghost", 0, 8)
+
+    def test_put_needs_values_or_size(self):
+        with pytest.raises(SimulationError):
+            ExternalMemory().put("d", 0)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(SimulationError):
+            ExternalMemory().put("d", 0, size=0)
+        with pytest.raises(SimulationError):
+            ExternalMemory().write("d", 0, 0)
+
+
+class TestFunctionalMode:
+    def test_roundtrip(self):
+        mem = ExternalMemory()
+        mem.put("d", 3, np.arange(8))
+        values = mem.read("d", 3, 8)
+        assert values.tolist() == list(range(8))
+
+    def test_read_returns_copy(self):
+        mem = ExternalMemory()
+        mem.put("d", 0, np.arange(4))
+        values = mem.read("d", 0, 4)
+        values[0] = 99
+        assert mem.get("d", 0)[0] == 0
+
+    def test_size_mismatch_on_read(self):
+        mem = ExternalMemory()
+        mem.put("d", 0, np.arange(4))
+        with pytest.raises(SimulationError, match="requested"):
+            mem.read("d", 0, 8)
+
+    def test_size_mismatch_on_write(self):
+        with pytest.raises(SimulationError, match="declared"):
+            ExternalMemory().write("d", 0, 8, values=np.arange(4))
+
+    def test_get_does_not_count(self):
+        mem = ExternalMemory()
+        mem.put("d", 0, np.arange(4))
+        mem.get("d", 0)
+        assert mem.words_read == 0
+
+    def test_instances_of(self):
+        mem = ExternalMemory()
+        mem.put("d", 2, size=8)
+        mem.put("d", 0, size=8)
+        mem.put("e", 1, size=8)
+        assert mem.instances_of("d") == (0, 2)
+
+    def test_clear_and_counters(self):
+        mem = ExternalMemory()
+        mem.put("d", 0, size=8)
+        mem.read("d", 0, 8)
+        mem.reset_counters()
+        assert mem.words_read == 0
+        mem.clear()
+        assert not mem.exists("d", 0)

@@ -1,0 +1,81 @@
+"""Tests for architecture descriptions and the timing model."""
+
+import pytest
+
+from repro.arch.params import Architecture, TimingModel
+from repro.errors import ArchitectureError
+
+
+class TestTimingModel:
+    def test_defaults_positive(self):
+        timing = TimingModel()
+        assert timing.data_word_cycles > 0
+        assert timing.context_word_cycles > 0
+
+    def test_data_transfer_cycles_linear(self):
+        timing = TimingModel(data_word_cycles=3, dma_setup_cycles=10)
+        assert timing.data_transfer_cycles(100) == 10 + 300
+
+    def test_zero_words_is_free(self):
+        assert TimingModel().data_transfer_cycles(0) == 0
+        assert TimingModel().context_transfer_cycles(0) == 0
+
+    def test_context_transfer_cycles(self):
+        timing = TimingModel(context_word_cycles=4, dma_setup_cycles=2)
+        assert timing.context_transfer_cycles(10) == 2 + 40
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(ArchitectureError):
+            TimingModel().data_transfer_cycles(-1)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ArchitectureError):
+            TimingModel(data_word_cycles=0)
+        with pytest.raises(ArchitectureError):
+            TimingModel(context_word_cycles=-1)
+        with pytest.raises(ArchitectureError):
+            TimingModel(dma_setup_cycles=-1)
+
+
+class TestArchitecture:
+    def test_m1_preset(self):
+        arch = Architecture.m1("2K")
+        assert arch.fb_set_words == 2048
+        assert arch.rc_rows == 8 and arch.rc_cols == 8
+        assert arch.fb_sets == 2
+        assert arch.context_blocks == 2
+        assert arch.rc_cells == 64
+
+    def test_m1_name_reflects_fb(self):
+        assert "2K" in Architecture.m1("2K").name
+
+    def test_with_fb_set_words(self):
+        arch = Architecture.m1("2K").with_fb_set_words("8K")
+        assert arch.fb_set_words == 8192
+        assert "8K" in arch.name
+
+    def test_total_fb_words(self):
+        assert Architecture.m1("1K").total_fb_words == 2048
+
+    def test_size_strings_accepted(self):
+        assert Architecture.m1("0.5K").fb_set_words == 512
+
+    def test_str(self):
+        text = str(Architecture.m1("2K"))
+        assert "8x8" in text and "2K" in text
+
+    def test_zero_fb_rejected(self):
+        with pytest.raises(Exception):
+            Architecture(name="x", fb_set_words=0)
+
+    def test_single_fb_set_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Architecture(name="x", fb_set_words=1024, fb_sets=1)
+
+    def test_bad_rc_dims_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Architecture(name="x", fb_set_words=1024, rc_rows=0)
+
+    def test_bad_context_blocks_rejected(self):
+        with pytest.raises(ArchitectureError):
+            Architecture(name="x", fb_set_words=1024, context_blocks=3)

@@ -1,0 +1,170 @@
+"""Tests for the functional RC-array model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.rc_array import ContextProgram, MacroOp, RCArray
+from repro.errors import SimulationError
+
+
+def _program(*ops, inputs=("a", "b"), outputs=("y",)):
+    return ContextProgram(name="t", inputs=inputs, outputs=outputs, ops=ops)
+
+
+class TestMacroOp:
+    def test_arity_checked(self):
+        with pytest.raises(SimulationError, match="sources"):
+            MacroOp("add", "y", ("a",))
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SimulationError, match="unknown"):
+            MacroOp("frobnicate", "y", ("a",))
+
+    def test_imm_required(self):
+        with pytest.raises(SimulationError, match="immediate"):
+            MacroOp("shr", "y", ("a",))
+
+
+class TestContextProgram:
+    def test_undefined_register_rejected(self):
+        with pytest.raises(SimulationError, match="undefined register"):
+            _program(MacroOp("add", "y", ("a", "ghost")))
+
+    def test_unwritten_output_rejected(self):
+        with pytest.raises(SimulationError, match="never written"):
+            _program(MacroOp("add", "x", ("a", "b")))
+
+
+class TestExecution:
+    def test_elementwise_ops(self):
+        rc = RCArray()
+        program = ContextProgram(
+            name="mix", inputs=("a", "b"), outputs=("y",),
+            ops=(
+                MacroOp("add", "s", ("a", "b")),
+                MacroOp("muli", "m", ("s",), imm=3),
+                MacroOp("shr", "y", ("m",), imm=1),
+            ),
+        )
+        out = rc.execute(program, {"a": np.array([2, 4]), "b": np.array([1, 1])})
+        assert out["y"].tolist() == [4, 7]  # ((a+b)*3)>>1
+
+    def test_unary_and_minmax(self):
+        rc = RCArray()
+        program = ContextProgram(
+            name="m", inputs=("a", "b"), outputs=("lo", "hi", "n", "ab"),
+            ops=(
+                MacroOp("min", "lo", ("a", "b")),
+                MacroOp("max", "hi", ("a", "b")),
+                MacroOp("neg", "n", ("a",)),
+                MacroOp("abs", "ab", ("n",)),
+            ),
+        )
+        out = rc.execute(program, {"a": np.array([3, -5]), "b": np.array([1, 7])})
+        assert out["lo"].tolist() == [1, -5]
+        assert out["hi"].tolist() == [3, 7]
+        assert out["ab"].tolist() == [3, 5]
+
+    def test_clip_and_const(self):
+        rc = RCArray()
+        program = ContextProgram(
+            name="c", inputs=("a",), outputs=("y", "k"),
+            ops=(
+                MacroOp("clip", "y", ("a",), imm=4),
+                MacroOp("const", "k", (), imm=42),
+            ),
+        )
+        out = rc.execute(program, {"a": np.array([-9, 2, 9])})
+        assert out["y"].tolist() == [-4, 2, 4]
+        assert int(out["k"]) == 42
+
+    def test_shift_elems(self):
+        rc = RCArray()
+        program = ContextProgram(
+            name="s", inputs=("a",), outputs=("r", "l"),
+            ops=(
+                MacroOp("shift_elems", "r", ("a",), imm=1),
+                MacroOp("shift_elems", "l", ("a",), imm=-1),
+            ),
+        )
+        out = rc.execute(program, {"a": np.array([1, 2, 3])})
+        assert out["r"].tolist() == [0, 1, 2]
+        assert out["l"].tolist() == [2, 3, 0]
+
+    def test_matmul_and_transpose(self):
+        rc = RCArray()
+        program = ContextProgram(
+            name="mm", inputs=("a", "b"), outputs=("y", "t", "yt"),
+            ops=(
+                MacroOp("matmul", "y", ("a", "b")),
+                MacroOp("transpose", "t", ("a",)),
+                MacroOp("matmul_t", "yt", ("a", "b")),
+            ),
+        )
+        a = np.array([[1, 2], [3, 4]])
+        b = np.array([[5, 6], [7, 8]])
+        out = rc.execute(program, {"a": a, "b": b})
+        assert np.array_equal(out["y"], a @ b)
+        assert np.array_equal(out["t"], a.T)
+        assert np.array_equal(out["yt"], a @ b.T)
+
+    def test_reduce_sum(self):
+        rc = RCArray()
+        program = ContextProgram(
+            name="r", inputs=("a",), outputs=("s",),
+            ops=(MacroOp("reduce_sum", "s", ("a",)),),
+        )
+        out = rc.execute(program, {"a": np.arange(10)})
+        assert int(out["s"]) == 45
+
+    def test_missing_operand_rejected(self):
+        rc = RCArray()
+        program = _program(MacroOp("add", "y", ("a", "b")))
+        with pytest.raises(SimulationError, match="missing operand"):
+            rc.execute(program, {"a": np.array([1])})
+
+    def test_shape_mismatch_reported(self):
+        rc = RCArray()
+        program = _program(MacroOp("matmul", "y", ("a", "b")))
+        with pytest.raises(SimulationError, match="shape"):
+            rc.execute(program, {"a": np.ones((2, 3)), "b": np.ones((2, 3))})
+
+
+class TestCycleModel:
+    def test_cycles_scale_with_elements(self):
+        rc = RCArray()
+        program = _program(MacroOp("add", "y", ("a", "b")))
+        small = rc.estimate_cycles(
+            program, {"a": np.ones(64), "b": np.ones(64)}
+        )
+        large = rc.estimate_cycles(
+            program, {"a": np.ones(640), "b": np.ones(640)}
+        )
+        assert large > small
+
+    def test_estimate_does_not_accumulate(self):
+        rc = RCArray()
+        program = _program(MacroOp("add", "y", ("a", "b")))
+        rc.estimate_cycles(program, {"a": np.ones(64), "b": np.ones(64)})
+        assert rc.cycles_executed == 0
+        assert rc.macro_ops_executed == 0
+
+    def test_execute_accumulates(self):
+        rc = RCArray()
+        program = _program(MacroOp("add", "y", ("a", "b")))
+        rc.execute(program, {"a": np.ones(64), "b": np.ones(64)})
+        assert rc.macro_ops_executed == 1
+        assert rc.cycles_executed > 0
+        rc.reset_counters()
+        assert rc.cycles_executed == 0
+
+    def test_bigger_array_is_faster(self):
+        program = _program(MacroOp("add", "y", ("a", "b")))
+        operands = {"a": np.ones(1024), "b": np.ones(1024)}
+        small = RCArray(4, 4).estimate_cycles(program, operands)
+        large = RCArray(16, 16).estimate_cycles(program, operands)
+        assert large < small
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(SimulationError):
+            RCArray(0, 8)

@@ -1,0 +1,52 @@
+"""Edge-case validation tests for the op-level IR."""
+
+import pytest
+
+from repro.codegen.ops import LoadContext, Visit, VisitOps, RunKernel
+from repro.errors import CodegenError
+
+
+class TestVisit:
+    def test_empty_iterations_rejected(self):
+        with pytest.raises(CodegenError):
+            Visit(index=0, round_index=0, cluster_index=0, fb_set=0,
+                  iterations=())
+
+    def test_unsorted_iterations_rejected(self):
+        with pytest.raises(CodegenError):
+            Visit(index=0, round_index=0, cluster_index=0, fb_set=0,
+                  iterations=(2, 1))
+
+    def test_cm_block_alternates_with_index(self):
+        for index in range(6):
+            visit = Visit(index=index, round_index=0, cluster_index=0,
+                          fb_set=0, iterations=(0,))
+            assert visit.cm_block == index % 2
+
+
+class TestLoadContext:
+    def test_zero_words_rejected(self):
+        with pytest.raises(CodegenError):
+            LoadContext(kernel="k", words=0, cm_block=0)
+
+
+class TestVisitOps:
+    def _visit(self):
+        return Visit(index=0, round_index=0, cluster_index=0, fb_set=0,
+                     iterations=(0, 1))
+
+    def test_aggregates(self):
+        ops = VisitOps(
+            visit=self._visit(),
+            context_loads=(LoadContext(kernel="k", words=10, cm_block=0),),
+            data_loads=(),
+            compute=(
+                RunKernel(kernel="k", iteration=0, cycles=5, fb_set=0),
+                RunKernel(kernel="k", iteration=1, cycles=5, fb_set=0),
+            ),
+            stores=(),
+        )
+        assert ops.compute_cycles == 10
+        assert ops.context_words == 10
+        assert ops.load_words == 0
+        assert ops.store_words == 0

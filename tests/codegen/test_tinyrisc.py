@@ -1,0 +1,115 @@
+"""Tests for the TinyRISC control-program lowering."""
+
+import pytest
+
+from repro.arch.params import Architecture
+from repro.codegen.generator import generate_program
+from repro.codegen.tinyrisc import ControlOp, lower_to_tinyrisc
+from repro.schedule.complete import CompleteDataScheduler
+from repro.schedule.data_scheduler import DataScheduler
+
+
+@pytest.fixture
+def program(sharing_app, sharing_clustering):
+    schedule = CompleteDataScheduler(Architecture.m1("2K")).schedule(
+        sharing_app, sharing_clustering
+    )
+    return generate_program(schedule)
+
+
+@pytest.fixture
+def control(program):
+    return lower_to_tinyrisc(program)
+
+
+class TestStructure:
+    def test_one_label_per_visit(self, program, control):
+        assert control.count(ControlOp.LABEL) == len(program.visits)
+
+    def test_sync_points_per_visit(self, program, control):
+        assert control.count(ControlOp.DSYNC) == len(program.visits)
+        assert control.count(ControlOp.ESYNC) == len(program.visits)
+
+    def test_exec_count_matches_kernel_runs(self, program, control):
+        runs = sum(len(ops.compute) for ops in program.visits)
+        assert control.count(ControlOp.EXEC) == runs
+
+    def test_sync_ordering_within_visit(self, control):
+        """Within one visit: loads before DSYNC before EXECs before
+        ESYNC before stores."""
+        state = "loads"
+        for instruction in control.instructions:
+            if instruction.op is ControlOp.LABEL:
+                state = "loads"
+            elif instruction.op in (ControlOp.LDFB, ControlOp.LDCTXT):
+                assert state == "loads", instruction
+            elif instruction.op is ControlOp.DSYNC:
+                assert state == "loads"
+                state = "exec"
+            elif instruction.op is ControlOp.EXEC:
+                assert state == "exec", instruction
+            elif instruction.op is ControlOp.ESYNC:
+                assert state == "exec"
+                state = "stores"
+            elif instruction.op is ControlOp.STFB:
+                assert state == "stores", instruction
+
+
+class TestTrafficAgreement:
+    def test_words_match_op_level_program(self, program, control):
+        assert control.data_words_loaded == program.total_load_words
+        assert control.data_words_stored == program.total_store_words
+        assert control.context_words_loaded == program.total_context_words
+
+
+class TestMemoryMap:
+    def test_addresses_unique_and_disjoint(self, control, sharing_app):
+        """Every data instance's address range is disjoint from every
+        other's and from the context region."""
+        ranges = []
+        for kernel in sharing_app.kernels:
+            start = control.context_map[kernel.name]
+            ranges.append((start, start + kernel.context_words))
+        for (name, _), start in control.data_map.items():
+            ranges.append((start, start + sharing_app.object(name).size))
+        ranges.sort()
+        for (a_start, a_end), (b_start, b_end) in zip(ranges, ranges[1:]):
+            assert a_end <= b_start
+
+    def test_iteration_instances_have_distinct_addresses(self, control):
+        assert control.data_map[("d", 0)] != control.data_map[("d", 1)]
+
+    def test_transfer_addresses_resolved(self, control):
+        for instruction in control.instructions:
+            if instruction.op in (ControlOp.LDFB, ControlOp.STFB,
+                                  ControlOp.LDCTXT):
+                assert instruction.address is not None
+                assert instruction.words > 0
+
+
+class TestRendering:
+    def test_listing_renders_all_ops(self, control):
+        listing = control.render()
+        assert "ldctxt" in listing
+        assert "ldfb" in listing
+        assert "stfb" in listing
+        assert "exec" in listing
+        assert "dsync" in listing
+        assert "visit_0_round0_cl1:" in listing
+
+    def test_addresses_rendered_hex(self, control):
+        listing = control.render()
+        assert "0x" in listing
+
+
+class TestInvariantData:
+    def test_invariant_object_has_single_address(self, invariant_app):
+        from repro.core.cluster import Clustering
+        schedule = DataScheduler(Architecture.m1("8K")).schedule(
+            invariant_app, Clustering.per_kernel(invariant_app)
+        )
+        control = lower_to_tinyrisc(generate_program(schedule))
+        table_instances = [
+            key for key in control.data_map if key[0] == "table"
+        ]
+        assert table_instances == [("table", 0)]

@@ -1,0 +1,113 @@
+"""Tests for the TinyRISC control-stream interpreter."""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.machine import MorphoSysM1
+from repro.arch.params import Architecture
+from repro.codegen.generator import generate_program
+from repro.codegen.tinyrisc import (
+    ControlInstruction,
+    ControlOp,
+    TinyRiscInterpreter,
+    TinyRiscProgram,
+    lower_to_tinyrisc,
+)
+from repro.errors import CodegenError
+from repro.schedule.complete import CompleteDataScheduler
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def lowered(sharing_app, sharing_clustering):
+    arch = Architecture.m1("2K")
+    schedule = CompleteDataScheduler(arch).schedule(
+        sharing_app, sharing_clustering
+    )
+    program = generate_program(schedule)
+    return arch, program, lower_to_tinyrisc(program)
+
+
+class TestInterpretation:
+    def test_valid_program_interprets(self, lowered):
+        arch, program, control = lowered
+        stats = TinyRiscInterpreter(
+            control, block_words=arch.context_block_words
+        ).run()
+        assert stats.instructions_executed == len(control.instructions)
+        assert stats.kernels_launched == sum(
+            len(ops.compute) for ops in program.visits
+        )
+
+    def test_traffic_matches_simulator(self, lowered):
+        """The control stream carries exactly the traffic the
+        event-driven simulator moves — the lowering loses nothing."""
+        arch, program, control = lowered
+        stats = TinyRiscInterpreter(
+            control, block_words=arch.context_block_words
+        ).run()
+        report = Simulator(MorphoSysM1(arch)).run(program)
+        assert stats.data_words_loaded == report.data_load_words
+        assert stats.data_words_stored == report.data_store_words
+        assert stats.context_words_loaded == report.context_words
+
+
+def _replace_instruction(control, index, instruction):
+    instructions = list(control.instructions)
+    instructions[index] = instruction
+    return TinyRiscProgram(
+        instructions=tuple(instructions),
+        data_map=control.data_map,
+        context_map=control.context_map,
+    )
+
+
+class TestViolations:
+    def test_exec_without_context(self, lowered):
+        arch, _, control = lowered
+        index = next(
+            i for i, ins in enumerate(control.instructions)
+            if ins.op is ControlOp.EXEC
+        )
+        bad_exec = dataclasses.replace(
+            control.instructions[index], cm_block=1 - control
+            .instructions[index].cm_block
+        )
+        bad = _replace_instruction(control, index, bad_exec)
+        with pytest.raises(CodegenError, match="without contexts"):
+            TinyRiscInterpreter(
+                bad, block_words=arch.context_block_words
+            ).run()
+
+    def test_wild_data_address(self, lowered):
+        arch, _, control = lowered
+        index = next(
+            i for i, ins in enumerate(control.instructions)
+            if ins.op is ControlOp.LDFB
+        )
+        wild = dataclasses.replace(
+            control.instructions[index],
+            address=control.instructions[index].address + 1,
+        )
+        bad = _replace_instruction(control, index, wild)
+        with pytest.raises(CodegenError, match="does not map"):
+            TinyRiscInterpreter(bad).run()
+
+    def test_wrong_context_address(self, lowered):
+        arch, _, control = lowered
+        index = next(
+            i for i, ins in enumerate(control.instructions)
+            if ins.op is ControlOp.LDCTXT
+        )
+        wrong = dataclasses.replace(
+            control.instructions[index], target="imposter"
+        )
+        bad = _replace_instruction(control, index, wrong)
+        with pytest.raises(CodegenError, match="does not map"):
+            TinyRiscInterpreter(bad).run()
+
+    def test_block_overflow_detected(self, lowered):
+        arch, _, control = lowered
+        with pytest.raises(CodegenError, match="overflows"):
+            TinyRiscInterpreter(control, block_words=16).run()

@@ -1,0 +1,141 @@
+"""Tests for the static program verifier.
+
+Valid programs pass; corrupted programs are rejected with specific
+errors.  Corruption is injected by rebuilding a visit with an op list
+modified in a targeted way.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.params import Architecture
+from repro.codegen.generator import generate_program
+from repro.codegen.ops import LoadData, RunKernel, StoreData, VisitOps
+from repro.codegen.program import Program
+from repro.codegen.verifier import verify_program
+from repro.errors import ProgramVerificationError
+from repro.schedule.complete import CompleteDataScheduler
+from repro.schedule.data_scheduler import DataScheduler
+
+
+@pytest.fixture
+def valid_program(sharing_app, sharing_clustering):
+    schedule = CompleteDataScheduler(Architecture.m1("2K")).schedule(
+        sharing_app, sharing_clustering
+    )
+    return generate_program(schedule)
+
+
+def _mutate_visit(program, visit_index, **changes):
+    visits = list(program.visits)
+    visits[visit_index] = dataclasses.replace(visits[visit_index], **changes)
+    return Program(schedule=program.schedule, visits=tuple(visits))
+
+
+class TestAccepts:
+    def test_valid_program_passes(self, valid_program):
+        verify_program(valid_program)
+
+    def test_all_schedulers_pass(self, sharing_app, sharing_clustering):
+        from repro.schedule.basic import BasicScheduler
+        arch = Architecture.m1("2K")
+        for cls in (BasicScheduler, DataScheduler, CompleteDataScheduler):
+            schedule = cls(arch).schedule(sharing_app, sharing_clustering)
+            verify_program(generate_program(schedule))
+
+
+class TestRejects:
+    def test_missing_context_load(self, valid_program):
+        bad = _mutate_visit(valid_program, 0, context_loads=())
+        with pytest.raises(ProgramVerificationError, match="without contexts"):
+            verify_program(bad)
+
+    def test_missing_data_load(self, valid_program):
+        first = valid_program.visits[0]
+        loads = tuple(l for l in first.data_loads if l.name != "d")
+        bad = _mutate_visit(valid_program, 0, data_loads=loads)
+        with pytest.raises(ProgramVerificationError, match="reads"):
+            verify_program(bad)
+
+    def test_redundant_load(self, valid_program):
+        first = valid_program.visits[0]
+        bad = _mutate_visit(
+            valid_program, 0,
+            data_loads=first.data_loads + (first.data_loads[-1],),
+        )
+        with pytest.raises(ProgramVerificationError, match="redundant"):
+            verify_program(bad)
+
+    def test_store_of_absent_object(self, valid_program):
+        first = valid_program.visits[0]
+        ghost_store = StoreData(name="out", iteration=999, words=128,
+                                fb_set=first.visit.fb_set)
+        bad = _mutate_visit(
+            valid_program, 0, stores=first.stores + (ghost_store,)
+        )
+        with pytest.raises(ProgramVerificationError, match="store"):
+            verify_program(bad)
+
+    def test_skipped_kernel_iteration(self, valid_program):
+        first = valid_program.visits[0]
+        bad = _mutate_visit(valid_program, 0, compute=first.compute[:-1])
+        # Either the missing run's result store trips first, or the
+        # iteration count check does.
+        with pytest.raises(ProgramVerificationError,
+                           match="executed|not in set"):
+            verify_program(bad)
+
+    def test_missing_final_store(self, valid_program):
+        index = next(
+            i for i, ops in enumerate(valid_program.visits)
+            if any(s.name == "out" for s in ops.stores)
+        )
+        ops = valid_program.visits[index]
+        bad = _mutate_visit(
+            valid_program, index,
+            stores=tuple(s for s in ops.stores if s.name != "out"),
+        )
+        with pytest.raises(ProgramVerificationError, match="stored"):
+            verify_program(bad)
+
+    def test_load_of_never_stored_result(self, valid_program):
+        """Loading a result that was never stored externally is a
+        use-of-garbage bug."""
+        first = valid_program.visits[0]
+        bogus = LoadData(name="r2", iteration=0, words=192,
+                         fb_set=first.visit.fb_set)
+        bad = _mutate_visit(
+            valid_program, 0, data_loads=first.data_loads + (bogus,)
+        )
+        with pytest.raises(ProgramVerificationError, match="never stored"):
+            verify_program(bad)
+
+    def test_keep_drop_detected(self, sharing_app, sharing_clustering):
+        """If the schedule claims a keep but the drain logic wouldn't
+        retain it, a later consumer read fails.  Simulated by renaming
+        the visit's cluster: cluster 2's kept read of 'shared' only
+        works because the keep survives clusters 0..2."""
+        schedule = CompleteDataScheduler(Architecture.m1("2K")).schedule(
+            sharing_app, sharing_clustering
+        )
+        assert "shared" in schedule.keep_names()
+        program = generate_program(schedule)
+        # Strip the keeps from the schedule: the same op stream now
+        # violates residency (cluster 2 reads 'shared' it never loaded).
+        stripped = dataclasses.replace(schedule, keeps=())
+        bad = Program(schedule=stripped, visits=program.visits)
+        with pytest.raises(ProgramVerificationError):
+            verify_program(bad)
+
+
+class TestOpsValidation:
+    def test_bad_ops_rejected_at_construction(self):
+        with pytest.raises(Exception):
+            LoadData(name="x", iteration=-1, words=8, fb_set=0)
+        with pytest.raises(Exception):
+            LoadData(name="x", iteration=0, words=0, fb_set=0)
+        with pytest.raises(Exception):
+            StoreData(name="x", iteration=0, words=0, fb_set=0)
+        with pytest.raises(Exception):
+            RunKernel(kernel="k", iteration=0, cycles=0, fb_set=0)

@@ -1,0 +1,204 @@
+"""Tests for the application model and its validation."""
+
+import pytest
+
+from repro.core.application import Application
+from repro.core.dataobj import DataObject
+from repro.core.kernel import Kernel
+from repro.errors import ApplicationError, DataflowError
+
+
+def _simple():
+    return (
+        Application.build("app", total_iterations=4)
+        .data("d", 64)
+        .kernel("k1", context_words=8, cycles=100, inputs=["d"],
+                outputs=["r"], result_sizes={"r": 32})
+        .kernel("k2", context_words=8, cycles=100, inputs=["r"],
+                outputs=["out"], result_sizes={"out": 16})
+        .final("out")
+        .finish()
+    )
+
+
+class TestConstruction:
+    def test_builder_produces_valid_app(self):
+        app = _simple()
+        assert app.kernel_names == ("k1", "k2")
+        assert app.total_iterations == 4
+        assert app.final_outputs == frozenset({"out"})
+
+    def test_str(self):
+        assert "2 kernels" in str(_simple())
+
+    def test_empty_app_rejected(self):
+        with pytest.raises(ApplicationError):
+            Application.build("empty").finish()
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ApplicationError):
+            (Application.build("x", total_iterations=0)
+             .data("d", 8)
+             .kernel("k", context_words=1, cycles=1, inputs=["d"],
+                     outputs=["o"], result_sizes={"o": 8})
+             .final("o")
+             .finish())
+
+    def test_kernels_are_ordered(self):
+        app = _simple()
+        assert app.kernel_index("k1") == 0
+        assert app.kernel_index("k2") == 1
+
+
+class TestValidation:
+    def test_undeclared_object_rejected(self):
+        with pytest.raises(ApplicationError, match="undeclared"):
+            (Application.build("x", total_iterations=1)
+             .kernel("k", context_words=1, cycles=1, inputs=["ghost"],
+                     outputs=["o"], result_sizes={"o": 8})
+             .final("o")
+             .finish())
+
+    def test_double_production_rejected(self):
+        with pytest.raises(DataflowError, match="single assignment"):
+            (Application.build("x", total_iterations=1)
+             .data("d", 8)
+             .kernel("k1", context_words=1, cycles=1, inputs=["d"],
+                     outputs=["r"], result_sizes={"r": 8})
+             .kernel("k2", context_words=1, cycles=1, inputs=["d"],
+                     outputs=["r"])
+             .final("r")
+             .finish())
+
+    def test_use_before_production_rejected(self):
+        with pytest.raises(DataflowError, match="before"):
+            (Application.build("x", total_iterations=1)
+             .data("d", 8)
+             .data("late", 8)
+             .kernel("k1", context_words=1, cycles=1, inputs=["late"],
+                     outputs=["o1"], result_sizes={"o1": 8})
+             .kernel("k2", context_words=1, cycles=1, inputs=["d"],
+                     outputs=["late"])
+             .final("o1")
+             .finish())
+
+    def test_final_must_be_produced(self):
+        with pytest.raises(DataflowError, match="not produced"):
+            (Application.build("x", total_iterations=1)
+             .data("d", 8)
+             .kernel("k", context_words=1, cycles=1, inputs=["d"],
+                     outputs=["o"], result_sizes={"o": 8})
+             .final("d")
+             .finish())
+
+    def test_final_must_be_declared(self):
+        with pytest.raises(ApplicationError, match="not a declared"):
+            (Application.build("x", total_iterations=1)
+             .data("d", 8)
+             .kernel("k", context_words=1, cycles=1, inputs=["d"],
+                     outputs=["o"], result_sizes={"o": 8})
+             .final("ghost")
+             .finish())
+
+    def test_unused_object_rejected(self):
+        with pytest.raises(ApplicationError, match="neither read nor written"):
+            (Application.build("x", total_iterations=1)
+             .data("d", 8)
+             .data("orphan", 8)
+             .kernel("k", context_words=1, cycles=1, inputs=["d"],
+                     outputs=["o"], result_sizes={"o": 8})
+             .final("o")
+             .finish())
+
+    def test_duplicate_kernel_name_rejected(self):
+        with pytest.raises(ApplicationError, match="two kernels named"):
+            (Application.build("x", total_iterations=1)
+             .data("d", 8)
+             .kernel("k", context_words=1, cycles=1, inputs=["d"],
+                     outputs=["o1"], result_sizes={"o1": 8})
+             .kernel("k", context_words=1, cycles=1, inputs=["o1"],
+                     outputs=["o2"], result_sizes={"o2": 8})
+             .final("o2")
+             .finish())
+
+    def test_kernel_object_name_collision_rejected(self):
+        with pytest.raises(ApplicationError, match="both"):
+            (Application.build("x", total_iterations=1)
+             .data("k", 8)
+             .kernel("k", context_words=1, cycles=1, inputs=["k"],
+                     outputs=["o"], result_sizes={"o": 8})
+             .final("o")
+             .finish())
+
+    def test_duplicate_object_rejected(self):
+        builder = Application.build("x").data("d", 8)
+        with pytest.raises(ApplicationError, match="declared twice"):
+            builder.data("d", 16)
+
+    def test_invariant_result_rejected(self):
+        with pytest.raises(DataflowError, match="invariant"):
+            (Application.build("x", total_iterations=1)
+             .data("d", 8)
+             .data("r", 8, invariant=True)
+             .kernel("k", context_words=1, cycles=1, inputs=["d"],
+                     outputs=["r"])
+             .final("r")
+             .finish())
+
+    def test_result_sizes_must_match_outputs(self):
+        with pytest.raises(ApplicationError, match="not in outputs"):
+            (Application.build("x", total_iterations=1)
+             .data("d", 8)
+             .kernel("k", context_words=1, cycles=1, inputs=["d"],
+                     outputs=["o"], result_sizes={"o": 8, "ghost": 8}))
+
+
+class TestAccessors:
+    def test_kernel_lookup(self):
+        app = _simple()
+        assert app.kernel("k1").cycles == 100
+
+    def test_kernel_lookup_missing(self):
+        with pytest.raises(KeyError):
+            _simple().kernel("nope")
+
+    def test_object_lookup(self):
+        assert _simple().object("d").size == 64
+
+    def test_object_lookup_missing(self):
+        with pytest.raises(KeyError):
+            _simple().object("nope")
+
+    def test_producer_of_result(self):
+        assert _simple().producer_of("r").name == "k1"
+
+    def test_producer_of_external_is_none(self):
+        assert _simple().producer_of("d") is None
+
+    def test_consumers_of(self):
+        consumers = _simple().consumers_of("r")
+        assert [k.name for k in consumers] == ["k2"]
+
+    def test_external_inputs(self):
+        assert _simple().external_inputs() == ("d",)
+
+    def test_external_inputs_order_is_first_touch(self):
+        app = (
+            Application.build("x", total_iterations=1)
+            .data("b", 8)
+            .data("a", 8)
+            .kernel("k1", context_words=1, cycles=1, inputs=["a"],
+                    outputs=["o1"], result_sizes={"o1": 8})
+            .kernel("k2", context_words=1, cycles=1, inputs=["b", "o1"],
+                    outputs=["o2"], result_sizes={"o2": 8})
+            .final("o2")
+            .finish()
+        )
+        assert app.external_inputs() == ("a", "b")
+
+    def test_total_context_words(self):
+        assert _simple().total_context_words() == 16
+
+    def test_kernel_index_missing(self):
+        with pytest.raises(KeyError):
+            _simple().kernel_index("nope")

@@ -1,0 +1,118 @@
+"""Tests for clusters and clusterings."""
+
+import pytest
+
+from repro.core.cluster import Cluster, Clustering
+from repro.errors import ClusteringError
+
+
+class TestCluster:
+    def test_name_is_one_based(self):
+        cluster = Cluster(index=0, kernel_names=("k1",), fb_set=0)
+        assert cluster.name == "Cl1"
+
+    def test_contains(self):
+        cluster = Cluster(index=0, kernel_names=("k1", "k2"), fb_set=0)
+        assert "k1" in cluster
+        assert "k9" not in cluster
+
+    def test_size(self):
+        assert Cluster(index=0, kernel_names=("a", "b"), fb_set=1).size == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ClusteringError):
+            Cluster(index=0, kernel_names=(), fb_set=0)
+
+    def test_bad_set_rejected(self):
+        with pytest.raises(ClusteringError):
+            Cluster(index=0, kernel_names=("k",), fb_set=2)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ClusteringError):
+            Cluster(index=-1, kernel_names=("k",), fb_set=0)
+
+
+class TestClustering:
+    def test_per_kernel(self, sharing_app):
+        clustering = Clustering.per_kernel(sharing_app)
+        assert len(clustering) == 3
+        assert clustering.sizes() == (1, 1, 1)
+
+    def test_single(self, sharing_app):
+        clustering = Clustering.single(sharing_app)
+        assert len(clustering) == 1
+        assert clustering[0].kernel_names == sharing_app.kernel_names
+
+    def test_alternating_sets(self, sharing_app):
+        clustering = Clustering.per_kernel(sharing_app)
+        assert [c.fb_set for c in clustering] == [0, 1, 0]
+
+    def test_explicit_sets(self, sharing_app):
+        clustering = Clustering(
+            sharing_app, [["k1"], ["k2"], ["k3"]], fb_sets=[0, 0, 1]
+        )
+        assert [c.fb_set for c in clustering] == [0, 0, 1]
+
+    def test_from_sizes(self, sharing_app):
+        clustering = Clustering.from_sizes(sharing_app, [2, 1])
+        assert clustering.sizes() == (2, 1)
+        assert clustering[0].kernel_names == ("k1", "k2")
+
+    def test_from_sizes_wrong_total(self, sharing_app):
+        with pytest.raises(ClusteringError):
+            Clustering.from_sizes(sharing_app, [2, 2])
+
+    def test_from_sizes_zero_group(self, sharing_app):
+        with pytest.raises(ClusteringError):
+            Clustering.from_sizes(sharing_app, [3, 0])
+
+    def test_non_contiguous_rejected(self, sharing_app):
+        with pytest.raises(ClusteringError):
+            Clustering(sharing_app, [["k1", "k3"], ["k2"]])
+
+    def test_missing_kernel_rejected(self, sharing_app):
+        with pytest.raises(ClusteringError):
+            Clustering(sharing_app, [["k1"], ["k2"]])
+
+    def test_wrong_fb_set_count_rejected(self, sharing_app):
+        with pytest.raises(ClusteringError):
+            Clustering(sharing_app, [["k1"], ["k2"], ["k3"]], fb_sets=[0, 1])
+
+    def test_cluster_of(self, sharing_app):
+        clustering = Clustering.from_sizes(sharing_app, [2, 1])
+        assert clustering.cluster_of("k2").index == 0
+        assert clustering.cluster_of("k3").index == 1
+
+    def test_cluster_of_missing(self, sharing_app):
+        with pytest.raises(KeyError):
+            Clustering.per_kernel(sharing_app).cluster_of("nope")
+
+    def test_kernels_of(self, sharing_app):
+        clustering = Clustering.from_sizes(sharing_app, [2, 1])
+        kernels = clustering.kernels_of(clustering[0])
+        assert [k.name for k in kernels] == ["k1", "k2"]
+
+    def test_on_set(self, sharing_app):
+        clustering = Clustering.per_kernel(sharing_app)
+        assert [c.index for c in clustering.on_set(0)] == [0, 2]
+        assert [c.index for c in clustering.on_set(1)] == [1]
+
+    def test_same_set(self, sharing_app):
+        clustering = Clustering.per_kernel(sharing_app)
+        assert clustering.same_set(clustering[0], clustering[2])
+        assert not clustering.same_set(clustering[0], clustering[1])
+
+    def test_context_words_of(self, sharing_app):
+        clustering = Clustering.from_sizes(sharing_app, [2, 1])
+        assert clustering.context_words_of(clustering[0]) == 64
+
+    def test_equality_and_hash(self, sharing_app):
+        first = Clustering.per_kernel(sharing_app)
+        second = Clustering.per_kernel(sharing_app)
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != Clustering.single(sharing_app)
+
+    def test_str(self, sharing_app):
+        text = str(Clustering.per_kernel(sharing_app))
+        assert "Cl1" in text and "Cl3" in text

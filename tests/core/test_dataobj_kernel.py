@@ -1,0 +1,90 @@
+"""Tests for DataObject and Kernel value objects."""
+
+import pytest
+
+from repro.core.dataobj import DataObject
+from repro.core.kernel import Kernel
+from repro.errors import ApplicationError
+
+
+class TestDataObject:
+    def test_basic(self):
+        obj = DataObject("d", 64)
+        assert obj.size == 64
+        assert not obj.invariant
+
+    def test_of_parses_k_sizes(self):
+        assert DataObject.of("d", "0.5K").size == 512
+
+    def test_str(self):
+        assert str(DataObject("d", 2048)) == "d[2K]"
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ApplicationError):
+            DataObject("d", 0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ApplicationError):
+            DataObject("", 8)
+
+    def test_forbidden_characters_rejected(self):
+        with pytest.raises(ApplicationError):
+            DataObject("a b", 8)
+
+    def test_shape_validated(self):
+        with pytest.raises(ApplicationError):
+            DataObject("d", 8, element_shape=(0, 4))
+
+    def test_shape_normalised_to_ints(self):
+        obj = DataObject("d", 64, element_shape=(8.0, 8.0))
+        assert obj.element_shape == (8, 8)
+
+    def test_invariant_flag(self):
+        assert DataObject("t", 8, invariant=True).invariant
+
+    def test_frozen(self):
+        obj = DataObject("d", 8)
+        with pytest.raises(Exception):
+            obj.size = 9
+
+
+class TestKernel:
+    def test_basic(self):
+        kernel = Kernel("k", context_words=8, cycles=100,
+                        inputs=("a",), outputs=("b",))
+        assert kernel.reads("a")
+        assert kernel.writes("b")
+        assert not kernel.reads("b")
+
+    def test_str(self):
+        text = str(Kernel("k", context_words=8, cycles=100))
+        assert "k" in text and "8" in text
+
+    def test_zero_context_words_rejected(self):
+        with pytest.raises(ApplicationError):
+            Kernel("k", context_words=0, cycles=100)
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ApplicationError):
+            Kernel("k", context_words=8, cycles=0)
+
+    def test_non_int_cycles_rejected(self):
+        with pytest.raises(ApplicationError):
+            Kernel("k", context_words=8, cycles=1.5)
+
+    def test_duplicate_input_rejected(self):
+        with pytest.raises(ApplicationError, match="twice"):
+            Kernel("k", context_words=8, cycles=1, inputs=("a", "a"))
+
+    def test_duplicate_output_rejected(self):
+        with pytest.raises(ApplicationError, match="twice"):
+            Kernel("k", context_words=8, cycles=1, outputs=("b", "b"))
+
+    def test_in_place_update_rejected(self):
+        with pytest.raises(ApplicationError, match="in-place"):
+            Kernel("k", context_words=8, cycles=1,
+                   inputs=("x",), outputs=("x",))
+
+    def test_inputs_normalised_to_tuple(self):
+        kernel = Kernel("k", context_words=8, cycles=1, inputs=["a", "b"])
+        assert kernel.inputs == ("a", "b")

@@ -1,0 +1,161 @@
+"""Tests for DS(C_c) peak occupancy and related metrics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.application import Application
+from repro.core.cluster import Clustering
+from repro.core.dataflow import analyze_dataflow
+from repro.core.metrics import (
+    cluster_data_size,
+    cluster_data_size_formula,
+    cluster_footprint,
+    max_cluster_data_size,
+    total_data_size,
+)
+from repro.core.reuse import find_shared_data, find_shared_results
+from repro.workloads.random_gen import random_application
+
+
+class TestTotalDataSize:
+    def test_sums_all_objects(self, sharing_dataflow):
+        expected = 256 + 128 + 192 + 192 + 128
+        assert total_data_size(sharing_dataflow) == expected
+
+
+class TestClusterFootprint:
+    def test_footprint_is_inputs_plus_results(self, multi_kernel_app,
+                                              multi_clustering):
+        dataflow = analyze_dataflow(multi_kernel_app, multi_clustering)
+        # Cluster 0: inputs a(200) + b(100); results t1+t2(300) + c_out(100).
+        assert cluster_footprint(dataflow, 0) == 200 + 100 + 150 + 150 + 100
+
+    def test_footprint_at_least_peak(self, multi_kernel_app,
+                                     multi_clustering):
+        dataflow = analyze_dataflow(multi_kernel_app, multi_clustering)
+        for cluster in multi_clustering:
+            assert cluster_footprint(dataflow, cluster.index) >= \
+                cluster_data_size(dataflow, cluster.index, 1)
+
+
+class TestClusterDataSize:
+    def test_single_kernel_cluster(self, sharing_dataflow):
+        # Cluster 0 = k1: inputs d(256)+shared(128), output r1(192).
+        assert cluster_data_size(sharing_dataflow, 0, 1) == 256 + 128 + 192
+
+    def test_replacement_reduces_peak(self, multi_kernel_app,
+                                      multi_clustering):
+        """The sweep releases dead data, so the peak is below footprint."""
+        dataflow = analyze_dataflow(multi_kernel_app, multi_clustering)
+        peak = cluster_data_size(dataflow, 0, 1)
+        footprint = cluster_footprint(dataflow, 0)
+        assert peak < footprint
+
+    def test_monotone_in_rf(self, sharing_dataflow):
+        values = [
+            cluster_data_size(sharing_dataflow, 0, rf) for rf in range(1, 6)
+        ]
+        assert values == sorted(values)
+        assert values[0] < values[-1]
+
+    def test_invalid_rf_rejected(self, sharing_dataflow):
+        with pytest.raises(ValueError):
+            cluster_data_size(sharing_dataflow, 0, 0)
+
+    def test_invariant_input_counted_once(self, invariant_app):
+        """At RF=3 an invariant table occupies one copy where a variant
+        twin of the same application would hold three."""
+        variant_twin = (
+            Application.build("twin", total_iterations=12)
+            .data("d", 256)
+            .data("table", 128)  # same sizes, NOT invariant
+            .kernel("k1", context_words=32, cycles=600,
+                    inputs=["d", "table"],
+                    outputs=["r1"], result_sizes={"r1": 192})
+            .kernel("k2", context_words=32, cycles=500, inputs=["r1"],
+                    outputs=["r2"], result_sizes={"r2": 192})
+            .kernel("k3", context_words=32, cycles=400,
+                    inputs=["r2", "table"],
+                    outputs=["out"], result_sizes={"out": 128})
+            .final("out")
+            .finish()
+        )
+        inv_df = analyze_dataflow(
+            invariant_app, Clustering.per_kernel(invariant_app)
+        )
+        var_df = analyze_dataflow(
+            variant_twin, Clustering.per_kernel(variant_twin)
+        )
+        # Same peak at RF=1 (one instance either way)...
+        assert cluster_data_size(inv_df, 0, 1) == \
+            cluster_data_size(var_df, 0, 1)
+        # ...but at RF=3 the invariant version holds 2 fewer table copies.
+        assert cluster_data_size(inv_df, 0, 3) == \
+            cluster_data_size(var_df, 0, 3) - 2 * 128
+
+    def test_keep_adds_residency_to_pass_through_cluster(self,
+                                                         sharing_dataflow):
+        """A kept item spans cluster 1 even though cluster 1 (set 1)
+        never consumes it — only same-set clusters are charged."""
+        keeps = find_shared_data(sharing_dataflow)
+        without = cluster_data_size(sharing_dataflow, 1, 1)
+        with_keep = cluster_data_size(sharing_dataflow, 1, 1, keeps)
+        assert with_keep == without  # cluster 1 is on the other set
+
+    def test_keep_charged_on_same_set(self, sharing_dataflow):
+        keeps = find_shared_results(sharing_dataflow)
+        # r1 kept: cluster 2 no longer loads it but it stays resident.
+        base = cluster_data_size(sharing_dataflow, 2, 1)
+        kept = cluster_data_size(sharing_dataflow, 2, 1, keeps)
+        assert kept == base  # same words, different provenance
+
+    def test_keep_shared_data_kept_in_consumer(self, sharing_dataflow):
+        keeps = find_shared_data(sharing_dataflow)
+        base = cluster_data_size(sharing_dataflow, 0, 2)
+        kept = cluster_data_size(sharing_dataflow, 0, 2, keeps)
+        # Non-invariant kept data occupies RF instances either way.
+        assert kept == base
+
+    def test_max_cluster_data_size(self, sharing_dataflow):
+        expected = max(
+            cluster_data_size(sharing_dataflow, index, 2)
+            for index in range(3)
+        )
+        assert max_cluster_data_size(sharing_dataflow, 2) == expected
+
+    def test_max_cluster_data_size_per_set(self, sharing_dataflow):
+        set0 = max_cluster_data_size(sharing_dataflow, 1, fb_set=0)
+        set1 = max_cluster_data_size(sharing_dataflow, 1, fb_set=1)
+        assert set0 == max(
+            cluster_data_size(sharing_dataflow, 0, 1),
+            cluster_data_size(sharing_dataflow, 2, 1),
+        )
+        assert set1 == cluster_data_size(sharing_dataflow, 1, 1)
+
+
+class TestClosedFormAgreement:
+    """The paper's closed-form DS formula must match the exact sweep at
+    RF=1 with no keeps."""
+
+    def test_fixture_apps(self, sharing_app, sharing_clustering,
+                          multi_kernel_app, multi_clustering):
+        for app, clustering in (
+            (sharing_app, sharing_clustering),
+            (multi_kernel_app, multi_clustering),
+        ):
+            dataflow = analyze_dataflow(app, clustering)
+            for cluster in clustering:
+                assert cluster_data_size_formula(dataflow, cluster.index) == \
+                    cluster_data_size(dataflow, cluster.index, 1), cluster
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_apps(self, seed):
+        application, clustering = random_application(seed)
+        dataflow = analyze_dataflow(application, clustering)
+        for cluster in clustering:
+            # Invariant inputs are a model extension the closed form
+            # (paper, RF=1) also covers: words_for(1) == size.
+            assert cluster_data_size_formula(dataflow, cluster.index) == \
+                cluster_data_size(dataflow, cluster.index, 1)

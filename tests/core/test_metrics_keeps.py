@@ -1,0 +1,107 @@
+"""Deeper keep-occupancy scenarios for ``cluster_data_size``."""
+
+import pytest
+
+from repro.core.application import Application
+from repro.core.cluster import Clustering
+from repro.core.dataflow import analyze_dataflow
+from repro.core.metrics import cluster_data_size
+from repro.core.reuse import SharedData, SharedResult, find_shared_data
+
+
+def _five_cluster_app():
+    """Five single-kernel clusters; 'tbl' feeds clusters 1 and 5
+    (indices 0 and 4, both set 0); cluster 3 (index 2, set 0) is a
+    pass-through the keep must survive."""
+    return (
+        Application.build("five", total_iterations=8)
+        .data("tbl", 100)
+        .data("a", 50).data("b", 50).data("c", 50).data("d", 50)
+        .kernel("k1", context_words=8, cycles=10, inputs=["a", "tbl"],
+                outputs=["r1"], result_sizes={"r1": 40})
+        .kernel("k2", context_words=8, cycles=10, inputs=["b", "r1"],
+                outputs=["r2"], result_sizes={"r2": 40})
+        .kernel("k3", context_words=8, cycles=10, inputs=["c", "r2"],
+                outputs=["r3"], result_sizes={"r3": 40})
+        .kernel("k4", context_words=8, cycles=10, inputs=["d", "r3"],
+                outputs=["r4"], result_sizes={"r4": 40})
+        .kernel("k5", context_words=8, cycles=10, inputs=["r4", "tbl"],
+                outputs=["out"], result_sizes={"out": 30})
+        .final("out")
+        .finish()
+    )
+
+
+class TestKeepResidency:
+    def test_pass_through_cluster_charged(self):
+        app = _five_cluster_app()
+        clustering = Clustering.per_kernel(app)
+        dataflow = analyze_dataflow(app, clustering)
+        keeps = find_shared_data(dataflow)
+        assert keeps and keeps[0].name == "tbl"
+        assert keeps[0].clusters == (0, 4)
+        # Cluster 2 (set 0, between the consumers) pays the residency.
+        base = cluster_data_size(dataflow, 2, 1)
+        kept = cluster_data_size(dataflow, 2, 1, keeps)
+        assert kept == base + 100
+
+    def test_same_set_non_span_cluster_not_charged(self):
+        app = _five_cluster_app()
+        clustering = Clustering.per_kernel(app)
+        dataflow = analyze_dataflow(app, clustering)
+        keeps = find_shared_data(dataflow)
+        # Cluster 1 and 3 are on set 1: untouched by a set-0 keep.
+        for index in (1, 3):
+            assert cluster_data_size(dataflow, index, 1, keeps) == \
+                cluster_data_size(dataflow, index, 1)
+
+    def test_rf_scales_variant_keep(self):
+        app = _five_cluster_app()
+        clustering = Clustering.per_kernel(app)
+        dataflow = analyze_dataflow(app, clustering)
+        keeps = find_shared_data(dataflow)
+        at_rf1 = cluster_data_size(dataflow, 2, 1, keeps)
+        at_rf3 = cluster_data_size(dataflow, 2, 3, keeps)
+        # The kept (variant) table holds RF instances.
+        base1 = cluster_data_size(dataflow, 2, 1)
+        base3 = cluster_data_size(dataflow, 2, 3)
+        assert at_rf1 - base1 == 100
+        assert at_rf3 - base3 == 300
+
+    def test_invariant_keep_flat_in_rf(self):
+        app = (
+            Application.build("inv", total_iterations=8)
+            .data("tbl", 100, invariant=True)
+            .data("a", 50).data("b", 50).data("c", 50)
+            .kernel("k1", context_words=8, cycles=10,
+                    inputs=["a", "tbl"],
+                    outputs=["r1"], result_sizes={"r1": 40})
+            .kernel("k2", context_words=8, cycles=10, inputs=["b", "r1"],
+                    outputs=["r2"], result_sizes={"r2": 40})
+            .kernel("k3", context_words=8, cycles=10,
+                    inputs=["c", "r2", "tbl"],
+                    outputs=["out"], result_sizes={"out": 30})
+            .final("out")
+            .finish()
+        )
+        clustering = Clustering.per_kernel(app)
+        dataflow = analyze_dataflow(app, clustering)
+        keeps = find_shared_data(dataflow)
+        assert keeps[0].invariant
+        # Consuming cluster 0: table is an input either way; the keep
+        # contributes the same single copy at any RF.
+        for rf in (1, 2, 4):
+            base = cluster_data_size(dataflow, 0, rf)
+            kept = cluster_data_size(dataflow, 0, rf, keeps)
+            assert kept <= base + 100  # never more than one extra copy
+
+    def test_result_keep_charged_conservatively(self, sharing_dataflow):
+        """A kept shared result is charged from cluster start (the
+        sweep's documented conservatism): the peak with the keep is
+        never below the peak without it."""
+        from repro.core.reuse import find_shared_results
+        keeps = find_shared_results(sharing_dataflow)
+        for cluster in sharing_dataflow.clustering.on_set(0):
+            assert cluster_data_size(
+                sharing_dataflow, cluster.index, 2, keeps
+            ) >= cluster_data_size(sharing_dataflow, cluster.index, 2) - 384

@@ -1,0 +1,134 @@
+"""Tests for shared data/result detection (D_i..j and R_i,j..k)."""
+
+import pytest
+
+from repro.core.application import Application
+from repro.core.cluster import Clustering
+from repro.core.dataflow import analyze_dataflow
+from repro.core.reuse import find_shared_data, find_shared_results
+
+
+class TestSharedData:
+    def test_same_set_sharing_found(self, sharing_dataflow):
+        shared = find_shared_data(sharing_dataflow)
+        assert len(shared) == 1
+        item = shared[0]
+        assert item.name == "shared"
+        assert item.fb_set == 0
+        assert item.clusters == (0, 2)
+
+    def test_cross_set_only_sharing_not_found(self):
+        app = (
+            Application.build("cross", total_iterations=2)
+            .data("d", 64)
+            .data("both", 32)
+            .kernel("k1", context_words=8, cycles=10, inputs=["d", "both"],
+                    outputs=["r1"], result_sizes={"r1": 16})
+            .kernel("k2", context_words=8, cycles=10, inputs=["r1", "both"],
+                    outputs=["out"], result_sizes={"out": 16})
+            .final("out")
+            .finish()
+        )
+        dataflow = analyze_dataflow(app, Clustering.per_kernel(app))
+        assert find_shared_data(dataflow) == []
+
+    def test_transfers_avoided_is_n_minus_1(self, sharing_dataflow):
+        item = find_shared_data(sharing_dataflow)[0]
+        assert item.n_users == 2
+        assert item.transfers_avoided == 1
+        assert item.words_avoided == 128
+
+    def test_span_and_residency(self, sharing_dataflow):
+        item = find_shared_data(sharing_dataflow)[0]
+        assert item.span == (0, 2)
+        assert item.resident_for(0)
+        assert item.resident_for(1)  # passes through while Cl2 runs
+        assert item.resident_for(2)
+        assert not item.resident_for(3)
+
+    def test_label(self, sharing_dataflow):
+        assert find_shared_data(sharing_dataflow)[0].label == "D1..3"
+
+    def test_invariant_flag_propagates(self, invariant_app):
+        clustering = Clustering.per_kernel(invariant_app)
+        dataflow = analyze_dataflow(invariant_app, clustering)
+        item = find_shared_data(dataflow)[0]
+        assert item.invariant
+
+    def test_both_sets_can_share_independently(self):
+        """A datum consumed by clusters 0,2 (set 0) and 1,3 (set 1)
+        yields one candidate per set."""
+        app = (
+            Application.build("two-sets", total_iterations=2)
+            .data("t", 32)
+            .data("d1", 16).data("d2", 16).data("d3", 16).data("d4", 16)
+            .kernel("k1", context_words=8, cycles=10, inputs=["d1", "t"],
+                    outputs=["r1"], result_sizes={"r1": 8})
+            .kernel("k2", context_words=8, cycles=10, inputs=["d2", "t", "r1"],
+                    outputs=["r2"], result_sizes={"r2": 8})
+            .kernel("k3", context_words=8, cycles=10, inputs=["d3", "t", "r2"],
+                    outputs=["r3"], result_sizes={"r3": 8})
+            .kernel("k4", context_words=8, cycles=10, inputs=["d4", "t", "r3"],
+                    outputs=["out"], result_sizes={"out": 8})
+            .final("out")
+            .finish()
+        )
+        dataflow = analyze_dataflow(app, Clustering.per_kernel(app))
+        shared = find_shared_data(dataflow)
+        assert len(shared) == 2
+        assert {item.fb_set for item in shared} == {0, 1}
+        assert shared[0].clusters == (0, 2)
+        assert shared[1].clusters == (1, 3)
+
+
+class TestSharedResults:
+    def test_same_set_result_found(self, sharing_dataflow):
+        results = find_shared_results(sharing_dataflow)
+        assert len(results) == 1
+        item = results[0]
+        assert item.name == "r1"
+        assert item.producer_cluster == 0
+        assert item.consumer_clusters == (2,)
+        assert item.fb_set == 0
+
+    def test_store_required_when_cross_set_consumer(self, sharing_dataflow):
+        # r1 is also consumed by cluster 1 (set 1) -> store required.
+        item = find_shared_results(sharing_dataflow)[0]
+        assert item.store_required
+        assert item.transfers_avoided == 1  # only the same-set reload
+
+    def test_store_not_required_when_private(self):
+        app = (
+            Application.build("private", total_iterations=2)
+            .data("d1", 16).data("d2", 16).data("d3", 16)
+            .kernel("k1", context_words=8, cycles=10, inputs=["d1"],
+                    outputs=["r1"], result_sizes={"r1": 8})
+            .kernel("k2", context_words=8, cycles=10, inputs=["d2"],
+                    outputs=["r2"], result_sizes={"r2": 8})
+            .kernel("k3", context_words=8, cycles=10,
+                    inputs=["d3", "r1", "r2"],
+                    outputs=["out"], result_sizes={"out": 8})
+            .final("out")
+            .finish()
+        )
+        dataflow = analyze_dataflow(app, Clustering.per_kernel(app))
+        results = find_shared_results(dataflow)
+        r1 = next(item for item in results if item.name == "r1")
+        assert not r1.store_required
+        assert r1.transfers_avoided == 2  # one store + one load avoided
+
+    def test_final_shared_result_still_stored(self, multi_kernel_app,
+                                              multi_clustering):
+        dataflow = analyze_dataflow(multi_kernel_app, multi_clustering)
+        results = find_shared_results(dataflow)
+        # c_out produced in cluster 0 (set 0), consumed in cluster 1
+        # (set 1): cross-set only, so no same-set candidate exists.
+        assert results == []
+
+    def test_label(self, sharing_dataflow):
+        assert find_shared_results(sharing_dataflow)[0].label == "R1,3"
+
+    def test_span(self, sharing_dataflow):
+        item = find_shared_results(sharing_dataflow)[0]
+        assert item.span == (0, 2)
+        assert item.resident_for(1)

@@ -1,0 +1,72 @@
+"""Property-based invariants of schedules over random applications."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.params import Architecture
+from repro.core.metrics import cluster_data_size, cluster_footprint
+from repro.errors import InfeasibleScheduleError
+from repro.schedule.basic import BasicScheduler
+from repro.schedule.complete import CompleteDataScheduler
+from repro.schedule.data_scheduler import DataScheduler
+from repro.workloads.random_gen import random_application
+
+SCHEDULERS = (BasicScheduler, DataScheduler, CompleteDataScheduler)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=0, max_value=20000),
+       st.sampled_from(["1K", "2K", "8K"]))
+def test_plan_invariants(seed, fb):
+    """For every scheduler and schedulable random app:
+
+    * loads and kept inputs partition the cluster's inputs;
+    * stores and retained outputs are produced in the cluster;
+    * every kept input is covered by a keep decision that lists the
+      cluster as a consumer;
+    * reported peak occupancy fits the frame-buffer set;
+    * the CDS never loads more words than the DS.
+    """
+    application, clustering = random_application(seed, iterations=4)
+    architecture = Architecture.m1(fb)
+    summaries = {}
+    for scheduler_cls in SCHEDULERS:
+        try:
+            schedule = scheduler_cls(architecture).schedule(
+                application, clustering
+            )
+        except InfeasibleScheduleError:
+            continue
+        dataflow = schedule.dataflow
+        keep_consumers = {}
+        for keep in schedule.keeps:
+            consumers = getattr(keep, "clusters", None)
+            if consumers is None:
+                consumers = keep.consumer_clusters
+            keep_consumers[keep.name] = set(consumers)
+        for plan in schedule.cluster_plans:
+            inputs = set(dataflow.inputs_of_cluster(plan.cluster_index))
+            assert set(plan.loads) | set(plan.kept_inputs) == inputs
+            assert not set(plan.loads) & set(plan.kept_inputs)
+            produced = set(dataflow.produced_by_cluster(plan.cluster_index))
+            assert set(plan.stores) <= produced
+            for name in plan.kept_inputs:
+                assert plan.cluster_index in keep_consumers[name], name
+            assert plan.peak_occupancy <= architecture.fb_set_words
+            # The plan's occupancy claim matches the metric.
+            if schedule.scheduler == "basic":
+                assert plan.peak_occupancy == cluster_footprint(
+                    dataflow, plan.cluster_index
+                )
+            else:
+                assert plan.peak_occupancy == cluster_data_size(
+                    dataflow, plan.cluster_index, schedule.rf, schedule.keeps
+                )
+        summaries[schedule.scheduler] = schedule.summary()
+    if "ds" in summaries and "cds" in summaries:
+        assert summaries["cds"].total_data_words <= \
+            summaries["ds"].total_data_words
+    if "basic" in summaries and "ds" in summaries:
+        assert summaries["ds"].total_context_words <= \
+            summaries["basic"].total_context_words

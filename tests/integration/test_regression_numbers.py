@@ -1,0 +1,36 @@
+"""Golden-number regression test.
+
+The whole pipeline (schedulers, code generator, simulator) is
+deterministic, so every Table-1 experiment's simulated cycle counts are
+pinned in ``golden_table1.json``.  Any refactor that changes them —
+intentionally or not — fails here and forces a conscious update
+(regenerate with ``python -m repro table1 --json`` and review the
+diff against EXPERIMENTS.md).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.compare import compare_experiment
+from repro.workloads.spec import paper_experiments
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_table1.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+_SPECS = {spec.id: spec for spec in paper_experiments()}
+
+
+def test_golden_covers_every_experiment():
+    assert set(GOLDEN) == set(_SPECS)
+
+
+@pytest.mark.parametrize("experiment_id", sorted(GOLDEN))
+def test_pinned_numbers(experiment_id):
+    row = compare_experiment(_SPECS[experiment_id])
+    expected = GOLDEN[experiment_id]
+    assert row.rf == expected["rf"]
+    assert row.basic.total_cycles == expected["basic_cycles"]
+    assert row.ds.total_cycles == expected["ds_cycles"]
+    assert row.cds.total_cycles == expected["cds_cycles"]
+    assert row.cds.data_words == expected["cds_data_words"]

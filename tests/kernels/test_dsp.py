@@ -1,0 +1,195 @@
+"""Tests for the DSP kernel library: program-vs-reference equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.arch.rc_array import RCArray
+from repro.kernels import default_library
+from repro.kernels.dsp import (
+    dct8x8,
+    dct_basis_matrix,
+    fir,
+    idct8x8,
+    quant8x8,
+    sad16,
+    zigzag_order,
+)
+
+
+@pytest.fixture(scope="module")
+def library():
+    return default_library()
+
+
+@pytest.fixture(scope="module")
+def rc_array():
+    return RCArray()
+
+
+class TestEquivalence:
+    """Every library kernel's RC-array program matches its NumPy
+    reference on random operands."""
+
+    @pytest.mark.parametrize("op", [
+        "dct8x8", "idct8x8", "quant8x8", "dequant8x8", "zigzag_pack",
+        "fir", "threshold_clip", "sad16", "pointwise_abs_diff",
+        "vector_add", "motion_search", "haar8", "rgb_to_luma",
+    ])
+    def test_program_matches_reference(self, library, rc_array, op):
+        entry = library.get(op)
+        for seed in (1, 2, 3):
+            operands = entry.representative_operands(seed=seed)
+            reference = entry.run_reference(operands)
+            programmed = entry.run_program(rc_array, operands)
+            for role in entry.output_roles:
+                assert np.array_equal(reference[role], programmed[role]), \
+                    (op, role, seed)
+
+
+class TestDctProperties:
+    def test_basis_is_orthogonal_when_scaled(self):
+        basis = dct_basis_matrix()
+        gram = basis.astype(float) @ basis.astype(float).T / (1 << 14)
+        assert np.allclose(gram, np.eye(8), atol=0.02)
+
+    def test_dc_block(self):
+        """A constant block concentrates energy in the DC coefficient."""
+        entry = dct8x8()
+        block = np.full((8, 8), 64, dtype=np.int64)
+        out = entry.run_reference({"x": block})["y"]
+        assert abs(out[0, 0]) > 8 * abs(out).ravel()[1:].max() or \
+            abs(out).ravel()[1:].max() == 0
+
+    def test_roundtrip_preserves_signal(self):
+        """DCT -> IDCT recovers the block up to fixed-point error."""
+        forward = dct8x8()
+        inverse = idct8x8()
+        rng = np.random.RandomState(5)
+        block = rng.randint(-128, 128, size=(8, 8)).astype(np.int64)
+        coefficients = forward.run_reference({"x": block})["y"]
+        recovered = inverse.run_reference({"y": coefficients})["x"]
+        assert np.abs(recovered - block).max() <= 4
+
+    def test_quant_reduces_magnitude(self):
+        entry = quant8x8(qshift=4)
+        values = np.arange(-32, 32).reshape(8, 8) * 16
+        out = entry.run_reference({"y": values})["q"]
+        assert np.abs(out).max() <= 255
+        assert np.abs(out).max() < np.abs(values).max()
+
+
+class TestZigzag:
+    def test_order_is_permutation(self):
+        order = zigzag_order()
+        assert sorted(order.tolist()) == list(range(64))
+
+    def test_starts_at_dc(self):
+        order = zigzag_order()
+        assert order[0] == 0
+        assert order[1] in (1, 8)
+
+    def test_classic_prefix(self):
+        # The canonical JPEG zig-zag prefix.
+        assert zigzag_order()[:10].tolist() == [0, 1, 8, 16, 9, 2, 3, 10,
+                                                17, 24]
+
+
+class TestFir:
+    def test_identity_filter(self):
+        entry = fir(taps=(1,), length=16)
+        x = np.arange(16, dtype=np.int64)
+        assert np.array_equal(entry.run_reference({"x": x})["y"], x)
+
+    def test_moving_average_power_of_two(self):
+        entry = fir(taps=(1, 1, 1, 1), length=8)
+        x = np.full(8, 8, dtype=np.int64)
+        out = entry.run_reference({"x": x})["y"]
+        # Steady state: (8+8+8+8) >> 2 == 8 after the warm-up.
+        assert out[-1] == 8
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(ValueError):
+            fir(taps=())
+
+
+class TestSad:
+    def test_identical_blocks_zero(self):
+        entry = sad16()
+        block = np.arange(256).reshape(16, 16)
+        out = entry.run_reference({"a": block, "b": block})["sad"]
+        assert int(out) == 0
+
+    def test_known_difference(self):
+        entry = sad16()
+        a = np.zeros((16, 16), dtype=np.int64)
+        b = np.full((16, 16), 3, dtype=np.int64)
+        assert int(entry.run_reference({"a": a, "b": b})["sad"]) == 768
+
+
+class TestCycleEstimates:
+    def test_all_kernels_give_positive_cycles(self, library):
+        for op in library.ops():
+            assert library.cycles_for(op) > 0
+
+    def test_dct_costs_more_than_quant(self, library):
+        assert library.cycles_for("dct8x8") > library.cycles_for("quant8x8")
+
+
+class TestMotionSearch:
+    def test_exact_match_candidate_has_zero_sad(self):
+        from repro.kernels.dsp import motion_search
+        import numpy as np
+        entry = motion_search()
+        rng = np.random.RandomState(3)
+        cur = rng.randint(0, 255, size=(16, 16)).astype(np.int64)
+        cands = rng.randint(0, 255, size=(4, 16, 16)).astype(np.int64)
+        cands[2] = cur
+        sads = entry.run_reference({"cur": cur, "cands": cands})["sads"]
+        assert sads[2] == 0
+        assert int(np.argmin(sads)) == 2
+
+
+class TestHaar:
+    def test_matrix_structure(self):
+        from repro.kernels.dsp import haar_matrix
+        matrix = haar_matrix(4)
+        assert matrix.tolist() == [
+            [1, 1, 0, 0], [0, 0, 1, 1],
+            [1, -1, 0, 0], [0, 0, 1, -1],
+        ]
+
+    def test_odd_size_rejected(self):
+        from repro.kernels.dsp import haar_matrix
+        with pytest.raises(ValueError):
+            haar_matrix(5)
+
+    def test_constant_rows_have_zero_detail(self):
+        from repro.kernels.dsp import haar8
+        import numpy as np
+        entry = haar8()
+        x = np.full((8, 8), 10, dtype=np.int64)
+        y = entry.run_reference({"x": x})["y"]
+        assert np.all(y[:, 4:] == 0)   # detail band of constant signal
+        assert np.all(y[:, :4] == 20)  # pairwise sums
+
+
+class TestRgbToLuma:
+    def test_grey_is_identity_up_to_rounding(self):
+        from repro.kernels.dsp import rgb_to_luma
+        import numpy as np
+        entry = rgb_to_luma(pixels=8)
+        grey = np.full(8, 100, dtype=np.int64)
+        y = entry.run_reference({"r": grey, "g": grey, "b": grey})["y"]
+        # 66+129+25 = 220 -> y = (220*100 + 128) >> 8 = 86 (BT.601 range)
+        assert np.all(y == (220 * 100 + 128) >> 8)
+
+    def test_green_dominates(self):
+        from repro.kernels.dsp import rgb_to_luma
+        import numpy as np
+        entry = rgb_to_luma(pixels=4)
+        zeros = np.zeros(4, dtype=np.int64)
+        full = np.full(4, 255, dtype=np.int64)
+        y_g = entry.run_reference({"r": zeros, "g": full, "b": zeros})["y"]
+        y_r = entry.run_reference({"r": full, "g": zeros, "b": zeros})["y"]
+        y_b = entry.run_reference({"r": zeros, "g": zeros, "b": full})["y"]
+        assert y_g[0] > y_r[0] > y_b[0]

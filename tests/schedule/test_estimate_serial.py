@@ -1,0 +1,61 @@
+"""Tests for the serial-vs-pipelined estimator paths."""
+
+import pytest
+
+from repro.arch.params import Architecture
+from repro.schedule.basic import BasicScheduler
+from repro.schedule.data_scheduler import DataScheduler
+from repro.schedule.estimate import estimate_execution_cycles, visit_windows
+
+
+class TestSerialEstimate:
+    def test_serial_is_sum_of_windows(self, sharing_app,
+                                      sharing_clustering, m1_medium):
+        schedule = BasicScheduler(m1_medium).schedule(
+            sharing_app, sharing_clustering
+        )
+        windows = visit_windows(schedule, m1_medium)
+        expected = sum(c + l + s for c, l, s in windows)
+        assert estimate_execution_cycles(schedule, m1_medium) == expected
+
+    def test_pipelined_below_serial(self, sharing_app, sharing_clustering,
+                                    m1_medium):
+        basic = BasicScheduler(m1_medium).schedule(
+            sharing_app, sharing_clustering
+        )
+        ds = DataScheduler(m1_medium).schedule(
+            sharing_app, sharing_clustering
+        )
+        assert estimate_execution_cycles(ds, m1_medium) < \
+            estimate_execution_cycles(basic, m1_medium)
+
+    def test_pipelined_at_least_compute_bound(self, sharing_app,
+                                              sharing_clustering,
+                                              m1_medium):
+        schedule = DataScheduler(m1_medium).schedule(
+            sharing_app, sharing_clustering
+        )
+        windows = visit_windows(schedule, m1_medium)
+        compute_total = sum(c for c, _, _ in windows)
+        assert estimate_execution_cycles(schedule, m1_medium) >= \
+            compute_total
+
+    def test_window_loads_include_contexts(self, sharing_app,
+                                           sharing_clustering, m1_medium):
+        schedule = DataScheduler(m1_medium).schedule(
+            sharing_app, sharing_clustering
+        )
+        windows = visit_windows(schedule, m1_medium)
+        timing = m1_medium.timing
+        # Every visit's dma_loads is at least its context transfer cost.
+        for (compute, loads, _), plan in zip(
+            windows, list(schedule.cluster_plans) * schedule.rounds
+        ):
+            kernels = schedule.clustering.kernels_of(
+                schedule.clustering[plan.cluster_index]
+            )
+            context_cost = sum(
+                timing.context_transfer_cycles(k.context_words)
+                for k in kernels
+            )
+            assert loads >= context_cost

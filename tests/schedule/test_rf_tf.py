@@ -1,0 +1,115 @@
+"""Tests for reuse-factor computation and time-factor ranking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cluster import Clustering
+from repro.core.dataflow import analyze_dataflow
+from repro.core.metrics import total_data_size
+from repro.core.reuse import SharedData, SharedResult
+from repro.schedule.rf import fits, max_common_rf
+from repro.schedule.tf import (
+    rank_by_time_factor,
+    retention_candidates,
+    time_factor,
+)
+from repro.workloads.random_gen import random_application
+
+
+class TestMaxCommonRf:
+    def test_zero_when_infeasible(self, sharing_dataflow):
+        assert max_common_rf(sharing_dataflow, 100) == 0
+
+    def test_one_when_tight(self, sharing_dataflow):
+        # The largest cluster (Cl3) needs 640 words at RF=1.
+        assert max_common_rf(sharing_dataflow, 640) == 1
+        assert max_common_rf(sharing_dataflow, 639) == 0
+
+    def test_grows_with_memory(self, sharing_dataflow):
+        small = max_common_rf(sharing_dataflow, 1024)
+        large = max_common_rf(sharing_dataflow, 4096)
+        assert large > small >= 1
+
+    def test_capped_by_iterations(self, sharing_dataflow):
+        rf = max_common_rf(sharing_dataflow, 10 ** 9)
+        assert rf == sharing_dataflow.application.total_iterations
+
+    def test_explicit_cap(self, sharing_dataflow):
+        assert max_common_rf(sharing_dataflow, 10 ** 9, max_rf=3) == 3
+
+    def test_fits_agrees(self, sharing_dataflow):
+        rf = max_common_rf(sharing_dataflow, 2048)
+        assert fits(sharing_dataflow, rf, 2048)
+        if rf < sharing_dataflow.application.total_iterations:
+            assert not fits(sharing_dataflow, rf + 1, 2048)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2000),
+           st.sampled_from([1024, 2048, 8192]))
+    def test_result_is_maximal(self, seed, fbs):
+        application, clustering = random_application(seed)
+        dataflow = analyze_dataflow(application, clustering)
+        rf = max_common_rf(dataflow, fbs)
+        if rf == 0:
+            assert not fits(dataflow, 1, fbs)
+            return
+        assert fits(dataflow, rf, fbs)
+        if rf < application.total_iterations:
+            assert not fits(dataflow, rf + 1, fbs)
+
+
+class TestTimeFactor:
+    def _data(self, size, clusters, invariant=False):
+        return SharedData(name="x", size=size, fb_set=0,
+                          clusters=tuple(clusters), invariant=invariant)
+
+    def _result(self, size, producer, consumers, store_required=False):
+        return SharedResult(name="y", size=size, fb_set=0,
+                            producer_cluster=producer,
+                            consumer_clusters=tuple(consumers),
+                            store_required=store_required)
+
+    def test_paper_formula_data(self):
+        # TF(D) = |D| * (N-1) / TDS
+        item = self._data(100, (0, 2, 4))
+        assert time_factor(item, 1000) == pytest.approx(100 * 2 / 1000)
+
+    def test_paper_formula_result(self):
+        # TF(R) = |R| * (N+1) / TDS
+        item = self._result(100, 0, (2, 4))
+        assert time_factor(item, 1000) == pytest.approx(100 * 3 / 1000)
+
+    def test_store_required_reduces_saving(self):
+        free = self._result(100, 0, (2,))
+        forced = self._result(100, 0, (2,), store_required=True)
+        assert time_factor(free, 1000) > time_factor(forced, 1000)
+
+    def test_bad_tds_rejected(self):
+        with pytest.raises(ValueError):
+            time_factor(self._data(10, (0, 2)), 0)
+
+    def test_ranking_descends(self):
+        items = [
+            self._data(50, (0, 2)),
+            self._result(100, 0, (2, 4)),
+            self._data(500, (0, 2)),
+        ]
+        ranked = rank_by_time_factor(items, 1000)
+        factors = [time_factor(item, 1000) for item in ranked]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_tie_break_prefers_smaller(self):
+        # Same words_avoided: 100*(2-1) == 50*(3-1).
+        big = self._data(100, (0, 2))
+        small = SharedData(name="z", size=50, fb_set=0, clusters=(0, 2, 4))
+        ranked = rank_by_time_factor([big, small], 1000)
+        assert ranked[0].name == "z"
+
+    def test_retention_candidates_combines(self, sharing_dataflow):
+        candidates = retention_candidates(sharing_dataflow)
+        names = {c.name for c in candidates}
+        assert names == {"shared", "r1"}
+
+    def test_tds_matches_metric(self, sharing_dataflow):
+        assert total_data_size(sharing_dataflow) == 896

@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "ATR-FI**" in out
+
+    def test_run_experiment(self, capsys):
+        assert main(["run", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "[basic]" in out and "[cds]" in out
+        assert "CDS improvement" in out
+
+    def test_run_with_gantt(self, capsys):
+        assert main(["run", "ATR-FI", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "DMA" in out
+
+    def test_run_case_insensitive(self, capsys):
+        assert main(["run", "e1"]) == 0
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            main(["run", "E99"])
+
+    def test_alloc(self, capsys):
+        assert main(["alloc", "ATR-FI"]) == 0
+        out = capsys.readouterr().out
+        assert "FB set 0" in out
+        assert "splits" in out
+
+    def test_ablation(self, capsys):
+        assert main(["ablation", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "keep=tf" in out and "dma=" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    @pytest.mark.slow
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "CDS%" in out
+        assert "ATR-SLD" in out
+
+    @pytest.mark.slow
+    def test_figure6(self, capsys):
+        assert main(["figure6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out

@@ -1,0 +1,132 @@
+"""Tests for size parsing/formatting helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import (
+    WORDS_PER_K,
+    align_up,
+    ceil_div,
+    format_size,
+    kwords,
+    parse_size,
+)
+
+
+class TestParseSize:
+    def test_plain_int(self):
+        assert parse_size(512) == 512
+
+    def test_zero(self):
+        assert parse_size(0) == 0
+
+    def test_k_suffix_upper(self):
+        assert parse_size("2K") == 2048
+
+    def test_k_suffix_lower(self):
+        assert parse_size("2k") == 2048
+
+    def test_fractional_k_rounds_up(self):
+        assert parse_size("0.3K") == 308  # ceil(0.3 * 1024)
+
+    def test_half_k(self):
+        assert parse_size("1.5K") == 1536
+
+    def test_plain_string(self):
+        assert parse_size("512") == 512
+
+    def test_float_rounds_up(self):
+        assert parse_size(10.2) == 11
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(-1)
+
+    def test_negative_string_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("-2K")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("two kilowords")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size("")
+
+    def test_bool_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(True)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(float("nan"))
+
+    def test_none_rejected(self):
+        with pytest.raises(ValueError):
+            parse_size(None)
+
+
+class TestFormatSize:
+    def test_exact_k(self):
+        assert format_size(2048) == "2K"
+
+    def test_small(self):
+        assert format_size(512) == "512"
+
+    def test_fractional(self):
+        assert format_size(1536) == "1.5K"
+
+    def test_zero(self):
+        assert format_size(0) == "0"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_size(-1)
+
+    @given(st.integers(min_value=0, max_value=10 ** 9))
+    def test_roundtrip_close(self, words):
+        """parse(format(x)) stays within one K (two-decimal K display)."""
+        back = parse_size(format_size(words))
+        assert abs(back - words) < WORDS_PER_K
+
+    @given(st.integers(min_value=0, max_value=1023))
+    def test_roundtrip_exact_below_one_k(self, words):
+        assert parse_size(format_size(words)) == words
+
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_roundtrip_exact_multiples(self, ks):
+        words = ks * WORDS_PER_K
+        assert parse_size(format_size(words)) == words
+
+
+class TestHelpers:
+    def test_kwords(self):
+        assert kwords(2) == 2048
+        assert kwords(0.5) == 512
+
+    def test_ceil_div_exact(self):
+        assert ceil_div(10, 5) == 2
+
+    def test_ceil_div_rounds_up(self):
+        assert ceil_div(11, 5) == 3
+
+    def test_ceil_div_zero_denominator(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_align_up(self):
+        assert align_up(10, 8) == 16
+        assert align_up(16, 8) == 16
+
+    def test_align_up_bad_alignment(self):
+        with pytest.raises(ValueError):
+            align_up(10, 0)
+
+    @given(st.integers(min_value=0, max_value=10 ** 6),
+           st.integers(min_value=1, max_value=10 ** 4))
+    def test_ceil_div_property(self, numerator, denominator):
+        result = ceil_div(numerator, denominator)
+        assert (result - 1) * denominator < numerator or numerator == 0
+        assert result * denominator >= numerator

@@ -1,0 +1,171 @@
+"""Tests for the paper's workloads and the random generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.params import Architecture
+from repro.core.dataflow import analyze_dataflow
+from repro.core.reuse import find_shared_data, find_shared_results
+from repro.errors import WorkloadError
+from repro.schedule.data_scheduler import DataScheduler
+from repro.workloads.atr import atr_fi, atr_sld, atr_sld_star, atr_sld_star2
+from repro.workloads.mpeg import mpeg, mpeg_functional
+from repro.workloads.random_gen import random_application
+from repro.workloads.spec import paper_experiments
+from repro.workloads.synthetic import (
+    SharedDataSpec,
+    SharedResultSpec,
+    e1,
+    synthetic_chain,
+)
+
+
+class TestSyntheticChain:
+    def test_structure(self):
+        app, clustering = synthetic_chain(
+            "t", n_clusters=3, kernels_per_cluster=2, iterations=4,
+            input_words=32, inter_words=16, final_words=8,
+            context_words=16, cycles=50,
+        )
+        assert len(clustering) == 3
+        assert len(app.kernels) == 6
+        assert len(app.final_outputs) == 3  # one final per cluster
+
+    def test_variable_cluster_sizes(self):
+        app, clustering = synthetic_chain(
+            "t", n_clusters=2, kernels_per_cluster=[1, 3], iterations=4,
+            input_words=32, inter_words=16, final_words=8,
+            context_words=16, cycles=50,
+        )
+        assert clustering.sizes() == (1, 3)
+
+    def test_shared_data_wiring(self):
+        app, clustering = synthetic_chain(
+            "t", n_clusters=4, kernels_per_cluster=1, iterations=4,
+            input_words=32, inter_words=16, final_words=8,
+            context_words=16, cycles=50,
+            shared_data=(SharedDataSpec("tbl", 64, (0, 2)),),
+        )
+        dataflow = analyze_dataflow(app, clustering)
+        shared = find_shared_data(dataflow)
+        assert [item.name for item in shared] == ["tbl"]
+        assert shared[0].clusters == (0, 2)
+
+    def test_shared_result_wiring(self):
+        app, clustering = synthetic_chain(
+            "t", n_clusters=4, kernels_per_cluster=1, iterations=4,
+            input_words=32, inter_words=16, final_words=8,
+            context_words=16, cycles=50,
+            shared_results=(SharedResultSpec(0, (2,), 24),),
+        )
+        dataflow = analyze_dataflow(app, clustering)
+        results = find_shared_results(dataflow)
+        assert len(results) == 1
+        assert results[0].producer_cluster == 0
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(WorkloadError):
+            synthetic_chain(
+                "t", n_clusters=2, kernels_per_cluster=1, iterations=4,
+                input_words=32, inter_words=16, final_words=8,
+                context_words=16, cycles=50,
+                shared_data=(SharedDataSpec("tbl", 64, (0,)),),
+            )
+        with pytest.raises(WorkloadError):
+            synthetic_chain(
+                "t", n_clusters=2, kernels_per_cluster=1, iterations=4,
+                input_words=32, inter_words=16, final_words=8,
+                context_words=16, cycles=50,
+                shared_results=(SharedResultSpec(1, (1,), 24),),
+            )
+        with pytest.raises(WorkloadError):
+            synthetic_chain(
+                "t", n_clusters=0, kernels_per_cluster=1, iterations=4,
+                input_words=32, inter_words=16, final_words=8,
+                context_words=16, cycles=50,
+            )
+
+
+class TestPaperWorkloads:
+    def test_twelve_experiments(self):
+        specs = paper_experiments()
+        assert len(specs) == 12
+        assert [s.id for s in specs][:4] == ["E1", "E1*", "E2", "E3"]
+
+    def test_all_experiments_build_valid_apps(self):
+        for spec in paper_experiments():
+            application, clustering = spec.build()
+            analyze_dataflow(application, clustering)  # validates
+
+    def test_cds_feasible_on_every_row(self):
+        from repro.schedule.complete import CompleteDataScheduler
+        for spec in paper_experiments():
+            application, clustering = spec.build()
+            schedule = CompleteDataScheduler(
+                Architecture.m1(spec.fb)
+            ).schedule(application, clustering)
+            assert schedule.rf >= 1, spec.id
+
+    def test_rf_matches_paper_for_all_rows(self):
+        """The headline calibration: the measured RF equals the paper's
+        RF column on every Table-1 row."""
+        for spec in paper_experiments():
+            application, clustering = spec.build()
+            schedule = DataScheduler(Architecture.m1(spec.fb)).schedule(
+                application, clustering
+            )
+            assert schedule.rf == spec.paper_rf, spec.id
+
+    def test_e1_star_is_same_app_bigger_fb(self):
+        app1, cl1 = e1()
+        specs = {s.id: s for s in paper_experiments()}
+        assert specs["E1"].fb == "1K"
+        assert specs["E1*"].fb == "2K"
+        app2, _ = specs["E1*"].build()
+        assert app1.kernel_names == app2.kernel_names
+
+    def test_mpeg_has_retention_opportunities(self):
+        application, clustering = mpeg()
+        dataflow = analyze_dataflow(application, clustering)
+        shared_data = find_shared_data(dataflow)
+        shared_results = find_shared_results(dataflow)
+        assert any(item.name == "ref_window" for item in shared_data)
+        assert any(item.name == "qcoef" for item in shared_results)
+
+    def test_atr_sld_template_bank_same_set(self):
+        application, clustering = atr_sld()
+        dataflow = analyze_dataflow(application, clustering)
+        shared = find_shared_data(dataflow)
+        assert any(item.name == "templates" for item in shared)
+
+    def test_atr_sld_star2_breaks_template_sharing(self):
+        """The ** schedule puts the correlators on different sets, so
+        the bank is not retainable — the row's point."""
+        application, clustering = atr_sld_star2()
+        dataflow = analyze_dataflow(application, clustering)
+        shared = find_shared_data(dataflow)
+        assert not any(item.name == "templates" for item in shared)
+
+    def test_mpeg_functional_impls_cover_all_kernels(self):
+        application, clustering, impls = mpeg_functional()
+        assert set(impls) == {k.name for k in application.kernels}
+
+
+class TestRandomGenerator:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_always_valid(self, seed):
+        application, clustering = random_application(seed)
+        analyze_dataflow(application, clustering)  # raises if invalid
+        assert len(clustering) >= 2
+
+    def test_deterministic(self):
+        first_app, first_cl = random_application(42)
+        second_app, second_cl = random_application(42)
+        assert first_app.kernel_names == second_app.kernel_names
+        assert first_cl.sizes() == second_cl.sizes()
+
+    def test_iterations_override(self):
+        application, _ = random_application(7, iterations=5)
+        assert application.total_iterations == 5
