@@ -1,0 +1,34 @@
+# Developer entry points. `make check` is what CI runs.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test lint ruff mypy
+
+check: test ruff mypy lint
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Scheduler-output static analysis over every bundled experiment, all
+# three schedulers. Fails on any error-severity diagnostic.
+lint:
+	$(PYTHON) -m repro.cli lint all --scheduler basic
+	$(PYTHON) -m repro.cli lint all --scheduler ds
+	$(PYTHON) -m repro.cli lint all --scheduler cds
+
+# ruff / mypy run only where installed — the pinned container image
+# ships neither, and nothing may be pip-installed into it.
+ruff:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests; \
+	else \
+		echo "ruff not installed; skipping"; \
+	fi
+
+mypy:
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "mypy not installed; skipping"; \
+	fi

@@ -187,22 +187,29 @@ class FrameBufferAllocator:
             result sizes are similar, the chosen allocation method is
             first-fit") or ``"best"`` (smallest sufficient block;
             ablation baseline).
+        debug_invariants: re-check the free list's structural
+            invariants (sorted, coalesced, in-capacity) after every
+            allocate and free.  Off by default — it makes the hot path
+            quadratic — but cheap insurance in tests and when
+            debugging placement issues.
     """
 
     def __init__(self, schedule: Schedule, *, allow_split: bool = True,
-                 fit_policy: str = "first"):
+                 fit_policy: str = "first", debug_invariants: bool = False):
         if fit_policy not in ("first", "best"):
             raise AllocationError(f"unknown fit_policy {fit_policy!r}")
         self.schedule = schedule
         self.allow_split = allow_split
         self.fit_policy = fit_policy
+        self.debug_invariants = debug_invariants
 
     # -- public API -----------------------------------------------------
 
     def allocate_set(self, fb_set: int) -> AllocationMap:
         """Produce the :class:`AllocationMap` of one FB set's round."""
         run = _SetAllocation(self.schedule, fb_set, self.allow_split,
-                             best_fit=(self.fit_policy == "best"))
+                             best_fit=(self.fit_policy == "best"),
+                             debug_invariants=self.debug_invariants)
         return run.execute()
 
     def allocate(self) -> Tuple[AllocationMap, AllocationMap]:
@@ -214,12 +221,13 @@ class _SetAllocation:
     """One execution of the Figure-4 algorithm (internal)."""
 
     def __init__(self, schedule: Schedule, fb_set: int, allow_split: bool,
-                 *, best_fit: bool = False):
+                 *, best_fit: bool = False, debug_invariants: bool = False):
         self.schedule = schedule
         self.dataflow: DataflowInfo = schedule.dataflow
         self.fb_set = fb_set
         self.allow_split = allow_split
         self.best_fit = best_fit
+        self.debug_invariants = debug_invariants
         self.rf = schedule.rf
         self.capacity = schedule.fb_set_words
         self.free_list = FreeBlockList(self.capacity)
@@ -455,6 +463,8 @@ class _SetAllocation:
         }
         if len(extents) == 1:
             self._last_single_extent[name] = (instance, extents[0])
+        if self.debug_invariants:
+            self.free_list.check_invariants()
 
     def _expected_adjacent_start(
         self, name: str, instance: int, size: int, direction: str
@@ -481,6 +491,8 @@ class _SetAllocation:
             raise AllocationError(f"free of unallocated region {name}#{instance}")
         extents = self.regions.release(name, instance)
         self.free_list.free_extents(extents)
+        if self.debug_invariants:
+            self.free_list.check_invariants()
         self.map.records.append(
             AllocationRecord(
                 name=name,

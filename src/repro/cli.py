@@ -11,6 +11,8 @@ Commands:
   (Figure 5 style) for the CDS schedule of an experiment;
 * ``sweep <exp>`` — trace RF/traffic/makespan against the FB size;
 * ``tinyrisc <exp>`` — emit the TinyRISC control-program listing;
+* ``lint <exp>`` — run the static-analysis lint passes over an
+  experiment's full pipeline (exit 1 when errors are found);
 * ``list``     — list the available experiments.
 """
 
@@ -169,6 +171,58 @@ def _cmd_alloc(args) -> None:
             print(f"  {snapshot.label:<40} [{regions}]")
 
 
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.lint import (
+        lint_experiment,
+        lint_targets,
+        render_json,
+        render_text,
+    )
+    from repro.lint.reporters import severity_overrides_from_args
+
+    try:
+        overrides = severity_overrides_from_args(args.severity)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.experiment.lower() == "all":
+        names = [target.id for target in lint_targets()]
+    else:
+        names = [args.experiment]
+
+    exit_code = 0
+    json_reports = []
+    for name in names:
+        context, collector = lint_experiment(
+            name,
+            scheduler=args.scheduler,
+            severity_overrides=overrides,
+            suppress=args.disable,
+            corrupt=args.corrupt,
+        )
+        if collector.has_errors:
+            exit_code = 1
+        if args.json:
+            json_reports.append(
+                render_json(
+                    collector,
+                    extra={"experiment": name, "scheduler": args.scheduler},
+                )
+            )
+        else:
+            print(render_text(
+                collector,
+                title=f"{name} ({args.scheduler})",
+                verbose=args.verbose,
+            ))
+            print()
+    if args.json:
+        payload = json_reports[0] if len(json_reports) == 1 else json_reports
+        print(json.dumps(payload, indent=2))
+    return exit_code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -204,13 +258,36 @@ def build_parser() -> argparse.ArgumentParser:
     tinyrisc.add_argument("--lines", type=int, default=40,
                           help="listing lines to print (0 = all)")
     tinyrisc.set_defaults(func=_cmd_tinyrisc)
+    lint = sub.add_parser(
+        "lint",
+        help="static-analysis lint of an experiment's full pipeline",
+    )
+    lint.add_argument(
+        "experiment",
+        help="experiment id (see `repro list`), WAVELET, or `all`",
+    )
+    lint.add_argument("--scheduler", choices=("basic", "ds", "cds"),
+                      default="cds", help="scheduler under lint")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report")
+    lint.add_argument("--verbose", action="store_true",
+                      help="also list every rule checked")
+    lint.add_argument("--disable", metavar="CODE", action="append",
+                      default=[], help="suppress a rule code (repeatable)")
+    lint.add_argument("--severity", metavar="CODE=LEVEL", action="append",
+                      default=[],
+                      help="override a rule's severity (repeatable)")
+    lint.add_argument("--corrupt", action="store_true",
+                      help="deliberately corrupt the schedule first "
+                           "(framework self-test)")
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
-    return 0
+    result = args.func(args)
+    return int(result) if result else 0
 
 
 if __name__ == "__main__":  # pragma: no cover

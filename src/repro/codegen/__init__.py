@@ -18,16 +18,24 @@ from repro.codegen.ops import (
     VisitOps,
 )
 from repro.codegen.program import Program
-from repro.codegen.verifier import verify_program
+from repro.codegen.verifier import (
+    ProgramViolation,
+    collect_program_violations,
+    iter_program_violations,
+    verify_program,
+)
 
 __all__ = [
     "LoadContext",
     "LoadData",
     "Program",
+    "ProgramViolation",
     "RunKernel",
     "StoreData",
     "Visit",
     "VisitOps",
+    "collect_program_violations",
     "generate_program",
+    "iter_program_violations",
     "verify_program",
 ]

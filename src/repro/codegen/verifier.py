@@ -13,6 +13,16 @@ program that:
 * fails to store some final output instance, or stores one twice;
 * skips or duplicates an iteration of any kernel.
 
+Two entry points share one replay:
+
+* :func:`verify_program` raises :class:`ProgramVerificationError` on
+  the **first** violation (the historical contract — callers gate on
+  it before simulation);
+* :func:`collect_program_violations` replays the whole program and
+  returns every violation as a structured :class:`ProgramViolation`,
+  which the lint framework (:mod:`repro.lint`) converts into
+  diagnostics with rule codes ``PROG001``-``PROG006``.
+
 A program that passes the verifier is guaranteed to be *functionally*
 executable; the simulator then adds timing (and, in functional mode,
 actually computes values).
@@ -20,17 +30,59 @@ actually computes values).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Set, Tuple
 
 from repro.codegen.program import Program
-from repro.core.reuse import SharedData, SharedResult
 from repro.errors import ProgramVerificationError
 
-__all__ = ["verify_program"]
+__all__ = [
+    "ProgramViolation",
+    "verify_program",
+    "collect_program_violations",
+    "iter_program_violations",
+]
+
+
+@dataclass(frozen=True)
+class ProgramViolation:
+    """One invariant violation found while replaying a program.
+
+    Attributes:
+        code: lint rule code (``PROG001``-``PROG006``, see
+            ``docs/lint_rules.md``).
+        message: human-readable description (identical wording to the
+            historical :class:`ProgramVerificationError` messages).
+        location: where in the program, e.g. ``"visit 7"``.
+        cost_words: words of traffic or capacity implicated.
+        details: JSON-safe extra facts.
+    """
+
+    code: str
+    message: str
+    location: str
+    cost_words: int = 0
+    details: Mapping[str, object] = field(default_factory=dict)
 
 
 def verify_program(program: Program) -> None:
-    """Raise :class:`ProgramVerificationError` on any violation."""
+    """Raise :class:`ProgramVerificationError` on the first violation."""
+    for violation in iter_program_violations(program):
+        raise ProgramVerificationError(violation.message)
+
+
+def collect_program_violations(program: Program) -> List[ProgramViolation]:
+    """Replay the whole program and return every violation found.
+
+    Unlike :func:`verify_program` the replay continues past a violation
+    (assuming the intended state where possible), so one broken visit
+    does not hide later, independent bugs.
+    """
+    return list(iter_program_violations(program))
+
+
+def iter_program_violations(program: Program) -> Iterator[ProgramViolation]:
+    """Lazily yield violations in replay order."""
     schedule = program.schedule
     application = schedule.application
     clustering = schedule.clustering
@@ -48,11 +100,15 @@ def verify_program(program: Program) -> None:
 
     for ops in program.visits:
         visit = ops.visit
+        location = f"visit {visit.index}"
         cluster = clustering[visit.cluster_index]
         if cluster.fb_set != visit.fb_set:
-            raise ProgramVerificationError(
+            yield ProgramViolation(
+                "PROG006",
                 f"visit {visit.index}: cluster {cluster.name} is on set "
-                f"{cluster.fb_set}, visit claims set {visit.fb_set}"
+                f"{cluster.fb_set}, visit claims set {visit.fb_set}",
+                location,
+                details={"cluster": cluster.name},
             )
 
         # Context loads: the visit's block is evicted and refilled.
@@ -65,9 +121,13 @@ def verify_program(program: Program) -> None:
         for load in ops.context_loads:
             cm_block_words[block] += load.words
             if cm_block_words[block] > block_capacity:
-                raise ProgramVerificationError(
+                yield ProgramViolation(
+                    "PROG002",
                     f"visit {visit.index}: CM block {block} overflows "
-                    f"({cm_block_words[block]} > {block_capacity} words)"
+                    f"({cm_block_words[block]} > {block_capacity} words)",
+                    location,
+                    cost_words=cm_block_words[block] - block_capacity,
+                    details={"cm_block": block},
                 )
             cm_block_kernels[block].add(load.kernel)
 
@@ -75,16 +135,26 @@ def verify_program(program: Program) -> None:
         for load in ops.data_loads:
             key = (load.name, load.iteration)
             if key in present[visit.fb_set]:
-                raise ProgramVerificationError(
+                yield ProgramViolation(
+                    "PROG005",
                     f"visit {visit.index}: redundant load of "
                     f"{load.name}#{load.iteration} (already in set"
-                    f"{visit.fb_set})"
+                    f"{visit.fb_set})",
+                    location,
+                    cost_words=load.words,
+                    details={"object": load.name,
+                             "iteration": load.iteration},
                 )
             if load.name not in external_names and key not in stored:
-                raise ProgramVerificationError(
+                yield ProgramViolation(
+                    "PROG005",
                     f"visit {visit.index}: load of result "
                     f"{load.name}#{load.iteration} which was never stored "
-                    f"to external memory"
+                    f"to external memory",
+                    location,
+                    cost_words=load.words,
+                    details={"object": load.name,
+                             "iteration": load.iteration},
                 )
             present[visit.fb_set].add(key)
 
@@ -92,9 +162,12 @@ def verify_program(program: Program) -> None:
         for run in ops.compute:
             kernel = application.kernel(run.kernel)
             if run.kernel not in cm_block_kernels[block]:
-                raise ProgramVerificationError(
+                yield ProgramViolation(
+                    "PROG002",
                     f"visit {visit.index}: kernel {run.kernel!r} launched "
-                    f"without contexts in CM block {block}"
+                    f"without contexts in CM block {block}",
+                    location,
+                    details={"kernel": run.kernel, "cm_block": block},
                 )
             for in_name in kernel.inputs:
                 instance = (
@@ -112,11 +185,17 @@ def verify_program(program: Program) -> None:
                     and (in_name, instance) in present[keep.fb_set]
                 ):
                     continue
-                raise ProgramVerificationError(
+                yield ProgramViolation(
+                    "PROG001",
                     f"visit {visit.index}: kernel {run.kernel!r} "
                     f"iteration {run.iteration} reads "
                     f"{in_name}#{instance} which is not in set"
-                    f"{visit.fb_set}"
+                    f"{visit.fb_set}",
+                    location,
+                    cost_words=schedule.dataflow[in_name].size
+                    if in_name in schedule.dataflow else 0,
+                    details={"kernel": run.kernel, "object": in_name,
+                             "iteration": run.iteration},
                 )
             for out_name in kernel.outputs:
                 present[visit.fb_set].add((out_name, run.iteration))
@@ -127,15 +206,24 @@ def verify_program(program: Program) -> None:
         for store in ops.stores:
             key = (store.name, store.iteration)
             if key not in present[visit.fb_set]:
-                raise ProgramVerificationError(
+                yield ProgramViolation(
+                    "PROG003",
                     f"visit {visit.index}: store of "
                     f"{store.name}#{store.iteration} which is not in set"
-                    f"{visit.fb_set}"
+                    f"{visit.fb_set}",
+                    location,
+                    cost_words=store.words,
+                    details={"object": store.name,
+                             "iteration": store.iteration},
                 )
             if application.producer_of(store.name) is None:
-                raise ProgramVerificationError(
+                yield ProgramViolation(
+                    "PROG003",
                     f"visit {visit.index}: store of external data "
-                    f"{store.name!r}"
+                    f"{store.name!r}",
+                    location,
+                    cost_words=store.words,
+                    details={"object": store.name},
                 )
             stored[key] = stored.get(key, 0) + 1
 
@@ -150,7 +238,7 @@ def verify_program(program: Program) -> None:
         if visit.cluster_index == len(clustering) - 1:
             present = [set(), set()]
 
-    _check_totals(application, total_iterations, runs, stored)
+    yield from _check_totals(application, total_iterations, runs, stored)
 
 
 def _block_capacity(program: Program) -> int:
@@ -179,20 +267,32 @@ def _survivors(schedule, cluster_index: int, fb_set: int) -> Set[str]:
     return survivors
 
 
-def _check_totals(application, total_iterations, runs, stored) -> None:
+def _check_totals(
+    application, total_iterations, runs, stored
+) -> Iterator[ProgramViolation]:
     for kernel in application.kernels:
         for iteration in range(total_iterations):
             count = runs.get((kernel.name, iteration), 0)
             if count != 1:
-                raise ProgramVerificationError(
+                yield ProgramViolation(
+                    "PROG004",
                     f"kernel {kernel.name!r} iteration {iteration} executed "
-                    f"{count} times (expected once)"
+                    f"{count} times (expected once)",
+                    "program",
+                    details={"kernel": kernel.name, "iteration": iteration,
+                             "count": count},
                 )
     for name in application.final_outputs:
+        size = application.objects[name].size if name in application.objects else 0
         for iteration in range(total_iterations):
             count = stored.get((name, iteration), 0)
             if count != 1:
-                raise ProgramVerificationError(
+                yield ProgramViolation(
+                    "PROG004",
                     f"final output {name!r} iteration {iteration} stored "
-                    f"{count} times (expected once)"
+                    f"{count} times (expected once)",
+                    "program",
+                    cost_words=size * abs(count - 1),
+                    details={"object": name, "iteration": iteration,
+                             "count": count},
                 )

@@ -20,6 +20,7 @@ __all__ = [
     "FragmentationError",
     "CodegenError",
     "ProgramVerificationError",
+    "LintError",
     "SimulationError",
     "WorkloadError",
 ]
@@ -85,6 +86,19 @@ class CodegenError(ReproError):
 class ProgramVerificationError(CodegenError):
     """A generated program violates a static invariant (use before load,
     store of a never-produced result, context missing at kernel launch)."""
+
+
+class LintError(ReproError):
+    """A lint run found error-severity diagnostics in strict mode.
+
+    Carries the offending diagnostics so callers can inspect them:
+    ``exc.diagnostics`` is a tuple of
+    :class:`repro.lint.Diagnostic` records.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
 
 
 class SimulationError(ReproError):

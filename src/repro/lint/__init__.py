@@ -1,0 +1,78 @@
+"""Multi-pass static analysis over the whole compilation pipeline.
+
+``repro.lint`` checks every pipeline artifact against the paper's
+invariants and reports violations as structured diagnostics instead of
+raising on the first problem:
+
+* **application** — producer/consumer ordering, dead stores, size and
+  invariant-data constraints, dataflow-extractor consistency (``APP*``);
+* **schedule** — ``DS(C_c) <= FBS`` occupancy, plan-level
+  use-before-load and double stores, TF/RF formula consistency, keeps
+  that save no traffic (``SCHED*``);
+* **allocation** — overlap, bounds, Figure-4 growth directions, splits
+  and adjacency (``ALLOC*``);
+* **program** — the symbolic replay of
+  :mod:`repro.codegen.verifier`, collected instead of raised
+  (``PROG*``).
+
+See ``docs/lint_rules.md`` for the full rule catalogue with the paper
+section each rule enforces.  The CLI front end is ``repro lint``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import Diagnostic, DiagnosticCollector, Severity
+from repro.lint.registry import (
+    LAYERS,
+    PASSES,
+    RULES,
+    LintContext,
+    LintPass,
+    Rule,
+    lint_pass,
+    register_rule,
+    run_passes,
+)
+
+# Importing the pass modules registers their rules and passes.
+from repro.lint import alloc_passes as _alloc_passes  # noqa: F401
+from repro.lint import app_passes as _app_passes  # noqa: F401
+from repro.lint import prog_passes as _prog_passes  # noqa: F401
+from repro.lint import sched_passes as _sched_passes  # noqa: F401
+
+from repro.lint.reporters import render_json, render_text
+from repro.lint.runner import (
+    LintTarget,
+    build_lint_context,
+    corrupt_schedule,
+    lint_context,
+    lint_experiment,
+    lint_schedule,
+    lint_targets,
+    resolve_target,
+)
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticCollector",
+    "Severity",
+    "LAYERS",
+    "PASSES",
+    "RULES",
+    "LintContext",
+    "LintPass",
+    "Rule",
+    "lint_pass",
+    "register_rule",
+    "run_passes",
+    "render_json",
+    "render_text",
+    "LintTarget",
+    "build_lint_context",
+    "corrupt_schedule",
+    "lint_context",
+    "lint_experiment",
+    "lint_schedule",
+    "lint_targets",
+    "resolve_target",
+]

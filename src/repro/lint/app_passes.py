@@ -1,0 +1,229 @@
+"""Application / dataflow lint passes (rule codes ``APP*``).
+
+:class:`~repro.core.application.Application` already validates most of
+these invariants at construction time; the lint passes re-check them as
+defence in depth (artifacts can be assembled programmatically, pickled,
+or mutated by transforms) and add the wasteful-but-legal cases
+construction deliberately allows — e.g. a produced result that nobody
+reads (dead store, APP003).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.lint.diagnostics import Severity
+from repro.lint.registry import Emitter, LintContext, lint_pass, register_rule
+
+__all__: List[str] = []
+
+register_rule(
+    "APP001", "application", Severity.ERROR,
+    "every consumer of a produced object runs after its producer "
+    "(no dependency cycles)",
+    "section 3: kernels are consecutively executed; r_jt flows from "
+    "k_j to a later k_t",
+)
+register_rule(
+    "APP002", "application", Severity.ERROR,
+    "every declared object is read or written by some kernel, and every "
+    "referenced object is declared",
+    "section 3: data d_j and results r_jt / rout_j are per-kernel facts",
+)
+register_rule(
+    "APP003", "application", Severity.WARNING,
+    "a produced object is consumed by a later kernel or is a final "
+    "output (no dead stores)",
+    "section 3: results are data for later kernels or are transferred "
+    "to external memory",
+)
+register_rule(
+    "APP004", "application", Severity.ERROR,
+    "object sizes are positive, each object has one producer, and "
+    "iteration-invariant objects are external data",
+    "section 4: TDS sums per-iteration data and result sizes",
+)
+register_rule(
+    "APP005", "application", Severity.WARNING,
+    "kernels declare positive context words and cycle counts",
+    "section 2: a kernel is characterised by its contexts and its "
+    "execution time",
+)
+register_rule(
+    "APP006", "application", Severity.ERROR,
+    "dataflow info agrees with the application and clustering it was "
+    "derived from",
+    "figure 2: the information extractor feeds the data schedulers",
+)
+
+
+@lint_pass(
+    "app-structure",
+    layer="application",
+    requires=("application",),
+    rules=("APP001", "APP002", "APP003", "APP004", "APP005"),
+)
+def check_application_structure(context: LintContext, emit: Emitter) -> None:
+    application = context.application
+    objects = dict(application.objects)
+
+    producers: Dict[str, int] = {}
+    consumers: Dict[str, List[int]] = {}
+    for position, kernel in enumerate(application.kernels):
+        for obj_name in kernel.outputs:
+            if obj_name in producers:
+                other = application.kernels[producers[obj_name]].name
+                emit(
+                    "APP004",
+                    f"object {obj_name!r} produced by both {other!r} and "
+                    f"{kernel.name!r} (single assignment required)",
+                    location=f"object {obj_name!r}",
+                )
+            else:
+                producers[obj_name] = position
+        for obj_name in kernel.inputs:
+            consumers.setdefault(obj_name, []).append(position)
+        if kernel.context_words <= 0 or kernel.cycles <= 0:
+            emit(
+                "APP005",
+                f"kernel {kernel.name!r} declares context_words="
+                f"{kernel.context_words}, cycles={kernel.cycles}; both "
+                f"should be positive",
+                location=f"kernel {kernel.name!r}",
+            )
+        for obj_name in kernel.inputs + kernel.outputs:
+            if obj_name not in objects:
+                emit(
+                    "APP002",
+                    f"kernel {kernel.name!r} references undeclared object "
+                    f"{obj_name!r}",
+                    location=f"kernel {kernel.name!r}",
+                )
+
+    # Ordering: a consumer at or before its producer breaks the forward
+    # dataflow of the kernel sequence (a cycle, once clustered).
+    for obj_name, consumer_positions in consumers.items():
+        producer_pos = producers.get(obj_name)
+        if producer_pos is None:
+            continue
+        for position in consumer_positions:
+            if position <= producer_pos:
+                emit(
+                    "APP001",
+                    f"kernel {application.kernels[position].name!r} consumes "
+                    f"{obj_name!r} at position {position}, but its producer "
+                    f"{application.kernels[producer_pos].name!r} runs at "
+                    f"position {producer_pos}",
+                    location=f"object {obj_name!r}",
+                )
+
+    finals: Set[str] = set(application.final_outputs)
+    for obj_name in sorted(finals):
+        if obj_name not in objects:
+            emit(
+                "APP002",
+                f"final output {obj_name!r} is not a declared object",
+                location=f"object {obj_name!r}",
+            )
+        elif obj_name not in producers:
+            emit(
+                "APP002",
+                f"final output {obj_name!r} is not produced by any kernel",
+                location=f"object {obj_name!r}",
+            )
+
+    for obj_name, obj in objects.items():
+        size = getattr(obj, "size", 0)
+        if size <= 0:
+            emit(
+                "APP004",
+                f"object {obj_name!r} has non-positive size {size}",
+                location=f"object {obj_name!r}",
+            )
+        if getattr(obj, "invariant", False) and obj_name in producers:
+            producer = application.kernels[producers[obj_name]].name
+            emit(
+                "APP004",
+                f"object {obj_name!r} is produced by {producer!r} but "
+                f"marked iteration-invariant; only external data may be "
+                f"invariant",
+                location=f"object {obj_name!r}",
+            )
+        if obj_name not in producers and obj_name not in consumers:
+            emit(
+                "APP002",
+                f"object {obj_name!r} is neither read nor written by any "
+                f"kernel",
+                location=f"object {obj_name!r}",
+            )
+        elif (
+            obj_name in producers
+            and obj_name not in consumers
+            and obj_name not in finals
+        ):
+            emit(
+                "APP003",
+                f"result {obj_name!r} is produced by "
+                f"{application.kernels[producers[obj_name]].name!r} but "
+                f"never consumed and not a final output (dead store)",
+                location=f"object {obj_name!r}",
+                cost_words=max(0, size),
+            )
+
+
+@lint_pass(
+    "app-dataflow-consistency",
+    layer="application",
+    requires=("application", "clustering", "dataflow"),
+    rules=("APP006",),
+)
+def check_dataflow_consistency(context: LintContext, emit: Emitter) -> None:
+    """The extractor's facts must match a fresh derivation."""
+    application = context.application
+    clustering = context.clustering
+    dataflow = context.dataflow
+    assert clustering is not None and dataflow is not None
+
+    for obj_name in application.objects:
+        if obj_name not in dataflow:
+            emit(
+                "APP006",
+                f"dataflow info is missing object {obj_name!r}",
+                location=f"object {obj_name!r}",
+            )
+            continue
+        info = dataflow[obj_name]
+        producer = application.producer_of(obj_name)
+        expected_producer = producer.name if producer else None
+        if info.producer != expected_producer:
+            emit(
+                "APP006",
+                f"dataflow records producer {info.producer!r} for "
+                f"{obj_name!r}; the application says "
+                f"{expected_producer!r}",
+                location=f"object {obj_name!r}",
+            )
+            continue
+        expected_clusters = tuple(
+            sorted({
+                clustering.cluster_of(k.name).index
+                for k in application.consumers_of(obj_name)
+            })
+        )
+        if tuple(info.consumer_clusters) != expected_clusters:
+            emit(
+                "APP006",
+                f"dataflow records consumer clusters "
+                f"{list(info.consumer_clusters)} for {obj_name!r}; the "
+                f"clustering implies {list(expected_clusters)}",
+                location=f"object {obj_name!r}",
+            )
+        declared = application.objects[obj_name]
+        if info.size != declared.size:
+            emit(
+                "APP006",
+                f"dataflow records size {info.size} for {obj_name!r}; the "
+                f"application declares {declared.size}",
+                location=f"object {obj_name!r}",
+                cost_words=abs(info.size - declared.size),
+            )

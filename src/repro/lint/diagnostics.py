@@ -1,0 +1,221 @@
+"""Structured diagnostics: the output contract of every lint pass.
+
+A :class:`Diagnostic` pinpoints one violation of a paper invariant in
+one pipeline artifact: a rule code (``SCHED003``), a severity, the
+artifact layer and location, a human-readable message, and — where the
+violation has a measurable price — its cost in words of frame-buffer
+space or external-memory traffic.
+
+A :class:`DiagnosticCollector` accumulates diagnostics across passes,
+applying per-rule severity overrides and suppressions, and renders the
+result as JSON-safe data for the reporters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+__all__ = ["Severity", "Diagnostic", "DiagnosticCollector"]
+
+
+class Severity(enum.Enum):
+    """How bad a diagnostic is.
+
+    ``ERROR`` marks a violated correctness invariant (the schedule or
+    program is wrong); ``WARNING`` marks a legal but wasteful decision
+    (traffic or space spent for nothing); ``INFO`` marks a deviation
+    from the paper's reported behaviour worth knowing about.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """Parse ``"error"`` / ``"warning"`` / ``"info"`` (any case)."""
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            known = ", ".join(s.value for s in cls)
+            raise ValueError(
+                f"unknown severity {text!r}; expected one of: {known}"
+            ) from None
+
+    @property
+    def rank(self) -> int:
+        """Sort key: errors first."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One violation found by a lint pass.
+
+    Attributes:
+        code: rule code, e.g. ``"SCHED003"`` (see ``docs/lint_rules.md``).
+        severity: effective severity (after any collector override).
+        layer: artifact layer — ``"application"``, ``"schedule"``,
+            ``"allocation"`` or ``"program"``.
+        location: where in the artifact, e.g. ``"cluster Cl2"`` or
+            ``"visit 7"``.
+        message: human-readable description of the violation.
+        cost_words: quantified price of the violation in words (wasted
+            frame-buffer space, redundant external transfers, ...);
+            0 when the violation has no meaningful word cost.
+        details: JSON-safe extra facts for machine consumers.
+    """
+
+    code: str
+    severity: Severity
+    layer: str
+    location: str
+    message: str
+    cost_words: int = 0
+    details: Mapping[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-safe representation."""
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "layer": self.layer,
+            "location": self.location,
+            "message": self.message,
+            "cost_words": self.cost_words,
+            "details": dict(self.details),
+        }
+
+    def __str__(self) -> str:
+        cost = f" [{self.cost_words}w]" if self.cost_words else ""
+        return (
+            f"{self.severity.value}[{self.code}] {self.layer}:"
+            f"{self.location}: {self.message}{cost}"
+        )
+
+
+class DiagnosticCollector:
+    """Accumulates diagnostics with per-rule configuration.
+
+    Args:
+        severity_overrides: map rule code -> :class:`Severity`, replacing
+            the rule's default severity for every diagnostic it emits
+            (e.g. promote a warning to an error in CI).
+        suppress: rule codes to drop entirely.
+    """
+
+    def __init__(
+        self,
+        severity_overrides: Optional[Mapping[str, Severity]] = None,
+        suppress: Iterable[str] = (),
+    ):
+        self.severity_overrides: Dict[str, Severity] = dict(
+            severity_overrides or {}
+        )
+        self.suppressed = frozenset(suppress)
+        self._diagnostics: List[Diagnostic] = []
+        self._rules_checked: List[str] = []
+        self._suppressed_count = 0
+
+    # -- collection -----------------------------------------------------
+
+    def add(self, diagnostic: Diagnostic) -> Optional[Diagnostic]:
+        """Record a diagnostic, applying overrides and suppressions.
+
+        Returns the (possibly severity-adjusted) stored diagnostic, or
+        ``None`` when the rule is suppressed.
+        """
+        if diagnostic.code in self.suppressed:
+            self._suppressed_count += 1
+            return None
+        override = self.severity_overrides.get(diagnostic.code)
+        if override is not None and override is not diagnostic.severity:
+            diagnostic = Diagnostic(
+                code=diagnostic.code,
+                severity=override,
+                layer=diagnostic.layer,
+                location=diagnostic.location,
+                message=diagnostic.message,
+                cost_words=diagnostic.cost_words,
+                details=diagnostic.details,
+            )
+        self._diagnostics.append(diagnostic)
+        return diagnostic
+
+    def mark_checked(self, code: str) -> None:
+        """Record that a rule was evaluated (even if it found nothing)."""
+        if code not in self._rules_checked:
+            self._rules_checked.append(code)
+
+    # -- queries --------------------------------------------------------
+
+    @property
+    def diagnostics(self) -> Tuple[Diagnostic, ...]:
+        """All diagnostics, in emission order."""
+        return tuple(self._diagnostics)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._diagnostics)
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def by_severity(self, severity: Severity) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> Tuple[Diagnostic, ...]:
+        return self.by_severity(Severity.INFO)
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity is Severity.ERROR for d in self._diagnostics)
+
+    @property
+    def rules_checked(self) -> Tuple[str, ...]:
+        """Rule codes evaluated over this collection run."""
+        return tuple(self._rules_checked)
+
+    @property
+    def suppressed_count(self) -> int:
+        """Diagnostics dropped by per-rule suppression."""
+        return self._suppressed_count
+
+    @property
+    def total_cost_words(self) -> int:
+        """Summed word cost over all retained diagnostics."""
+        return sum(d.cost_words for d in self._diagnostics)
+
+    def sorted(self) -> Tuple[Diagnostic, ...]:
+        """Diagnostics ordered by severity, then code, then location."""
+        return tuple(
+            sorted(
+                self._diagnostics,
+                key=lambda d: (d.severity.rank, d.code, d.location),
+            )
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-safe summary + diagnostics."""
+        return {
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+                "total": len(self._diagnostics),
+                "suppressed": self._suppressed_count,
+                "cost_words": self.total_cost_words,
+                "rules_checked": list(self._rules_checked),
+            },
+            "diagnostics": [d.to_json() for d in self.sorted()],
+        }

@@ -1,0 +1,81 @@
+"""Program-level lint passes (rule codes ``PROG*``).
+
+The pass wraps the symbolic replay of
+:mod:`repro.codegen.verifier` — the same machine that historically
+raised :class:`~repro.errors.ProgramVerificationError` on the first
+violation — and converts every collected
+:class:`~repro.codegen.verifier.ProgramViolation` into a structured
+diagnostic, so a broken program reports *all* of its violations with
+rule codes instead of dying on the first.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.codegen.verifier import collect_program_violations
+from repro.lint.diagnostics import Severity
+from repro.lint.registry import Emitter, LintContext, lint_pass, register_rule
+
+__all__: List[str] = []
+
+register_rule(
+    "PROG001", "program", Severity.ERROR,
+    "every kernel launch finds all its input instances in the "
+    "executing frame-buffer set (no use-before-load)",
+    "section 2: the RC array computes out of one FB set; section 4's "
+    "kept items must actually be resident",
+)
+register_rule(
+    "PROG002", "program", Severity.ERROR,
+    "every kernel launch finds its contexts in the visit's CM block, "
+    "and no block overflows",
+    "section 2: contexts are loaded into one CM block while the other "
+    "executes",
+)
+register_rule(
+    "PROG003", "program", Severity.ERROR,
+    "stores move instances that are present and were produced (never "
+    "external data)",
+    "section 3: only results are transferred back to external memory",
+)
+register_rule(
+    "PROG004", "program", Severity.ERROR,
+    "every kernel iteration executes exactly once and every final "
+    "output instance is stored exactly once",
+    "section 3: n iterations are processed, final results reach "
+    "external memory",
+)
+register_rule(
+    "PROG005", "program", Severity.ERROR,
+    "no redundant loads, and results are only loaded after being "
+    "stored externally",
+    "section 4: avoiding unnecessary transfers is the point of the "
+    "Complete Data Scheduler",
+)
+register_rule(
+    "PROG006", "program", Severity.ERROR,
+    "every visit executes on the frame-buffer set its cluster is "
+    "assigned to",
+    "section 2: clusters alternate between the two FB sets",
+)
+
+
+@lint_pass(
+    "prog-replay",
+    layer="program",
+    requires=("program",),
+    rules=("PROG001", "PROG002", "PROG003", "PROG004", "PROG005",
+           "PROG006"),
+)
+def check_program_replay(context: LintContext, emit: Emitter) -> None:
+    program = context.program
+    assert program is not None
+    for violation in collect_program_violations(program):
+        emit(
+            violation.code,
+            violation.message,
+            location=violation.location,
+            cost_words=violation.cost_words,
+            **dict(violation.details),
+        )

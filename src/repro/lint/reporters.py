@@ -1,0 +1,94 @@
+"""Text and JSON rendering of collected diagnostics."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.lint.diagnostics import DiagnosticCollector, Severity
+from repro.lint.registry import LAYERS, RULES
+
+__all__ = ["render_text", "render_json", "severity_overrides_from_args"]
+
+
+def render_text(
+    collector: DiagnosticCollector,
+    *,
+    title: Optional[str] = None,
+    verbose: bool = False,
+) -> str:
+    """Human-readable report, grouped by artifact layer.
+
+    Args:
+        collector: the filled collector.
+        title: optional heading (experiment id, scheduler, ...).
+        verbose: also list every rule checked, found-something or not.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(f"lint report: {title}")
+    by_layer: Dict[str, List] = {layer: [] for layer in LAYERS}
+    for diagnostic in collector.sorted():
+        by_layer.setdefault(diagnostic.layer, []).append(diagnostic)
+    for layer in LAYERS:
+        found = by_layer.get(layer, ())
+        if not found:
+            continue
+        lines.append(f"-- {layer} " + "-" * max(1, 40 - len(layer)))
+        for diagnostic in found:
+            lines.append(f"  {diagnostic}")
+    errors = len(collector.errors)
+    warnings = len(collector.warnings)
+    infos = len(collector.infos)
+    checked = len(collector.rules_checked)
+    summary = (
+        f"{errors} error(s), {warnings} warning(s), {infos} info(s) "
+        f"from {checked} rule(s) checked"
+    )
+    if collector.suppressed_count:
+        summary += f"; {collector.suppressed_count} suppressed"
+    if collector.total_cost_words:
+        summary += f"; {collector.total_cost_words} words implicated"
+    if not collector.diagnostics:
+        lines.append(f"clean: no findings ({summary})")
+    else:
+        lines.append(summary)
+    if verbose:
+        lines.append("rules checked:")
+        for code in sorted(collector.rules_checked):
+            rule = RULES.get(code)
+            title_text = rule.title if rule else "?"
+            lines.append(f"  {code}: {title_text}")
+    return "\n".join(lines)
+
+
+def render_json(
+    collector: DiagnosticCollector,
+    *,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """JSON-safe report payload (callers serialise it).
+
+    Args:
+        collector: the filled collector.
+        extra: top-level keys merged into the payload (experiment id,
+            scheduler name, ...).
+    """
+    payload: Dict[str, object] = dict(extra or {})
+    payload.update(collector.to_json())
+    payload["clean"] = not collector.has_errors
+    return payload
+
+
+def severity_overrides_from_args(
+    pairs: List[str],
+) -> Dict[str, Severity]:
+    """Parse CLI ``CODE=LEVEL`` pairs into an overrides mapping."""
+    overrides: Dict[str, Severity] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise ValueError(
+                f"severity override {pair!r} is not CODE=LEVEL"
+            )
+        code, _, level = pair.partition("=")
+        overrides[code.strip().upper()] = Severity.parse(level)
+    return overrides

@@ -1,0 +1,560 @@
+"""Schedule / cluster-plan lint passes (rule codes ``SCHED*``).
+
+These rules re-derive the paper's scheduling invariants from first
+principles and compare them against what the schedule records:
+
+* capacity — ``DS(C_c) <= FBS`` for every cluster (section 4);
+* plan-level data motion — every cluster input is loaded or kept, no
+  double loads, stores exactly for final outputs and unserved shared
+  results;
+* retention bookkeeping — keep decisions agree with the dataflow facts
+  and the TF formulas of section 4, and actually save traffic;
+* reuse factor — consistent with ``max_common_rf`` and the iteration
+  count (section 3's loop fission).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.metrics import cluster_data_size, cluster_footprint
+from repro.core.reuse import SharedData, SharedResult
+from repro.lint.diagnostics import Severity
+from repro.lint.registry import Emitter, LintContext, lint_pass, register_rule
+from repro.schedule.rf import max_common_rf
+
+__all__: List[str] = []
+
+register_rule(
+    "SCHED001", "schedule", Severity.ERROR,
+    "every cluster's peak occupancy fits one frame-buffer set "
+    "(DS(C_c) <= FBS)",
+    "section 4: scheduling checks DS(C_c) <= FBS for all clusters",
+)
+register_rule(
+    "SCHED002", "schedule", Severity.ERROR,
+    "the recorded peak occupancy equals the recomputed DS(C_c) for the "
+    "schedule's RF and keeps",
+    "section 3, DS(C_c) formula; section 4 extends it with kept items",
+)
+register_rule(
+    "SCHED003", "schedule", Severity.ERROR,
+    "every cluster input is either loaded or served by a keep decision "
+    "(no use-before-load at plan level)",
+    "section 3: data for the next cluster are transferred before it "
+    "executes",
+)
+register_rule(
+    "SCHED004", "schedule", Severity.ERROR,
+    "no duplicate or conflicting load/keep entries (no double loads)",
+    "section 4: kept data are loaded once, by the first consuming "
+    "cluster",
+)
+register_rule(
+    "SCHED005", "schedule", Severity.ERROR,
+    "final outputs and unserved shared results are stored to external "
+    "memory",
+    "section 3: final results have to be transferred to the external "
+    "memory",
+)
+register_rule(
+    "SCHED006", "schedule", Severity.ERROR,
+    "stores are produced by the storing cluster and not duplicated "
+    "(no double stores)",
+    "section 3: rout_j / final results are stored by their producing "
+    "cluster",
+)
+register_rule(
+    "SCHED007", "schedule", Severity.WARNING,
+    "every keep decision avoids at least one external transfer",
+    "section 4: TF reflects the time saving gained from keeping shared "
+    "data or results",
+)
+register_rule(
+    "SCHED008", "schedule", Severity.ERROR,
+    "keep decisions agree with the dataflow facts and the TF formulas "
+    "(|D_i..j|*(N-1), |R_i,j..k|*(N+1))",
+    "section 4, TF(D_i..j) and TF(R_i,j..k) formulas",
+)
+register_rule(
+    "SCHED009", "schedule", Severity.WARNING,
+    "the reuse factor is the highest common RF the frame-buffer set "
+    "size allows",
+    "section 4: CDS achieves the highest common RF value allowed by "
+    "the internal memory size",
+)
+register_rule(
+    "SCHED010", "schedule", Severity.WARNING,
+    "the reuse factor does not exceed the application's iteration count",
+    "section 3: RF consecutive executions of n total iterations",
+)
+register_rule(
+    "SCHED011", "schedule", Severity.ERROR,
+    "cluster plans are complete, ordered, and on their cluster's "
+    "frame-buffer set",
+    "section 2: clusters alternate between the two FB sets",
+)
+register_rule(
+    "SCHED012", "schedule", Severity.ERROR,
+    "every cluster's contexts fit one context-memory block",
+    "section 2: one CM block executes while the other is reloaded",
+)
+
+
+def _plan_location(schedule, plan) -> str:
+    cluster = schedule.clustering[plan.cluster_index]
+    return f"cluster {cluster.name}"
+
+
+@lint_pass(
+    "sched-plan-structure",
+    layer="schedule",
+    requires=("schedule",),
+    rules=("SCHED011",),
+)
+def check_plan_structure(context: LintContext, emit: Emitter) -> None:
+    schedule = context.schedule
+    assert schedule is not None
+    clustering = schedule.clustering
+    if len(schedule.cluster_plans) != len(clustering):
+        emit(
+            "SCHED011",
+            f"{len(schedule.cluster_plans)} cluster plans for "
+            f"{len(clustering)} clusters",
+            location="schedule",
+        )
+        return
+    for position, plan in enumerate(schedule.cluster_plans):
+        if plan.cluster_index != position:
+            emit(
+                "SCHED011",
+                f"plan at position {position} claims cluster index "
+                f"{plan.cluster_index}",
+                location=f"plan[{position}]",
+            )
+            continue
+        cluster = clustering[position]
+        if plan.fb_set != cluster.fb_set:
+            emit(
+                "SCHED011",
+                f"plan for {cluster.name} claims FB set {plan.fb_set}; the "
+                f"clustering assigns set {cluster.fb_set}",
+                location=f"cluster {cluster.name}",
+            )
+
+
+@lint_pass(
+    "sched-occupancy",
+    layer="schedule",
+    requires=("schedule", "dataflow"),
+    rules=("SCHED001", "SCHED002", "SCHED012"),
+)
+def check_occupancy(context: LintContext, emit: Emitter) -> None:
+    schedule = context.schedule
+    dataflow = context.dataflow
+    assert schedule is not None and dataflow is not None
+    fbs = schedule.fb_set_words
+    for plan in schedule.cluster_plans:
+        location = _plan_location(schedule, plan)
+        if plan.peak_occupancy > fbs:
+            emit(
+                "SCHED001",
+                f"peak occupancy {plan.peak_occupancy} words exceeds one "
+                f"frame-buffer set ({fbs} words)",
+                location=location,
+                cost_words=plan.peak_occupancy - fbs,
+                peak=plan.peak_occupancy,
+                fb_set_words=fbs,
+            )
+        if plan.cluster_index >= len(schedule.clustering):
+            continue  # reported by SCHED011
+        try:
+            if schedule.scheduler == "basic":
+                expected = cluster_footprint(dataflow, plan.cluster_index)
+            else:
+                expected = cluster_data_size(
+                    dataflow, plan.cluster_index, schedule.rf, schedule.keeps
+                )
+        except Exception:
+            # A structurally-broken keep makes DS(C_c) incomputable;
+            # sched-keeps reports the keep itself (SCHED008).
+            continue
+        if plan.peak_occupancy != expected:
+            emit(
+                "SCHED002",
+                f"recorded peak occupancy {plan.peak_occupancy} words; "
+                f"recomputed DS(C_c) is {expected} words at RF="
+                f"{schedule.rf}",
+                location=location,
+                cost_words=abs(plan.peak_occupancy - expected),
+                recorded=plan.peak_occupancy,
+                recomputed=expected,
+            )
+    if schedule.context_block_words > 0:
+        for cluster in schedule.clustering:
+            words = schedule.clustering.context_words_of(cluster)
+            if words > schedule.context_block_words:
+                emit(
+                    "SCHED012",
+                    f"cluster contexts need {words} words; one "
+                    f"context-memory block holds "
+                    f"{schedule.context_block_words}",
+                    location=f"cluster {cluster.name}",
+                    cost_words=words - schedule.context_block_words,
+                )
+
+
+@lint_pass(
+    "sched-data-motion",
+    layer="schedule",
+    requires=("schedule", "dataflow"),
+    rules=("SCHED003", "SCHED004", "SCHED005", "SCHED006"),
+)
+def check_data_motion(context: LintContext, emit: Emitter) -> None:
+    schedule = context.schedule
+    dataflow = context.dataflow
+    assert schedule is not None and dataflow is not None
+    keeps = schedule.keeps
+
+    for plan in schedule.cluster_plans:
+        if plan.cluster_index >= len(schedule.clustering):
+            continue  # reported by SCHED011
+        location = _plan_location(schedule, plan)
+        cluster_index = plan.cluster_index
+        inputs = dataflow.inputs_of_cluster(cluster_index)
+        covered = set(plan.loads) | set(plan.kept_inputs)
+
+        # SCHED003: every input is either loaded or kept.
+        for obj_name in inputs:
+            if obj_name not in covered:
+                info = dataflow[obj_name]
+                emit(
+                    "SCHED003",
+                    f"input {obj_name!r} is neither loaded nor kept; the "
+                    f"cluster would read it before any load",
+                    location=location,
+                    cost_words=info.words_for(schedule.rf),
+                    object=obj_name,
+                )
+        # SCHED003: a kept input needs a keep decision that serves it.
+        for obj_name in plan.kept_inputs:
+            serving = [
+                keep for keep in keeps
+                if keep.name == obj_name and cluster_index in (
+                    keep.clusters if isinstance(keep, SharedData)
+                    else getattr(keep, "consumer_clusters", ())
+                )
+            ]
+            if not serving:
+                emit(
+                    "SCHED003",
+                    f"input {obj_name!r} is marked kept but no keep "
+                    f"decision serves this cluster",
+                    location=location,
+                    object=obj_name,
+                )
+
+        # SCHED004: duplicates and conflicts.
+        seen = set()
+        for obj_name in plan.loads:
+            if obj_name in seen:
+                emit(
+                    "SCHED004",
+                    f"object {obj_name!r} appears twice in the load list",
+                    location=location,
+                    cost_words=dataflow[obj_name].words_for(schedule.rf)
+                    if obj_name in dataflow else 0,
+                    object=obj_name,
+                )
+            seen.add(obj_name)
+        for obj_name in plan.loads:
+            if obj_name in plan.kept_inputs:
+                emit(
+                    "SCHED004",
+                    f"object {obj_name!r} is both loaded and kept in the "
+                    f"same cluster plan (double handling)",
+                    location=location,
+                    object=obj_name,
+                )
+            if obj_name not in inputs:
+                emit(
+                    "SCHED004",
+                    f"object {obj_name!r} is loaded but is not an input of "
+                    f"the cluster (wasted load)",
+                    location=location,
+                    cost_words=dataflow[obj_name].words_for(schedule.rf)
+                    if obj_name in dataflow else 0,
+                    object=obj_name,
+                )
+
+        # SCHED005 / SCHED006: store completeness and validity.
+        produced = set(dataflow.produced_by_cluster(cluster_index))
+        store_counts: Dict[str, int] = {}
+        for obj_name in plan.stores:
+            store_counts[obj_name] = store_counts.get(obj_name, 0) + 1
+        for obj_name, count in store_counts.items():
+            if count > 1:
+                emit(
+                    "SCHED006",
+                    f"object {obj_name!r} is stored {count} times by one "
+                    f"cluster plan (double store)",
+                    location=location,
+                    cost_words=(count - 1)
+                    * dataflow[obj_name].words_for(schedule.rf)
+                    if obj_name in dataflow else 0,
+                    object=obj_name,
+                )
+            if obj_name not in produced:
+                emit(
+                    "SCHED006",
+                    f"object {obj_name!r} is stored but not produced by "
+                    f"this cluster",
+                    location=location,
+                    object=obj_name,
+                )
+        for obj_name in produced:
+            info = dataflow[obj_name]
+            later = [c for c in info.consumer_clusters if c > cluster_index]
+            keep = next(
+                (
+                    k for k in keeps
+                    if isinstance(k, SharedResult)
+                    and k.name == obj_name
+                    and k.producer_cluster == cluster_index
+                ),
+                None,
+            )
+            served = set(keep.consumer_clusters) if keep is not None else set()
+            unserved = [c for c in later if c not in served]
+            needs_store = info.is_final or bool(unserved)
+            if needs_store and obj_name not in store_counts:
+                reason = (
+                    "a final output" if info.is_final
+                    else f"consumed by unserved clusters {unserved}"
+                )
+                emit(
+                    "SCHED005",
+                    f"result {obj_name!r} is {reason} but never stored",
+                    location=location,
+                    cost_words=info.words_for(schedule.rf),
+                    object=obj_name,
+                )
+
+
+@lint_pass(
+    "sched-keeps",
+    layer="schedule",
+    requires=("schedule", "dataflow"),
+    rules=("SCHED007", "SCHED008"),
+)
+def check_keeps(context: LintContext, emit: Emitter) -> None:
+    schedule = context.schedule
+    dataflow = context.dataflow
+    assert schedule is not None and dataflow is not None
+    clustering = schedule.clustering
+
+    retained_by_cluster: Dict[int, set] = {}
+    for plan in schedule.cluster_plans:
+        retained_by_cluster[plan.cluster_index] = set(plan.retained_outputs)
+
+    for keep in schedule.keeps:
+        try:
+            label = keep.label
+        except Exception:  # duck-typed or structurally broken keep
+            label = type(keep).__name__
+        location = f"keep {label}({keep.name})"
+        if isinstance(keep, SharedData) and not keep.clusters:
+            emit(
+                "SCHED008",
+                "keep lists no consumer clusters",
+                location=location,
+            )
+            continue
+        if (
+            isinstance(keep, SharedResult)
+            and not keep.consumer_clusters
+        ):
+            emit(
+                "SCHED008",
+                "keep lists no consumer clusters",
+                location=location,
+            )
+            continue
+        if keep.name not in dataflow:
+            emit(
+                "SCHED008",
+                f"keep references unknown object {keep.name!r}",
+                location=location,
+            )
+            continue
+        info = dataflow[keep.name]
+        if keep.size != info.size:
+            emit(
+                "SCHED008",
+                f"keep records size {keep.size}; the dataflow says "
+                f"{info.size}",
+                location=location,
+                cost_words=abs(keep.size - info.size),
+            )
+        if isinstance(keep, SharedData):
+            clusters = tuple(keep.clusters)
+            expected_avoided = keep.size * max(0, len(clusters) - 1)
+            out_of_range = [
+                c for c in clusters if not 0 <= c < len(clustering)
+            ]
+            if out_of_range:
+                emit(
+                    "SCHED008",
+                    f"keep references nonexistent clusters {out_of_range}",
+                    location=location,
+                )
+                continue
+            if list(clusters) != sorted(set(clusters)):
+                emit(
+                    "SCHED008",
+                    f"consumer clusters {list(clusters)} are not strictly "
+                    f"ascending",
+                    location=location,
+                )
+            unknown = [c for c in clusters
+                       if c not in info.consumer_clusters]
+            if unknown:
+                emit(
+                    "SCHED008",
+                    f"keep lists consumer clusters {unknown} that do not "
+                    f"consume {keep.name!r}",
+                    location=location,
+                )
+            if clusters and clustering[clusters[0]].fb_set != keep.fb_set:
+                emit(
+                    "SCHED008",
+                    f"keep is homed on set {keep.fb_set} but its first "
+                    f"consumer runs on set "
+                    f"{clustering[clusters[0]].fb_set}",
+                    location=location,
+                )
+        else:  # SharedResult (or duck-typed equivalent)
+            consumers = tuple(keep.consumer_clusters)
+            n = len(consumers)
+            expected_avoided = keep.size * (
+                n if getattr(keep, "store_required", False) else n + 1
+            )
+            out_of_range = [
+                c for c in (keep.producer_cluster,) + consumers
+                if not 0 <= c < len(clustering)
+            ]
+            if out_of_range:
+                emit(
+                    "SCHED008",
+                    f"keep references nonexistent clusters {out_of_range}",
+                    location=location,
+                )
+                continue
+            if any(c <= keep.producer_cluster for c in consumers):
+                emit(
+                    "SCHED008",
+                    f"keep lists consumers {list(consumers)} at or before "
+                    f"its producer cluster {keep.producer_cluster}",
+                    location=location,
+                )
+            if info.producer_cluster != keep.producer_cluster:
+                emit(
+                    "SCHED008",
+                    f"keep records producer cluster "
+                    f"{keep.producer_cluster}; the dataflow says "
+                    f"{info.producer_cluster}",
+                    location=location,
+                )
+            elif clustering[keep.producer_cluster].fb_set != keep.fb_set:
+                emit(
+                    "SCHED008",
+                    f"keep is homed on set {keep.fb_set} but its producer "
+                    f"runs on set "
+                    f"{clustering[keep.producer_cluster].fb_set}",
+                    location=location,
+                )
+            unknown = [c for c in consumers
+                       if c not in info.consumer_clusters]
+            if unknown:
+                emit(
+                    "SCHED008",
+                    f"keep lists consumer clusters {unknown} that do not "
+                    f"consume {keep.name!r}",
+                    location=location,
+                )
+            if keep.producer_cluster in retained_by_cluster and (
+                keep.name
+                not in retained_by_cluster[keep.producer_cluster]
+            ):
+                emit(
+                    "SCHED008",
+                    f"kept result {keep.name!r} is missing from its "
+                    f"producer cluster's retained outputs",
+                    location=location,
+                )
+        # TF formula: words_avoided must match the paper's counting.
+        if keep.words_avoided != expected_avoided:
+            emit(
+                "SCHED008",
+                f"keep claims {keep.words_avoided} words avoided per "
+                f"iteration; the TF formula gives {expected_avoided}",
+                location=location,
+                cost_words=abs(keep.words_avoided - expected_avoided),
+            )
+        # SCHED007: a keep that avoids nothing only wastes FB space.
+        if keep.words_avoided <= 0:
+            wasted = keep.size * (
+                1 if getattr(keep, "invariant", False) else schedule.rf
+            )
+            emit(
+                "SCHED007",
+                f"keep avoids no external transfers; it only occupies "
+                f"{wasted} words of frame buffer",
+                location=location,
+                cost_words=wasted,
+            )
+
+
+@lint_pass(
+    "sched-rf",
+    layer="schedule",
+    requires=("schedule", "dataflow"),
+    rules=("SCHED009", "SCHED010"),
+)
+def check_reuse_factor(context: LintContext, emit: Emitter) -> None:
+    schedule = context.schedule
+    dataflow = context.dataflow
+    assert schedule is not None and dataflow is not None
+    total = schedule.application.total_iterations
+    if schedule.rf > total:
+        emit(
+            "SCHED010",
+            f"RF={schedule.rf} exceeds the application's "
+            f"{total} iterations; fission deeper than the iteration "
+            f"count cannot help",
+            location="schedule",
+        )
+    # Only the Complete Data Scheduler promises RF maximality.
+    if schedule.scheduler != "cds" or schedule.contexts_per_iteration:
+        return
+    achievable = max_common_rf(dataflow, schedule.fb_set_words, keeps=())
+    if 0 < schedule.rf < achievable:
+        from repro.units import ceil_div
+
+        context_per_round = sum(
+            schedule.clustering.context_words_of(cluster)
+            for cluster in schedule.clustering
+        )
+        extra_rounds = (
+            ceil_div(total, schedule.rf) - ceil_div(total, achievable)
+        )
+        emit(
+            "SCHED009",
+            f"RF={schedule.rf} but RF={achievable} fits the frame-buffer "
+            f"set; the schedule reloads contexts for {extra_rounds} extra "
+            f"rounds",
+            location="schedule",
+            cost_words=extra_rounds * context_per_round,
+            rf=schedule.rf,
+            achievable_rf=achievable,
+        )

@@ -47,12 +47,19 @@ class ScheduleOptions:
             work.  Requires an architecture with
             ``fb_cross_set_access=True``; the Complete Data Scheduler
             rejects the combination otherwise.
+        strict_lint: after building the schedule, run the
+            application- and schedule-layer lint passes over it and
+            raise :class:`~repro.errors.LintError` if any
+            error-severity diagnostic is found.  A self-check: the
+            scheduler refuses to hand out a schedule its own static
+            analysis rejects.
     """
 
     rf_cap: int = 0
     keep_policy: str = "tf"
     rf_policy: str = "max_then_keep"
     cross_set_retention: bool = False
+    strict_lint: bool = False
 
     def __post_init__(self) -> None:
         if self.rf_cap < 0:
@@ -99,7 +106,24 @@ class DataSchedulerBase(abc.ABC):
             clustering = Clustering.per_kernel(application)
         dataflow = analyze_dataflow(application, clustering)
         self._check_static_capacities(dataflow)
-        return self._schedule(dataflow)
+        schedule = self._schedule(dataflow)
+        if self.options.strict_lint:
+            self._self_lint(schedule)
+        return schedule
+
+    def _self_lint(self, schedule: Schedule) -> None:
+        """Run the schedule-layer lint passes; raise on any error."""
+        from repro.errors import LintError
+        from repro.lint.runner import lint_schedule
+
+        collector = lint_schedule(schedule)
+        if collector.has_errors:
+            first = collector.errors[0]
+            raise LintError(
+                f"strict lint: {len(collector.errors)} error(s) in the "
+                f"{self.name} schedule; first: {first}",
+                diagnostics=collector.errors,
+            )
 
     # -- subclass hook --------------------------------------------------------
 

@@ -1,0 +1,29 @@
+"""docs/lint_rules.md must track the executable catalogue."""
+
+import re
+from pathlib import Path
+
+from repro.lint import RULES
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "lint_rules.md"
+
+
+def test_every_rule_is_documented():
+    text = DOC.read_text()
+    documented = set(re.findall(r"\b(?:APP|SCHED|ALLOC|PROG)\d{3}\b", text))
+    assert documented == set(RULES), (
+        f"undocumented: {sorted(set(RULES) - documented)}; "
+        f"stale: {sorted(documented - set(RULES))}"
+    )
+
+
+def test_documented_severities_match_registry():
+    text = DOC.read_text()
+    for code, rule in RULES.items():
+        row = next(
+            line for line in text.splitlines()
+            if line.startswith(f"| {code} ")
+        )
+        assert f"| {rule.severity.value} |" in row, (
+            f"{code}: doc row does not say severity {rule.severity.value!r}"
+        )

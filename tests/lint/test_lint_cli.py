@@ -1,0 +1,90 @@
+"""The ``repro lint`` CLI subcommand: text/JSON output and exit codes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_lint_clean_experiment_exits_zero(capsys):
+    assert main(["lint", "E1"]) == 0
+    out = capsys.readouterr().out
+    assert "lint report: E1 (cds)" in out
+    assert "clean: no findings" in out
+
+
+def test_lint_verbose_lists_rules(capsys):
+    assert main(["lint", "E1", "--verbose"]) == 0
+    out = capsys.readouterr().out
+    assert "rules checked:" in out
+    assert "SCHED003" in out
+
+
+def test_lint_json_payload(capsys):
+    assert main(["lint", "E1", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["experiment"] == "E1"
+    assert payload["scheduler"] == "cds"
+    assert payload["clean"] is True
+    assert payload["summary"]["errors"] == 0
+    assert len(payload["summary"]["rules_checked"]) >= 10
+
+
+def test_lint_corrupt_exits_nonzero_with_structured_json(capsys):
+    assert main(["lint", "E1", "--corrupt", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    assert payload["summary"]["errors"] > 0
+    codes = {d["code"] for d in payload["diagnostics"]}
+    assert "SCHED003" in codes and "PROG001" in codes
+    first = payload["diagnostics"][0]
+    assert {"code", "severity", "layer", "location", "message",
+            "cost_words", "details"} <= set(first)
+
+
+def test_lint_corrupt_text_mode_exits_nonzero(capsys):
+    assert main(["lint", "E1", "--corrupt"]) == 1
+    out = capsys.readouterr().out
+    assert "error[SCHED003]" in out
+
+
+def test_lint_disable_suppresses_rule(capsys):
+    code = main([
+        "lint", "E1", "--corrupt",
+        "--disable", "SCHED003", "--disable", "PROG001",
+        "--disable", "PROG004",
+    ])
+    out = capsys.readouterr().out
+    assert "SCHED003" not in out
+    assert "suppressed" in out
+    assert code == 0
+
+
+def test_lint_severity_override(capsys):
+    code = main([
+        "lint", "E1", "--corrupt", "--json",
+        "--severity", "SCHED003=info", "--severity", "PROG001=info",
+        "--severity", "PROG004=info",
+    ])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 0
+    assert payload["summary"]["errors"] == 0
+    assert payload["summary"]["infos"] > 0
+
+
+def test_lint_bad_severity_arg_exits():
+    with pytest.raises(SystemExit):
+        main(["lint", "E1", "--severity", "SCHED003"])
+
+
+def test_lint_all_produces_report_per_target(capsys):
+    assert main(["lint", "all", "--scheduler", "basic"]) in (0, 1)
+    out = capsys.readouterr().out
+    assert "lint report: E1 (basic)" in out
+    assert "lint report: WAVELET (basic)" in out
+
+
+def test_lint_scheduler_selection(capsys):
+    assert main(["lint", "MPEG", "--scheduler", "ds"]) == 0
+    assert "lint report: MPEG (ds)" in capsys.readouterr().out

@@ -1,0 +1,165 @@
+"""Diagnostics, collector, registry and reporter behaviour."""
+
+import json
+
+import pytest
+
+from repro.lint import (
+    Diagnostic,
+    DiagnosticCollector,
+    LintContext,
+    RULES,
+    Severity,
+    lint_pass,
+    register_rule,
+    render_json,
+    render_text,
+    run_passes,
+)
+from repro.lint.reporters import severity_overrides_from_args
+
+from tests.lint.util import cds_schedule, lint_full, mini_app
+
+
+def _diag(code="SCHED001", severity=Severity.ERROR, cost=0):
+    return Diagnostic(
+        code=code, severity=severity, layer="schedule",
+        location="cluster Cl1", message="boom", cost_words=cost,
+    )
+
+
+# -- Severity -------------------------------------------------------------
+
+def test_severity_parse_and_rank():
+    assert Severity.parse(" Error ") is Severity.ERROR
+    assert Severity.parse("WARNING") is Severity.WARNING
+    assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+    with pytest.raises(ValueError, match="unknown severity"):
+        Severity.parse("fatal")
+
+
+# -- DiagnosticCollector --------------------------------------------------
+
+def test_collector_accumulates_and_sorts():
+    collector = DiagnosticCollector()
+    collector.add(_diag("SCHED007", Severity.WARNING, cost=10))
+    collector.add(_diag("SCHED001", Severity.ERROR, cost=5))
+    assert len(collector) == 2
+    assert collector.has_errors
+    assert collector.total_cost_words == 15
+    assert [d.code for d in collector.sorted()] == ["SCHED001", "SCHED007"]
+
+
+def test_collector_severity_override():
+    collector = DiagnosticCollector(
+        severity_overrides={"SCHED007": Severity.ERROR}
+    )
+    stored = collector.add(_diag("SCHED007", Severity.WARNING))
+    assert stored is not None and stored.severity is Severity.ERROR
+    assert collector.has_errors
+
+
+def test_collector_suppression():
+    collector = DiagnosticCollector(suppress=("SCHED001",))
+    assert collector.add(_diag("SCHED001")) is None
+    assert not collector.diagnostics
+    assert collector.suppressed_count == 1
+
+
+def test_empty_collector_is_not_replaced_by_run_passes():
+    """Regression: DiagnosticCollector has __len__, so an empty
+    collector is falsy — run_passes must not `or` it away."""
+    application, clustering = mini_app()
+    collector = DiagnosticCollector()
+    returned = run_passes(
+        LintContext(application=application), collector=collector
+    )
+    assert returned is collector
+    assert collector.rules_checked  # passes actually ran into it
+
+
+def test_diagnostic_json_and_str():
+    diagnostic = _diag(cost=32)
+    payload = diagnostic.to_json()
+    assert payload["code"] == "SCHED001"
+    assert payload["severity"] == "error"
+    assert "[32w]" in str(diagnostic)
+
+
+# -- registry -------------------------------------------------------------
+
+def test_register_rule_rejects_duplicates_and_bad_layers():
+    with pytest.raises(ValueError, match="duplicate"):
+        register_rule("SCHED001", "schedule", Severity.ERROR, "x", "y")
+    with pytest.raises(ValueError, match="unknown lint layer"):
+        register_rule("ZZZ001", "nonsense", Severity.ERROR, "x", "y")
+
+
+def test_lint_pass_rejects_unregistered_rules():
+    with pytest.raises(ValueError, match="unregistered rule"):
+        @lint_pass("bogus", layer="schedule", rules=("NOPE001",))
+        def _pass(context, emit):  # pragma: no cover
+            pass
+
+
+def test_run_passes_rejects_unknown_layer():
+    application, _ = mini_app()
+    with pytest.raises(ValueError, match="unknown lint layers"):
+        run_passes(
+            LintContext(application=application), layers=("bogus",)
+        )
+
+
+def test_passes_skip_missing_artifacts():
+    application, _ = mini_app()
+    collector = run_passes(LintContext(application=application))
+    checked = set(collector.rules_checked)
+    assert any(code.startswith("APP") for code in checked)
+    assert not any(code.startswith("SCHED") for code in checked)
+    assert not any(code.startswith("PROG") for code in checked)
+
+
+def test_rule_catalogue_covers_four_layers():
+    layers = {rule.layer for rule in RULES.values()}
+    assert layers == {"application", "schedule", "allocation", "program"}
+    assert len(RULES) >= 10
+    assert all(rule.paper_ref for rule in RULES.values())
+
+
+# -- reporters ------------------------------------------------------------
+
+def test_render_text_clean_and_verbose():
+    collector = lint_full(cds_schedule())
+    text = render_text(collector, title="mini", verbose=True)
+    assert "lint report: mini" in text
+    assert "clean: no findings" in text
+    assert "rules checked:" in text
+    assert "SCHED001" in text
+
+
+def test_render_text_groups_by_layer():
+    collector = DiagnosticCollector()
+    collector.add(_diag("SCHED001", Severity.ERROR))
+    text = render_text(collector)
+    assert "-- schedule" in text
+    assert "1 error(s)" in text
+
+
+def test_render_json_is_serialisable():
+    collector = lint_full(cds_schedule())
+    payload = render_json(collector, extra={"experiment": "mini"})
+    assert payload["clean"] is True
+    assert payload["experiment"] == "mini"
+    json.dumps(payload)  # must be JSON-safe
+
+
+def test_severity_overrides_from_args():
+    overrides = severity_overrides_from_args(
+        ["sched007=error", "ALLOC005 = warning"]
+    )
+    assert overrides == {
+        "SCHED007": Severity.ERROR,
+        "ALLOC005": Severity.WARNING,
+    }
+    with pytest.raises(ValueError, match="CODE=LEVEL"):
+        severity_overrides_from_args(["SCHED007"])

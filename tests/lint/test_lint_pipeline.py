@@ -1,0 +1,163 @@
+"""End-to-end lint behaviour: runner targets, property-based
+cleanliness of scheduler output, strict mode, allocator debug flag."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alloc.allocator import FrameBufferAllocator
+from repro.alloc.free_list import FreeBlockList
+from repro.arch.params import Architecture
+from repro.errors import InfeasibleScheduleError, LintError, ReproError
+from repro.lint import (
+    corrupt_schedule,
+    lint_context,
+    lint_experiment,
+    lint_targets,
+    resolve_target,
+    run_passes,
+)
+from repro.schedule.base import ScheduleOptions
+from repro.schedule.complete import CompleteDataScheduler
+from repro.workloads.random_gen import random_application
+
+from tests.lint.util import cds_schedule, codes_of, mini_app
+
+
+# -- runner / targets -----------------------------------------------------
+
+def test_lint_targets_cover_table1_and_wavelet():
+    ids = [target.id for target in lint_targets()]
+    assert "MPEG" in ids and "ATR-SLD" in ids and "WAVELET" in ids
+    assert len(ids) == len(set(ids))
+
+
+def test_resolve_target_is_case_insensitive():
+    assert resolve_target("mpeg").id == "MPEG"
+    with pytest.raises(ReproError, match="unknown lint target"):
+        resolve_target("nonsense")
+
+
+@pytest.mark.parametrize("name", ["E1", "MPEG", "ATR-SLD", "WAVELET"])
+def test_bundled_experiments_are_error_free(name):
+    _, collector = lint_experiment(name)
+    assert not collector.has_errors
+    assert len(collector.rules_checked) >= 10
+
+
+def test_lint_experiment_suppress_and_override():
+    _, collector = lint_experiment(
+        "E1", corrupt=True, suppress=("SCHED003", "PROG001")
+    )
+    assert collector.suppressed_count > 0
+    assert "SCHED003" not in codes_of(collector)
+
+
+def test_corrupt_schedule_triggers_plan_and_program_rules():
+    _, collector = lint_experiment("E1", corrupt=True)
+    codes = codes_of(collector)
+    assert "SCHED003" in codes  # plan layer sees the missing load
+    assert "PROG001" in codes  # program layer sees the use-before-load
+    assert collector.has_errors
+
+
+def test_corrupt_schedule_requires_a_load():
+    schedule = cds_schedule()
+    corrupted = corrupt_schedule(schedule)
+    dropped = (
+        sum(len(p.loads) for p in schedule.cluster_plans)
+        - sum(len(p.loads) for p in corrupted.cluster_plans)
+    )
+    assert dropped == 1
+
+
+# -- property: scheduler output is always lint-clean ----------------------
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=20000),
+       st.sampled_from(["1K", "2K", "8K"]))
+def test_cds_schedules_are_lint_clean(seed, fb):
+    """The Complete Data Scheduler never emits a schedule its own
+    static analysis rejects — over the full pipeline (schedule,
+    allocation, program)."""
+    application, clustering = random_application(seed, iterations=4)
+    try:
+        schedule = CompleteDataScheduler(Architecture.m1(fb)).schedule(
+            application, clustering
+        )
+    except InfeasibleScheduleError:
+        return
+    collector = run_passes(lint_context(schedule))
+    assert not collector.has_errors, "\n".join(
+        str(d) for d in collector.errors
+    )
+
+
+# -- strict mode ----------------------------------------------------------
+
+def test_strict_lint_passes_on_valid_schedule():
+    application, clustering = mini_app()
+    scheduler = CompleteDataScheduler(
+        Architecture.m1("2K"), ScheduleOptions(strict_lint=True)
+    )
+    schedule = scheduler.schedule(application, clustering)
+    assert schedule.rf >= 1
+
+
+def test_strict_lint_raises_on_broken_schedule():
+    class Sabotaged(CompleteDataScheduler):
+        def _schedule(self, dataflow):
+            return corrupt_schedule(super()._schedule(dataflow))
+
+    application, clustering = mini_app()
+    scheduler = Sabotaged(
+        Architecture.m1("2K"), ScheduleOptions(strict_lint=True)
+    )
+    with pytest.raises(LintError, match="strict lint") as excinfo:
+        scheduler.schedule(application, clustering)
+    assert excinfo.value.diagnostics
+    assert any(d.code == "SCHED003" for d in excinfo.value.diagnostics)
+
+
+def test_strict_lint_off_by_default():
+    class Sabotaged(CompleteDataScheduler):
+        def _schedule(self, dataflow):
+            return corrupt_schedule(super()._schedule(dataflow))
+
+    application, clustering = mini_app()
+    schedule = Sabotaged(Architecture.m1("2K")).schedule(
+        application, clustering
+    )  # no raise: the self-check is opt-in
+    assert schedule is not None
+
+
+# -- allocator debug flag -------------------------------------------------
+
+def test_debug_invariants_checks_free_list(monkeypatch):
+    schedule = cds_schedule()
+    calls = {"count": 0}
+    original = FreeBlockList.check_invariants
+
+    def counting(self):
+        calls["count"] += 1
+        return original(self)
+
+    monkeypatch.setattr(FreeBlockList, "check_invariants", counting)
+    FrameBufferAllocator(schedule, debug_invariants=True).allocate()
+    checked = calls["count"]
+    assert checked > 0
+
+    calls["count"] = 0
+    FrameBufferAllocator(schedule).allocate()
+    assert calls["count"] == 0  # off by default (hot path stays lean)
+
+
+def test_debug_invariants_does_not_change_result():
+    schedule = cds_schedule()
+    plain = FrameBufferAllocator(schedule).allocate()
+    checked = FrameBufferAllocator(
+        schedule, debug_invariants=True
+    ).allocate()
+    for a, b in zip(plain, checked):
+        assert a.records == b.records
+        assert a.peak_words == b.peak_words

@@ -1,0 +1,131 @@
+"""Shared helpers for the lint test suite.
+
+The lint passes exist to catch *invalid* artifacts, but the library's
+constructors validate eagerly — so these helpers build deliberately
+broken applications, kernels and schedules by bypassing
+``__post_init__`` (exactly the "assembled programmatically, pickled, or
+mutated" artifacts the passes defend against).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Sequence, Set
+
+from repro.arch.params import Architecture
+from repro.core.application import Application
+from repro.core.cluster import Clustering
+from repro.core.dataobj import DataObject
+from repro.core.kernel import Kernel
+from repro.lint import DiagnosticCollector, LintContext, lint_context, run_passes
+from repro.schedule.complete import CompleteDataScheduler
+from repro.schedule.plan import Schedule
+
+
+def mini_app():
+    """Three kernels, one per cluster; shared data and a shared result.
+
+    ``tbl`` is consumed by clusters 0 and 2 (both on FB set 0) — a
+    SharedData candidate; ``r1`` is produced by cluster 0 and consumed
+    by clusters 1 (set 1) and 2 (set 0) — a SharedResult candidate with
+    a forced store.
+    """
+    application = (
+        Application.build("mini", total_iterations=8)
+        .data("d1", 64)
+        .data("d2", 48)
+        .data("tbl", 32, invariant=True)
+        .kernel("k1", context_words=16, cycles=200,
+                inputs=["d1", "tbl"], outputs=["r1"],
+                result_sizes={"r1": 40})
+        .kernel("k2", context_words=16, cycles=200,
+                inputs=["r1", "d2"], outputs=["r2"],
+                result_sizes={"r2": 40})
+        .kernel("k3", context_words=16, cycles=200,
+                inputs=["r2", "r1", "tbl"], outputs=["out"],
+                result_sizes={"out": 32})
+        .final("out")
+        .finish()
+    )
+    return application, Clustering.per_kernel(application)
+
+
+def cds_schedule(fb: str = "2K") -> Schedule:
+    application, clustering = mini_app()
+    return CompleteDataScheduler(Architecture.m1(fb)).schedule(
+        application, clustering
+    )
+
+
+def lint_full(schedule: Schedule) -> DiagnosticCollector:
+    """Run every pass over the schedule's full pipeline."""
+    return run_passes(lint_context(schedule))
+
+
+def lint_schedule_layers(schedule: Schedule) -> DiagnosticCollector:
+    """Run only the application+schedule layers (no alloc / codegen —
+    needed when the schedule is too broken to allocate or lower)."""
+    context = LintContext(
+        application=schedule.application,
+        clustering=schedule.clustering,
+        dataflow=schedule.dataflow,
+        schedule=schedule,
+    )
+    return run_passes(context, layers=("application", "schedule"))
+
+
+def codes_of(collector: DiagnosticCollector) -> Set[str]:
+    return {diagnostic.code for diagnostic in collector.diagnostics}
+
+
+def raw_kernel(name: str, *, context_words: int = 16, cycles: int = 100,
+               inputs: Sequence[str] = (), outputs: Sequence[str] = ()):
+    """A Kernel with validation bypassed."""
+    kernel = object.__new__(Kernel)
+    object.__setattr__(kernel, "name", name)
+    object.__setattr__(kernel, "context_words", context_words)
+    object.__setattr__(kernel, "cycles", cycles)
+    object.__setattr__(kernel, "inputs", tuple(inputs))
+    object.__setattr__(kernel, "outputs", tuple(outputs))
+    object.__setattr__(kernel, "library_op", None)
+    return kernel
+
+
+def raw_object(name: str, size: int, *, invariant: bool = False):
+    """A DataObject with validation bypassed."""
+    obj = object.__new__(DataObject)
+    object.__setattr__(obj, "name", name)
+    object.__setattr__(obj, "size", size)
+    object.__setattr__(obj, "invariant", invariant)
+    object.__setattr__(obj, "element_shape", None)
+    object.__setattr__(obj, "description", "")
+    return obj
+
+
+def raw_application(kernels: Iterable[Kernel],
+                    objects: Dict[str, DataObject],
+                    finals: Iterable[str] = (),
+                    total_iterations: int = 4) -> Application:
+    """An Application with validation bypassed."""
+    application = object.__new__(Application)
+    object.__setattr__(application, "name", "broken")
+    object.__setattr__(application, "kernels", tuple(kernels))
+    object.__setattr__(application, "objects", dict(objects))
+    object.__setattr__(application, "final_outputs", frozenset(finals))
+    object.__setattr__(application, "total_iterations", total_iterations)
+    return application
+
+
+def lint_app_only(application: Application) -> DiagnosticCollector:
+    return run_passes(
+        LintContext(application=application), layers=("application",)
+    )
+
+
+def replace_plan(schedule: Schedule, cluster_index: int, **changes) -> Schedule:
+    """Copy of *schedule* with one plan's fields replaced."""
+    plans = list(schedule.cluster_plans)
+    plans[cluster_index] = dataclasses.replace(
+        plans[cluster_index], **changes
+    )
+    return dataclasses.replace(schedule, cluster_plans=tuple(plans))
