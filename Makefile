@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint ruff mypy
+.PHONY: check test lint ruff mypy bench bench-quick
 
 check: test ruff mypy lint
 
@@ -16,6 +16,15 @@ lint:
 	$(PYTHON) -m repro.cli lint all --scheduler basic
 	$(PYTHON) -m repro.cli lint all --scheduler ds
 	$(PYTHON) -m repro.cli lint all --scheduler cds
+
+# Full pipeline benchmark; refreshes the committed baseline.
+bench:
+	$(PYTHON) -m repro.cli bench --output BENCH_pipeline.json
+
+# CI's quick-mode benchmark, gated against the committed baseline.
+bench-quick:
+	$(PYTHON) -m repro.cli bench --quick --output BENCH_quick.json \
+		--compare BENCH_pipeline.json --max-regression 25
 
 # ruff / mypy run only where installed — the pinned container image
 # ships neither, and nothing may be pip-installed into it.

@@ -32,6 +32,26 @@ def test_cds_scheduling_scales(benchmark, clusters):
     assert schedule.rf >= 1
 
 
+def test_cds_scheduling_large(benchmark):
+    """The ``repro bench`` "cds_large" scalability configuration: a
+    32-cluster / 64-iteration workload on a 16K frame buffer."""
+    application, clustering = random_application(
+        123, max_clusters=32, iterations=64
+    )
+    scheduler = CompleteDataScheduler(Architecture.m1("16K"))
+    schedule = benchmark(scheduler.schedule, application, clustering)
+    assert schedule.rf >= 1
+
+
+def test_corpus_study_throughput(benchmark):
+    """The ``repro bench`` "corpus" configuration: the three-scheduler
+    study over 20 seeded workloads at 16K / 48 iterations."""
+    from repro.analysis.corpus import corpus_study
+
+    stats = benchmark(corpus_study, range(20), fb="16K", iterations=48)
+    assert stats.feasible > 0
+
+
 def test_dataflow_analysis(benchmark):
     application, clustering = random_application(77, iterations=8)
     dataflow = benchmark(analyze_dataflow, application, clustering)

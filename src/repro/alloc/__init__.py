@@ -14,6 +14,7 @@ free blocks only as a last resort.
 
 from repro.alloc.allocator import AllocationMap, AllocationRecord, FrameBufferAllocator
 from repro.alloc.free_list import FreeBlockList
+from repro.alloc.reference import ReferenceFreeBlockList
 from repro.alloc.stats import AllocationStats, compute_stats
 
 __all__ = [
@@ -22,5 +23,6 @@ __all__ = [
     "AllocationStats",
     "FrameBufferAllocator",
     "FreeBlockList",
+    "ReferenceFreeBlockList",
     "compute_stats",
 ]

@@ -188,19 +188,29 @@ class FrameBufferAllocator:
             first-fit") or ``"best"`` (smallest sufficient block;
             ablation baseline).
         debug_invariants: re-check the free list's structural
-            invariants (sorted, coalesced, in-capacity) after every
-            allocate and free.  Off by default — it makes the hot path
-            quadratic — but cheap insurance in tests and when
-            debugging placement issues.
+            invariants (sorted, coalesced, in-capacity, free-word
+            counter consistent) after every allocate and free.  The
+            check is a single O(n) pass, so it is cheap insurance; the
+            test suite turns it on globally via
+            :attr:`default_debug_invariants`.  ``None`` (the default)
+            defers to that class attribute.
     """
 
+    #: Process-wide default for ``debug_invariants`` when the caller
+    #: passes ``None``.  The test suite's conftest flips this to True so
+    #: every allocator constructed anywhere under test self-checks.
+    default_debug_invariants: bool = False
+
     def __init__(self, schedule: Schedule, *, allow_split: bool = True,
-                 fit_policy: str = "first", debug_invariants: bool = False):
+                 fit_policy: str = "first",
+                 debug_invariants: Optional[bool] = None):
         if fit_policy not in ("first", "best"):
             raise AllocationError(f"unknown fit_policy {fit_policy!r}")
         self.schedule = schedule
         self.allow_split = allow_split
         self.fit_policy = fit_policy
+        if debug_invariants is None:
+            debug_invariants = self.default_debug_invariants
         self.debug_invariants = debug_invariants
 
     # -- public API -----------------------------------------------------

@@ -1,4 +1,4 @@
-"""The paper's ``FB_list``: a linear list of free blocks with first-fit.
+"""The paper's ``FB_list``: sorted free blocks with first-fit placement.
 
 Supports the two growth directions Figure 4 uses — first-fit from
 *upper* free addresses (long-lived data) and from *lower* free
@@ -6,13 +6,35 @@ addresses (results) — plus exact-placement for regularity, splitting
 across several blocks when no single block fits, and coalescing on
 free.
 
-Invariants (checked by :meth:`FreeBlockList.check_invariants` and the
-property-based tests): blocks are sorted by address, non-overlapping,
-non-empty, non-adjacent (always coalesced), and within capacity.
+The block list is kept sorted by address and coalesced at all times,
+which lets every address-directed operation locate its block with
+:func:`bisect.bisect_right` instead of a scan:
+
+* ``is_free`` / ``allocate_at`` find the covering block in O(log n);
+* ``free`` finds the insertion point in O(log n), checks overlap
+  against only the two neighbouring blocks, and coalesces locally —
+  the historical append + sort + full-list merge is gone;
+* ``allocate_split`` consumes whole blocks from one end in a single
+  slice deletion instead of one list rewrite per block;
+* ``free_words`` is maintained incrementally (O(1) query).
+
+First-fit (``allocate_high``/``allocate_low``) still walks blocks from
+the chosen end until one fits — that order *is* the first-fit
+contract — but in the common non-fragmented case the end block fits
+immediately.  The behaviour of every operation is byte-identical to
+the retained linear oracle
+(:class:`repro.alloc.reference.ReferenceFreeBlockList`), enforced by
+property-based equivalence tests.
+
+Invariants (checked by :meth:`FreeBlockList.check_invariants`, which is
+O(n), and the property-based tests): blocks are sorted by address,
+non-overlapping, non-empty, non-adjacent (always coalesced), within
+capacity, and their sizes sum to the cached ``free_words``.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import List, Optional, Tuple
 
 from repro.arch.frame_buffer import Extent
@@ -32,13 +54,14 @@ class FreeBlockList:
         self.capacity_words = capacity_words
         # (start, size) blocks, sorted by start, coalesced.
         self._blocks: List[Tuple[int, int]] = [(0, capacity_words)]
+        self._free_words = capacity_words
 
     # -- queries ---------------------------------------------------------
 
     @property
     def free_words(self) -> int:
         """Total free words."""
-        return sum(size for _, size in self._blocks)
+        return self._free_words
 
     @property
     def largest_block(self) -> int:
@@ -49,21 +72,33 @@ class FreeBlockList:
         """Snapshot of the free blocks, ascending by address."""
         return tuple(Extent(start, size) for start, size in self._blocks)
 
+    def _covering_index(self, start: int) -> int:
+        """Index of the last block with ``block_start <= start``, or -1.
+
+        ``(start, capacity + 1)`` sorts after every real ``(start, size)``
+        pair, so ``bisect_right`` lands just past any block starting at
+        exactly *start*.
+        """
+        return bisect_right(
+            self._blocks, (start, self.capacity_words + 1)
+        ) - 1
+
     def is_free(self, start: int, size: int) -> bool:
         """True if ``[start, start+size)`` lies inside one free block."""
         if start < 0 or size <= 0 or start + size > self.capacity_words:
             return False
-        for block_start, block_size in self._blocks:
-            if block_start <= start and start + size <= block_start + block_size:
-                return True
-        return False
+        index = self._covering_index(start)
+        if index < 0:
+            return False
+        block_start, block_size = self._blocks[index]
+        return start + size <= block_start + block_size
 
     # -- allocation -----------------------------------------------------
 
     def allocate_high(self, size: int, *, best_fit: bool = False) -> Extent:
         """Fit from upper free addresses.
 
-        First fit (default) scans blocks from the highest address
+        First fit (default) examines blocks from the highest address
         downwards and carves *size* words off the **top** of the first
         block that fits.  Best fit instead picks the *smallest* block
         that fits (highest such block on ties) — the ablation baseline
@@ -84,7 +119,7 @@ class FreeBlockList:
     def allocate_low(self, size: int, *, best_fit: bool = False) -> Extent:
         """Fit from lower free addresses.
 
-        First fit (default) scans blocks from the lowest address
+        First fit (default) examines blocks from the lowest address
         upwards and carves *size* words off the **bottom** of the first
         block that fits; best fit picks the smallest sufficient block.
         """
@@ -129,17 +164,19 @@ class FreeBlockList:
             FragmentationError: if the range is not entirely free.
         """
         self._check_size(size)
-        if not self.is_free(start, size):
+        if start < 0 or start + size > self.capacity_words:
             raise FragmentationError(
                 f"range [{start}..{start + size}) is not free"
             )
-        for index, (block_start, block_size) in enumerate(self._blocks):
-            if block_start <= start and start + size <= block_start + block_size:
+        index = self._covering_index(start)
+        if index >= 0:
+            block_start, block_size = self._blocks[index]
+            if start + size <= block_start + block_size:
                 self._carve(index, start, size)
                 return Extent(start, size)
         raise FragmentationError(
             f"range [{start}..{start + size}) is not free"
-        )  # pragma: no cover — is_free above already rejected
+        )
 
     def allocate_split(self, size: int, *, from_high: bool) -> Tuple[Extent, ...]:
         """Allocate *size* words as possibly multiple extents.
@@ -148,54 +185,101 @@ class FreeBlockList:
         Complete Data Scheduler split it into two or more parts, and as
         a consequence the access to it is complex."  Blocks are consumed
         whole (except the last) from the chosen end of the address
-        space.
+        space; the whole-block run is removed with one slice deletion.
 
         Raises:
             FragmentationError: if total free space is insufficient.
         """
         self._check_size(size)
-        if self.free_words < size:
+        if self._free_words < size:
             raise FragmentationError(
-                f"cannot place {size} words: only {self.free_words} free"
+                f"cannot place {size} words: only {self._free_words} free"
             )
+        blocks = self._blocks
         extents: List[Extent] = []
         remaining = size
-        while remaining > 0:
-            if not self._blocks:  # pragma: no cover — free_words guard above
-                raise FragmentationError("free list exhausted mid-split")
-            index = len(self._blocks) - 1 if from_high else 0
-            block_start, block_size = self._blocks[index]
-            take = min(block_size, remaining)
-            if from_high:
-                start = block_start + block_size - take
-            else:
-                start = block_start
-            self._carve(index, start, take)
-            extents.append(Extent(start, take))
-            remaining -= take
+        if from_high:
+            whole = 0  # blocks consumed entirely, counted from the end
+            while remaining > 0 and blocks[-1 - whole][1] <= remaining:
+                block_start, block_size = blocks[-1 - whole]
+                extents.append(Extent(block_start, block_size))
+                remaining -= block_size
+                whole += 1
+            if whole:
+                del blocks[len(blocks) - whole:]
+            if remaining > 0:
+                block_start, block_size = blocks[-1]
+                start = block_start + block_size - remaining
+                blocks[-1] = (block_start, block_size - remaining)
+                extents.append(Extent(start, remaining))
+        else:
+            whole = 0
+            while remaining > 0 and blocks[whole][1] <= remaining:
+                block_start, block_size = blocks[whole]
+                extents.append(Extent(block_start, block_size))
+                remaining -= block_size
+                whole += 1
+            if whole:
+                del blocks[:whole]
+            if remaining > 0:
+                block_start, block_size = blocks[0]
+                blocks[0] = (block_start + remaining, block_size - remaining)
+                extents.append(Extent(block_start, remaining))
+        self._free_words -= size
         return tuple(extents)
 
     # -- freeing -----------------------------------------------------------
 
     def free(self, start: int, size: int) -> None:
-        """Return ``[start, start+size)`` to the free list, coalescing."""
+        """Return ``[start, start+size)`` to the free list, coalescing.
+
+        The insertion point is found by bisection; overlap (double free)
+        can only involve the blocks immediately below and above it, and
+        coalescing merges with at most those two neighbours.
+        """
         self._check_size(size)
-        if start < 0 or start + size > self.capacity_words:
+        end = start + size
+        if start < 0 or end > self.capacity_words:
             raise AllocationError(
-                f"free of [{start}..{start + size}) outside capacity "
+                f"free of [{start}..{end}) outside capacity "
                 f"{self.capacity_words}"
             )
-        end = start + size
-        for block_start, block_size in self._blocks:
-            block_end = block_start + block_size
-            if start < block_end and block_start < end:
+        blocks = self._blocks
+        index = bisect_right(blocks, (start, self.capacity_words + 1))
+        prev_index = index - 1
+        if prev_index >= 0:
+            prev_start, prev_size = blocks[prev_index]
+            if prev_start + prev_size > start:
                 raise AllocationError(
                     f"double free: [{start}..{end}) overlaps free block "
-                    f"[{block_start}..{block_end})"
+                    f"[{prev_start}..{prev_start + prev_size})"
                 )
-        self._blocks.append((start, size))
-        self._blocks.sort()
-        self._coalesce()
+        if index < len(blocks):
+            next_start, next_size = blocks[index]
+            if next_start < end:
+                raise AllocationError(
+                    f"double free: [{start}..{end}) overlaps free block "
+                    f"[{next_start}..{next_start + next_size})"
+                )
+        merge_prev = (
+            prev_index >= 0
+            and blocks[prev_index][0] + blocks[prev_index][1] == start
+        )
+        merge_next = index < len(blocks) and blocks[index][0] == end
+        if merge_prev and merge_next:
+            prev_start, prev_size = blocks[prev_index]
+            blocks[prev_index] = (
+                prev_start, prev_size + size + blocks[index][1]
+            )
+            del blocks[index]
+        elif merge_prev:
+            prev_start, prev_size = blocks[prev_index]
+            blocks[prev_index] = (prev_start, prev_size + size)
+        elif merge_next:
+            blocks[index] = (start, size + blocks[index][1])
+        else:
+            blocks.insert(index, (start, size))
+        self._free_words += size
 
     def free_extents(self, extents: Tuple[Extent, ...]) -> None:
         """Free a (possibly split) region."""
@@ -216,26 +300,25 @@ class FreeBlockList:
         assert block_start <= start and end <= block_end, (
             block_start, block_size, start, size,
         )
-        replacement: List[Tuple[int, int]] = []
         if start > block_start:
-            replacement.append((block_start, start - block_start))
-        if end < block_end:
-            replacement.append((end, block_end - end))
-        self._blocks[index:index + 1] = replacement
-
-    def _coalesce(self) -> None:
-        merged: List[Tuple[int, int]] = []
-        for start, size in self._blocks:
-            if merged and merged[-1][0] + merged[-1][1] == start:
-                prev_start, prev_size = merged[-1]
-                merged[-1] = (prev_start, prev_size + size)
-            else:
-                merged.append((start, size))
-        self._blocks = merged
+            self._blocks[index] = (block_start, start - block_start)
+            if end < block_end:
+                self._blocks.insert(index + 1, (end, block_end - end))
+        elif end < block_end:
+            self._blocks[index] = (end, block_end - end)
+        else:
+            del self._blocks[index]
+        self._free_words -= size
 
     def check_invariants(self) -> None:
-        """Assert structural invariants (used by property tests)."""
+        """Assert structural invariants in one O(n) pass.
+
+        Used by the property-based tests and by allocators constructed
+        with ``debug_invariants=True`` (cheap enough to leave on in the
+        whole test suite now that it is linear).
+        """
         previous_end = None
+        total = 0
         for start, size in self._blocks:
             if size <= 0:
                 raise AllocationError(f"empty free block at {start}")
@@ -248,6 +331,12 @@ class FreeBlockList:
                     f"free blocks unsorted or uncoalesced near {start}"
                 )
             previous_end = start + size
+            total += size
+        if total != self._free_words:
+            raise AllocationError(
+                f"free-word counter drifted: cached {self._free_words}, "
+                f"blocks sum to {total}"
+            )
 
     def __str__(self) -> str:
         blocks = ", ".join(f"[{s}..{s + z})" for s, z in self._blocks)

@@ -1,0 +1,230 @@
+"""Reference linear-scan free-block list (the equivalence oracle).
+
+This is the original ``FB_list`` implementation, kept verbatim after
+:mod:`repro.alloc.free_list` was rewritten around :mod:`bisect`.  It is
+deliberately simple — every operation scans the whole block list and
+``free`` re-sorts and re-coalesces from scratch — which makes it easy
+to audit and therefore the oracle the property-based equivalence tests
+drive against the production list (see
+``tests/alloc/test_free_list_equivalence.py``).
+
+Do not use this class outside tests; the production
+:class:`~repro.alloc.free_list.FreeBlockList` is behaviourally
+identical and asymptotically faster.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.arch.frame_buffer import Extent
+from repro.errors import AllocationError, FragmentationError
+
+__all__ = ["ReferenceFreeBlockList"]
+
+
+class ReferenceFreeBlockList:
+    """Linear-scan free-space bookkeeping for one frame-buffer set."""
+
+    def __init__(self, capacity_words: int):
+        if capacity_words <= 0:
+            raise AllocationError(
+                f"capacity must be positive, got {capacity_words}"
+            )
+        self.capacity_words = capacity_words
+        # (start, size) blocks, sorted by start, coalesced.
+        self._blocks: List[Tuple[int, int]] = [(0, capacity_words)]
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def free_words(self) -> int:
+        """Total free words."""
+        return sum(size for _, size in self._blocks)
+
+    @property
+    def largest_block(self) -> int:
+        """Size of the largest free block (0 when full)."""
+        return max((size for _, size in self._blocks), default=0)
+
+    def blocks(self) -> Tuple[Extent, ...]:
+        """Snapshot of the free blocks, ascending by address."""
+        return tuple(Extent(start, size) for start, size in self._blocks)
+
+    def is_free(self, start: int, size: int) -> bool:
+        """True if ``[start, start+size)`` lies inside one free block."""
+        if start < 0 or size <= 0 or start + size > self.capacity_words:
+            return False
+        for block_start, block_size in self._blocks:
+            if block_start <= start and start + size <= block_start + block_size:
+                return True
+        return False
+
+    # -- allocation -----------------------------------------------------
+
+    def allocate_high(self, size: int, *, best_fit: bool = False) -> Extent:
+        """Fit from upper free addresses."""
+        self._check_size(size)
+        index = self._pick_block(size, from_high=True, best_fit=best_fit)
+        if index is None:
+            raise FragmentationError(
+                f"no single free block of {size} words "
+                f"(largest {self.largest_block}, free {self.free_words})"
+            )
+        block_start, block_size = self._blocks[index]
+        start = block_start + block_size - size
+        self._carve(index, start, size)
+        return Extent(start, size)
+
+    def allocate_low(self, size: int, *, best_fit: bool = False) -> Extent:
+        """Fit from lower free addresses."""
+        self._check_size(size)
+        index = self._pick_block(size, from_high=False, best_fit=best_fit)
+        if index is None:
+            raise FragmentationError(
+                f"no single free block of {size} words "
+                f"(largest {self.largest_block}, free {self.free_words})"
+            )
+        block_start, _ = self._blocks[index]
+        self._carve(index, block_start, size)
+        return Extent(block_start, size)
+
+    def _pick_block(self, size: int, *, from_high: bool,
+                    best_fit: bool) -> Optional[int]:
+        """Index of the block to allocate from, or ``None``."""
+        indices = (
+            range(len(self._blocks) - 1, -1, -1) if from_high
+            else range(len(self._blocks))
+        )
+        if not best_fit:
+            for index in indices:
+                if self._blocks[index][1] >= size:
+                    return index
+            return None
+        best_index = None
+        best_size = None
+        for index in indices:
+            block_size = self._blocks[index][1]
+            if block_size >= size and (
+                best_size is None or block_size < best_size
+            ):
+                best_index = index
+                best_size = block_size
+        return best_index
+
+    def allocate_at(self, start: int, size: int) -> Extent:
+        """Allocate an exact range (regularity placement)."""
+        self._check_size(size)
+        if not self.is_free(start, size):
+            raise FragmentationError(
+                f"range [{start}..{start + size}) is not free"
+            )
+        for index, (block_start, block_size) in enumerate(self._blocks):
+            if block_start <= start and start + size <= block_start + block_size:
+                self._carve(index, start, size)
+                return Extent(start, size)
+        raise FragmentationError(
+            f"range [{start}..{start + size}) is not free"
+        )  # pragma: no cover — is_free above already rejected
+
+    def allocate_split(self, size: int, *, from_high: bool) -> Tuple[Extent, ...]:
+        """Allocate *size* words as possibly multiple extents."""
+        self._check_size(size)
+        if self.free_words < size:
+            raise FragmentationError(
+                f"cannot place {size} words: only {self.free_words} free"
+            )
+        extents: List[Extent] = []
+        remaining = size
+        while remaining > 0:
+            if not self._blocks:  # pragma: no cover — free_words guard above
+                raise FragmentationError("free list exhausted mid-split")
+            index = len(self._blocks) - 1 if from_high else 0
+            block_start, block_size = self._blocks[index]
+            take = min(block_size, remaining)
+            if from_high:
+                start = block_start + block_size - take
+            else:
+                start = block_start
+            self._carve(index, start, take)
+            extents.append(Extent(start, take))
+            remaining -= take
+        return tuple(extents)
+
+    # -- freeing -----------------------------------------------------------
+
+    def free(self, start: int, size: int) -> None:
+        """Return ``[start, start+size)`` to the free list, coalescing."""
+        self._check_size(size)
+        if start < 0 or start + size > self.capacity_words:
+            raise AllocationError(
+                f"free of [{start}..{start + size}) outside capacity "
+                f"{self.capacity_words}"
+            )
+        end = start + size
+        for block_start, block_size in self._blocks:
+            block_end = block_start + block_size
+            if start < block_end and block_start < end:
+                raise AllocationError(
+                    f"double free: [{start}..{end}) overlaps free block "
+                    f"[{block_start}..{block_end})"
+                )
+        self._blocks.append((start, size))
+        self._blocks.sort()
+        self._coalesce()
+
+    def free_extents(self, extents: Tuple[Extent, ...]) -> None:
+        """Free a (possibly split) region."""
+        for extent in extents:
+            self.free(extent.start, extent.size)
+
+    # -- internals -----------------------------------------------------------
+
+    def _check_size(self, size: int) -> None:
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+
+    def _carve(self, index: int, start: int, size: int) -> None:
+        """Remove ``[start, start+size)`` from block *index*."""
+        block_start, block_size = self._blocks[index]
+        block_end = block_start + block_size
+        end = start + size
+        assert block_start <= start and end <= block_end, (
+            block_start, block_size, start, size,
+        )
+        replacement: List[Tuple[int, int]] = []
+        if start > block_start:
+            replacement.append((block_start, start - block_start))
+        if end < block_end:
+            replacement.append((end, block_end - end))
+        self._blocks[index:index + 1] = replacement
+
+    def _coalesce(self) -> None:
+        merged: List[Tuple[int, int]] = []
+        for start, size in self._blocks:
+            if merged and merged[-1][0] + merged[-1][1] == start:
+                prev_start, prev_size = merged[-1]
+                merged[-1] = (prev_start, prev_size + size)
+            else:
+                merged.append((start, size))
+        self._blocks = merged
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants."""
+        previous_end = None
+        for start, size in self._blocks:
+            if size <= 0:
+                raise AllocationError(f"empty free block at {start}")
+            if start < 0 or start + size > self.capacity_words:
+                raise AllocationError(
+                    f"free block [{start}..{start + size}) outside capacity"
+                )
+            if previous_end is not None and start <= previous_end:
+                raise AllocationError(
+                    f"free blocks unsorted or uncoalesced near {start}"
+                )
+            previous_end = start + size
+
+    def __str__(self) -> str:
+        blocks = ", ".join(f"[{s}..{s + z})" for s, z in self._blocks)
+        return f"FB_list({blocks or 'full'})"

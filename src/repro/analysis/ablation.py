@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.parallel import PlanMemo
 from repro.arch.machine import MorphoSysM1
 from repro.arch.params import Architecture
 from repro.codegen.generator import generate_program
@@ -65,11 +66,18 @@ def _run_cds(
     *,
     variant: str,
     dma_policy: DmaPolicy = DmaPolicy.CONTEXTS_FIRST,
+    memo: Optional[PlanMemo] = None,
 ) -> AblationResult:
     try:
-        schedule = CompleteDataScheduler(architecture, options).schedule(
-            application, clustering
-        )
+        if memo is not None:
+            schedule = memo.schedule(
+                CompleteDataScheduler, application, clustering,
+                architecture, options=options,
+            )
+        else:
+            schedule = CompleteDataScheduler(architecture, options).schedule(
+                application, clustering
+            )
     except InfeasibleScheduleError as exc:
         return AblationResult(
             workload=application.name, variant=variant,
@@ -121,13 +129,19 @@ def rf_policy_ablation(spec: ExperimentSpec) -> List[AblationResult]:
 
 
 def dma_policy_ablation(spec: ExperimentSpec) -> List[AblationResult]:
-    """Context-scheduler orderings inside overlap windows."""
+    """Context-scheduler orderings inside overlap windows.
+
+    The schedule is invariant across DMA policies (they differ only in
+    simulation), so the variants share one plan through a
+    :class:`~repro.analysis.parallel.PlanMemo`.
+    """
     application, clustering = spec.build()
     architecture = Architecture.m1(spec.fb)
+    memo = PlanMemo()
     return [
         _run_cds(
             application, clustering, architecture, ScheduleOptions(),
-            variant=f"dma={policy.value}", dma_policy=policy,
+            variant=f"dma={policy.value}", dma_policy=policy, memo=memo,
         )
         for policy in DmaPolicy
     ]

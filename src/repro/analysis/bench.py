@@ -1,0 +1,216 @@
+"""``repro bench``: timing the compile pipeline, stage by stage.
+
+The schedulers run at compile time, so their own cost is a product
+metric.  This module times each pipeline stage — dataflow analysis, CDS
+scheduling, allocation, code generation, verification, lint, and
+simulation — over the bundled paper experiments, plus two scalability
+configurations matching ``benchmarks/test_scalability.py``'s largest
+cases:
+
+* ``cds_large``: Complete-Data-Scheduler scheduling of a 32-cluster /
+  64-iteration random workload on a 16K frame buffer;
+* ``corpus``: the full three-scheduler corpus study over 20 seeded
+  workloads at 16K / 48 iterations.
+
+Every sample is a **best-of-N** wall-clock measurement (minimum over
+*N* runs), which is robust against scheduler noise on loaded machines.
+Results are written as ``BENCH_pipeline.json``; the copy committed at
+the repository root is the perf trajectory's current point and the
+regression baseline the CI quick-mode job compares against.  The
+pre-overhaul timings are embedded here (:data:`PRE_PR_BASELINE`) so
+every report carries its own speedup-vs-origin column.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.alloc.allocator import FrameBufferAllocator
+from repro.arch.machine import MorphoSysM1
+from repro.arch.params import Architecture
+from repro.codegen.generator import generate_program
+from repro.codegen.verifier import verify_program
+from repro.core.dataflow import analyze_dataflow
+from repro.schedule.complete import CompleteDataScheduler
+from repro.sim.engine import Simulator
+from repro.workloads.random_gen import random_application
+from repro.workloads.spec import paper_experiments
+
+__all__ = [
+    "PRE_PR_BASELINE",
+    "STAGES",
+    "run_bench",
+    "compare_bench",
+    "render_bench",
+]
+
+#: Pipeline timings measured on this codebase immediately before the
+#: performance overhaul (incremental occupancy engine, bisect free
+#: list, trace-free simulation fast path), same harness and configs.
+PRE_PR_BASELINE: Dict[str, object] = {
+    "scalability": {
+        "cds_large": 0.013037096000061865,
+        "corpus": 0.5555225509997399,
+    },
+    "stages": {
+        "dataflow": 0.0007356020005317987,
+        "cds": 0.005649131998325174,
+        "alloc": 0.007846667001103924,
+        "codegen": 0.025250435999168985,
+        "verify": 0.007920801998352545,
+        "lint": 0.004712210999969102,
+        "simulate": 0.03211609999925713,
+    },
+}
+
+STAGES = ("dataflow", "cds", "alloc", "codegen", "verify", "lint", "simulate")
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Minimum wall-clock seconds over *repeats* calls of *fn*."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best
+
+
+def _stage_totals(repeats: int) -> Dict[str, float]:
+    """Per-stage best-of times, summed over the bundled experiments."""
+    from repro.lint.runner import lint_schedule
+
+    totals = {stage: 0.0 for stage in STAGES}
+    for spec in paper_experiments():
+        application, clustering = spec.build()
+        architecture = Architecture.m1(spec.fb)
+        totals["dataflow"] += _best_of(
+            lambda: analyze_dataflow(application, clustering), repeats
+        )
+        schedule = CompleteDataScheduler(architecture).schedule(
+            application, clustering
+        )
+        totals["cds"] += _best_of(
+            lambda: CompleteDataScheduler(architecture).schedule(
+                application, clustering
+            ),
+            repeats,
+        )
+        allocator = FrameBufferAllocator(schedule, debug_invariants=False)
+        totals["alloc"] += _best_of(allocator.allocate, repeats)
+        program = generate_program(schedule)
+        totals["codegen"] += _best_of(
+            lambda: generate_program(schedule), repeats
+        )
+        totals["verify"] += _best_of(lambda: verify_program(program), repeats)
+        totals["lint"] += _best_of(lambda: lint_schedule(schedule), repeats)
+        totals["simulate"] += _best_of(
+            lambda: Simulator(MorphoSysM1(architecture)).run(program), repeats
+        )
+    return totals
+
+
+def run_bench(*, quick: bool = False) -> Dict[str, object]:
+    """Time the pipeline; return the ``BENCH_pipeline.json`` payload.
+
+    ``quick=True`` drops to best-of-2 (best-of-1 for the corpus study)
+    for CI; the configurations are identical, only the repeat counts
+    shrink, so quick results stay comparable to a committed full run
+    within normal scheduling noise.
+    """
+    from repro.analysis.corpus import corpus_study
+
+    # The per-stage and cds_large samples are milliseconds each; quick
+    # mode keeps their full repeat counts (cheap, and best-of-N at full
+    # N is what keeps the CI regression gate stable) and economises
+    # only on the corpus study, the one genuinely expensive sample.
+    stage_repeats = 3
+    cds_repeats = 5
+    corpus_repeats = 1 if quick else 3
+
+    application, clustering = random_application(
+        123, max_clusters=32, iterations=64
+    )
+    architecture = Architecture.m1("16K")
+    scalability = {
+        "cds_large": _best_of(
+            lambda: CompleteDataScheduler(architecture).schedule(
+                application, clustering
+            ),
+            cds_repeats,
+        ),
+        "corpus": _best_of(
+            lambda: corpus_study(range(20), fb="16K", iterations=48),
+            corpus_repeats,
+        ),
+    }
+    stages = _stage_totals(stage_repeats)
+
+    baseline_scalability = PRE_PR_BASELINE["scalability"]
+    speedups = {
+        name: baseline_scalability[name] / seconds
+        for name, seconds in scalability.items()
+        if seconds > 0
+    }
+    return {
+        "schema": 1,
+        "quick": quick,
+        "stages": stages,
+        "scalability": scalability,
+        "baseline_pre_pr": PRE_PR_BASELINE,
+        "speedup_vs_pre_pr": speedups,
+    }
+
+
+def compare_bench(
+    current: Dict[str, object],
+    baseline: Dict[str, object],
+    *,
+    max_regression_pct: float,
+) -> List[str]:
+    """Regressions of *current* against *baseline*, as messages.
+
+    A section/key present in only one of the two reports is skipped;
+    a timing more than ``max_regression_pct`` percent above the
+    baseline's is a regression.
+    """
+    problems: List[str] = []
+    limit = 1.0 + max_regression_pct / 100.0
+    for section in ("stages", "scalability"):
+        current_section = current.get(section) or {}
+        baseline_section = baseline.get(section) or {}
+        for name, reference in sorted(baseline_section.items()):
+            measured = current_section.get(name)
+            if measured is None or reference <= 0:
+                continue
+            if measured > reference * limit:
+                problems.append(
+                    f"{section}.{name}: {measured:.6f}s is "
+                    f"{100.0 * (measured / reference - 1.0):.1f}% over the "
+                    f"baseline {reference:.6f}s "
+                    f"(limit +{max_regression_pct:.0f}%)"
+                )
+    return problems
+
+
+def render_bench(payload: Dict[str, object]) -> str:
+    """Human-readable table of one bench payload."""
+    lines = ["pipeline stages (bundled experiments, best-of):"]
+    baseline_stages = payload.get("baseline_pre_pr", {}).get("stages", {})
+    for stage, seconds in payload["stages"].items():
+        reference = baseline_stages.get(stage)
+        speedup = (
+            f"  ({reference / seconds:4.2f}x vs pre-overhaul)"
+            if reference and seconds > 0 else ""
+        )
+        lines.append(f"  {stage:<9} {seconds * 1000.0:9.3f} ms{speedup}")
+    lines.append("scalability:")
+    speedups = payload.get("speedup_vs_pre_pr", {})
+    for name, seconds in payload["scalability"].items():
+        speedup = speedups.get(name)
+        extra = f"  ({speedup:4.2f}x vs pre-overhaul)" if speedup else ""
+        lines.append(f"  {name:<9} {seconds * 1000.0:9.3f} ms{extra}")
+    return "\n".join(lines)

@@ -109,10 +109,19 @@ def run_scheduler(
     application: Application,
     clustering: Clustering,
     architecture: Architecture,
+    *,
+    trace: bool = True,
+    dataflow=None,
 ) -> SchedulerOutcome:
-    """Schedule, lower, simulate; package the outcome."""
+    """Schedule, lower, simulate; package the outcome.
+
+    ``trace=False`` skips recording the per-transfer DMA trace; the
+    report's aggregate statistics are identical.
+    """
     try:
-        schedule = scheduler.schedule(application, clustering)
+        schedule = scheduler.schedule(
+            application, clustering, dataflow=dataflow
+        )
     except InfeasibleScheduleError as exc:
         return SchedulerOutcome(
             scheduler=scheduler.name,
@@ -121,7 +130,7 @@ def run_scheduler(
         )
     program = generate_program(schedule)
     machine = MorphoSysM1(architecture)
-    report = Simulator(machine).run(program)
+    report = Simulator(machine, trace=trace).run(program)
     return SchedulerOutcome(
         scheduler=scheduler.name,
         feasible=True,
@@ -137,20 +146,21 @@ def compare_workload(
     *,
     options: Optional[ScheduleOptions] = None,
     workload_name: Optional[str] = None,
+    trace: bool = True,
 ) -> ComparisonRow:
     """Run Basic, DS and CDS on one workload and collect the row."""
     dataflow = analyze_dataflow(application, clustering)
     basic = run_scheduler(
         BasicScheduler(architecture, options), application, clustering,
-        architecture,
+        architecture, trace=trace, dataflow=dataflow,
     )
     ds = run_scheduler(
         DataScheduler(architecture, options), application, clustering,
-        architecture,
+        architecture, trace=trace, dataflow=dataflow,
     )
     cds = run_scheduler(
         CompleteDataScheduler(architecture, options), application, clustering,
-        architecture,
+        architecture, trace=trace, dataflow=dataflow,
     )
     return ComparisonRow(
         workload=workload_name or application.name,

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.analysis.compare import compare_workload
+from repro.analysis.parallel import parallel_map
 from repro.arch.params import Architecture
 from repro.units import SizeLike
 from repro.workloads.random_gen import random_application
@@ -68,31 +69,64 @@ class CorpusStats:
         return "\n".join(lines)
 
 
+def _seed_outcome(task):
+    """One seed's comparison, reduced to picklable aggregates.
+
+    Top-level so :func:`parallel_map` can ship it to worker processes;
+    the serial path runs the same function, so serial and parallel
+    studies are identical by construction.
+    """
+    seed, fb, iterations = task
+    architecture = Architecture.m1(fb)
+    application, clustering = random_application(
+        seed, iterations=iterations
+    )
+    # The study consumes aggregates only, so the per-transfer DMA
+    # trace is not recorded.
+    row = compare_workload(
+        application, clustering, architecture, trace=False
+    )
+    if not (row.basic.feasible and row.ds.feasible and row.cds.feasible):
+        return None
+    return (
+        bool(row.cds.schedule.keeps),
+        row.cds.total_cycles - row.ds.total_cycles,
+        row.ds_improvement_pct,
+        row.cds_improvement_pct,
+    )
+
+
 def corpus_study(
     seeds: Sequence[int],
     *,
     fb: SizeLike = "4K",
     iterations: int = 6,
+    jobs: Optional[int] = None,
 ) -> CorpusStats:
-    """Run the three-scheduler comparison over seeded random workloads."""
-    architecture = Architecture.m1(fb)
+    """Run the three-scheduler comparison over seeded random workloads.
+
+    ``jobs`` fans the seeds out over worker processes (``None``/``1`` =
+    serial, ``0`` = one per CPU); the resulting stats are identical
+    either way.
+    """
     stats = CorpusStats(seeds_total=len(seeds))
-    for seed in seeds:
-        application, clustering = random_application(
-            seed, iterations=iterations
-        )
-        row = compare_workload(application, clustering, architecture)
-        if not (row.basic.feasible and row.ds.feasible
-                and row.cds.feasible):
+    outcomes = parallel_map(
+        _seed_outcome,
+        [(seed, fb, iterations) for seed in seeds],
+        jobs=jobs,
+    )
+    for outcome in outcomes:
+        if outcome is None:
             stats.infeasible += 1
             continue
+        with_keeps, cds_minus_ds, ds_pct, cds_pct = outcome
         stats.feasible += 1
-        if row.cds.schedule.keeps:
+        if with_keeps:
             stats.with_keeps += 1
-        if row.cds.total_cycles < row.ds.total_cycles:
+        if cds_minus_ds < 0:
             stats.cds_strictly_faster_than_ds += 1
-        elif row.cds.total_cycles > row.ds.total_cycles:
+        elif cds_minus_ds > 0:
             stats.cds_regressions_vs_ds += 1
-        stats.ds_improvements_pct.append(row.ds_improvement_pct)
-        stats.cds_improvements_pct.append(row.cds_improvement_pct)
+        stats.ds_improvements_pct.append(ds_pct)
+        stats.cds_improvements_pct.append(cds_pct)
     return stats

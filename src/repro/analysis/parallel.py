@@ -1,0 +1,251 @@
+"""Parallel analysis driver and the schedule-plan memo cache.
+
+The analysis layer's drivers — :func:`~repro.analysis.corpus.corpus_study`
+over its seeds, :func:`~repro.analysis.sweep.sweep_fb_sizes` over its
+frame-buffer sizes, and the four design ablations — are embarrassingly
+parallel: every work item is an independent (workload, architecture,
+options) pipeline run.  :func:`parallel_map` fans such items out over a
+:class:`concurrent.futures.ProcessPoolExecutor`; each driver exposes a
+``jobs`` parameter (and the CLI a ``--jobs`` flag) that routes through
+it.  ``jobs=None`` or ``jobs=1`` keeps the historical serial path —
+bit-for-bit, since both paths run the same top-level worker per item —
+and the equivalence tests assert serial and parallel outputs are
+identical.
+
+:class:`PlanMemo` is a content-hash memo for schedule plans: the key
+(:func:`plan_key`) digests the workload structure, the architecture
+parameters and the schedule options, so any two pipeline runs over
+identical configurations share one scheduling pass.  The DMA-policy
+ablation, for example, simulates three policies over one CDS plan — with
+a shared memo the plan is computed once.  Keys depend only on content,
+never on object identity or enumeration order, which makes the cache
+safe to use from drivers that shuffle or fan out their work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.arch.params import Architecture
+from repro.core.application import Application
+from repro.core.cluster import Clustering
+from repro.schedule.base import ScheduleOptions
+
+__all__ = [
+    "default_jobs",
+    "parallel_map",
+    "plan_key",
+    "PlanMemo",
+    "run_all_ablations",
+]
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def default_jobs() -> int:
+    """Worker count used for ``jobs=0``: the machine's CPU count."""
+    return os.cpu_count() or 1
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    *,
+    jobs: Optional[int] = None,
+) -> List[_R]:
+    """``[fn(item) for item in items]``, optionally across processes.
+
+    ``jobs=None`` or ``jobs=1`` runs serially in-process; ``jobs=0``
+    uses :func:`default_jobs`; ``jobs>1`` fans out over a
+    :class:`ProcessPoolExecutor`.  Results are returned in item order
+    regardless of completion order, so callers observe identical output
+    either way.  *fn* and every item must be picklable when ``jobs>1``
+    (top-level functions and plain data only).
+    """
+    items = list(items)
+    if jobs == 0:
+        jobs = default_jobs()
+    if jobs is None or jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(fn, items))
+
+
+# -- content-hash schedule-plan memo -------------------------------------
+
+
+def _workload_fingerprint(
+    application: Application, clustering: Clustering
+) -> tuple:
+    """Canonical, identity-free description of a (app, clustering) pair."""
+    kernels = tuple(
+        (
+            kernel.name,
+            kernel.context_words,
+            kernel.cycles,
+            tuple(kernel.inputs),
+            tuple(kernel.outputs),
+        )
+        for kernel in application.kernels
+    )
+    objects = tuple(
+        sorted(
+            (obj.name, obj.size, obj.invariant)
+            for obj in application.objects.values()
+        )
+    )
+    clusters = tuple(
+        (cluster.index, tuple(cluster.kernel_names), cluster.fb_set)
+        for cluster in clustering
+    )
+    return (
+        application.name,
+        application.total_iterations,
+        kernels,
+        objects,
+        tuple(sorted(application.final_outputs)),
+        clusters,
+    )
+
+
+def plan_key(
+    scheduler_name: str,
+    application: Application,
+    clustering: Clustering,
+    architecture: Architecture,
+    options: ScheduleOptions,
+) -> str:
+    """Content hash identifying one scheduling problem.
+
+    Equal keys guarantee byte-identical schedules: every input the
+    schedulers read — workload structure, architecture parameters,
+    options — is digested; object identities and discovery order are
+    not.
+    """
+    timing = architecture.timing
+    payload = repr((
+        scheduler_name,
+        _workload_fingerprint(application, clustering),
+        (
+            architecture.fb_set_words,
+            architecture.rc_rows,
+            architecture.rc_cols,
+            architecture.fb_sets,
+            architecture.context_block_words,
+            architecture.context_blocks,
+            architecture.fb_cross_set_access,
+            timing.data_word_cycles,
+            timing.context_word_cycles,
+            timing.dma_setup_cycles,
+        ),
+        (
+            options.rf_cap,
+            options.keep_policy,
+            options.rf_policy,
+            options.cross_set_retention,
+            options.occupancy_engine,
+        ),
+    ))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class PlanMemo:
+    """Schedule-plan cache keyed by :func:`plan_key`.
+
+    One memo is process-local (it is not shared across
+    :func:`parallel_map` workers); drivers create one per fan-out unit
+    so repeated identical configurations inside that unit — e.g. the
+    DMA-policy ablation's one plan simulated under three policies —
+    schedule once.
+
+    The cached :class:`~repro.schedule.plan.Schedule` references the
+    application/clustering objects of the *first* call that computed
+    it; since equal keys imply structurally identical workloads, every
+    downstream consumer (codegen, allocation, simulation) produces
+    identical results either way.
+    """
+
+    def __init__(self) -> None:
+        self._plans: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def schedule(
+        self,
+        scheduler_cls,
+        application: Application,
+        clustering: Clustering,
+        architecture: Architecture,
+        *,
+        options: Optional[ScheduleOptions] = None,
+    ):
+        """The scheduler's plan for this configuration, memoised.
+
+        Infeasible configurations are *not* cached — the scheduler's
+        exception propagates and a retry recomputes.
+        """
+        options = options or ScheduleOptions()
+        key = plan_key(
+            scheduler_cls.name, application, clustering, architecture,
+            options,
+        )
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            plan = scheduler_cls(architecture, options).schedule(
+                application, clustering
+            )
+            self._plans[key] = plan
+        else:
+            self.hits += 1
+        return plan
+
+
+# -- ablation fan-out ----------------------------------------------------
+
+_ABLATION_KINDS = ("keep", "rf", "dma", "cross")
+
+
+def _ablation_worker(task) -> list:
+    """Run one ablation family on one experiment (top-level: picklable).
+
+    ``ExperimentSpec`` carries a builder callable, so tasks ship the
+    experiment *id* and the worker re-resolves it.
+    """
+    spec_id, kind = task
+    from repro.analysis.ablation import (
+        cross_set_ablation,
+        dma_policy_ablation,
+        keep_policy_ablation,
+        rf_policy_ablation,
+    )
+    from repro.workloads.spec import paper_experiments
+
+    functions = {
+        "keep": keep_policy_ablation,
+        "rf": rf_policy_ablation,
+        "dma": dma_policy_ablation,
+        "cross": cross_set_ablation,
+    }
+    for spec in paper_experiments():
+        if spec.id == spec_id:
+            return functions[kind](spec)
+    raise ValueError(f"unknown experiment {spec_id!r}")
+
+
+def run_all_ablations(spec, *, jobs: Optional[int] = None) -> list:
+    """All four design ablations of one experiment, optionally parallel.
+
+    Result order is fixed (keep, rf, dma, cross-set — each family's
+    variants in its own order) independent of *jobs*.
+    """
+    groups = parallel_map(
+        _ablation_worker,
+        [(spec.id, kind) for kind in _ABLATION_KINDS],
+        jobs=jobs,
+    )
+    return [result for group in groups for result in group]

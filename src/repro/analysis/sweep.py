@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.analysis.compare import compare_workload
+from repro.analysis.parallel import parallel_map
 from repro.arch.params import Architecture
 from repro.core.application import Application
 from repro.core.cluster import Clustering
@@ -37,43 +38,64 @@ class SweepPoint:
     dt_words: Optional[float]
 
 
+def _row_to_point(row, words: int) -> SweepPoint:
+    return SweepPoint(
+        fb_words=words,
+        basic_feasible=row.basic.feasible,
+        ds_feasible=row.ds.feasible,
+        rf=row.rf,
+        kept_items=(
+            len(row.cds.schedule.keeps)
+            if row.cds.schedule else None
+        ),
+        ds_improvement_pct=row.ds_improvement_pct,
+        cds_improvement_pct=row.cds_improvement_pct,
+        cds_cycles=row.cds.total_cycles,
+        dt_words=row.dt_words,
+    )
+
+
+def _sweep_point(task) -> SweepPoint:
+    """One (workload, FB size) sample (top-level: picklable)."""
+    application, clustering, words = task
+    row = compare_workload(
+        application, clustering, Architecture.m1(words)
+    )
+    return _row_to_point(row, words)
+
+
 def sweep_fb_sizes(
     application: Application,
     clustering: Clustering,
     fb_sizes: Sequence[SizeLike],
     *,
     architecture_factory: Callable[[int], Architecture] = None,
+    jobs: Optional[int] = None,
 ) -> List[SweepPoint]:
     """Run the three-scheduler comparison at each frame-buffer size.
 
     Infeasible sizes yield points with ``rf = None`` (and the relevant
     feasibility flags cleared) rather than raising, so the caller can
     plot the feasibility frontier.
+
+    ``jobs`` fans the sizes out over worker processes (``None``/``1`` =
+    serial, ``0`` = one per CPU) with identical results.  A custom
+    ``architecture_factory`` (often a closure, not picklable) forces
+    the serial path.
     """
+    words_list = [parse_size(size) for size in fb_sizes]
+    if architecture_factory is None:
+        return parallel_map(
+            _sweep_point,
+            [(application, clustering, words) for words in words_list],
+            jobs=jobs,
+        )
     points: List[SweepPoint] = []
-    for size in fb_sizes:
-        words = parse_size(size)
-        architecture = (
-            architecture_factory(words) if architecture_factory
-            else Architecture.m1(words)
+    for words in words_list:
+        row = compare_workload(
+            application, clustering, architecture_factory(words)
         )
-        row = compare_workload(application, clustering, architecture)
-        points.append(
-            SweepPoint(
-                fb_words=words,
-                basic_feasible=row.basic.feasible,
-                ds_feasible=row.ds.feasible,
-                rf=row.rf,
-                kept_items=(
-                    len(row.cds.schedule.keeps)
-                    if row.cds.schedule else None
-                ),
-                ds_improvement_pct=row.ds_improvement_pct,
-                cds_improvement_pct=row.cds_improvement_pct,
-                cds_cycles=row.cds.total_cycles,
-                dt_words=row.dt_words,
-            )
-        )
+        points.append(_row_to_point(row, words))
     return points
 
 

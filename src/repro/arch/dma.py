@@ -16,8 +16,7 @@ stamps; the channel serialises everything and accumulates statistics by
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, NamedTuple, Tuple
 
 from repro.arch.params import TimingModel
 from repro.errors import SimulationError
@@ -33,9 +32,13 @@ class TransferKind(enum.Enum):
     CONTEXT_LOAD = "context_load"  # external memory -> context memory
 
 
-@dataclass(frozen=True)
-class DmaTransfer:
-    """A completed DMA operation (for traces and statistics)."""
+class DmaTransfer(NamedTuple):
+    """A completed DMA operation (for traces and statistics).
+
+    A lightweight NamedTuple rather than a dataclass: simulations mint
+    one per transfer (tens of thousands per run), so construction cost
+    is on the hot path.
+    """
 
     kind: TransferKind
     label: str
@@ -56,10 +59,21 @@ class DmaChannel:
     context scheduler decides that order before simulation).
     """
 
-    def __init__(self, timing: TimingModel):
+    def __init__(self, timing: TimingModel, *, record_trace: bool = True):
         self.timing = timing
         self.busy_until = 0
+        #: When False, the per-transfer trace is not recorded (the
+        #: statistics below are still exact).  Bulk analysis drivers
+        #: that only consume aggregates opt out of the trace.
+        self.record_trace = record_trace
         self.transfers: List[DmaTransfer] = []
+        # Statistics are accumulated as transfers are requested so the
+        # queries below stay O(1) instead of rescanning the trace.
+        # Keyed by TransferKind.value: string hashes are cached, enum
+        # hashes are recomputed on every dict operation.
+        self._words: Dict[str, int] = {k.value: 0 for k in TransferKind}
+        self._counts: Dict[str, int] = {k.value: 0 for k in TransferKind}
+        self._cycles = 0
 
     def request(
         self,
@@ -89,31 +103,70 @@ class DmaChannel:
         start = max(self.busy_until, earliest_start)
         finish = start + duration
         self.busy_until = finish
-        self.transfers.append(
-            DmaTransfer(kind=kind, label=label, words=words,
-                        start=start, finish=finish)
-        )
+        if self.record_trace:
+            # tuple.__new__ skips the generated keyword-checking
+            # __new__; this is the hottest allocation in a simulation.
+            self.transfers.append(
+                tuple.__new__(DmaTransfer,
+                              (kind, label, words, start, finish))
+            )
+        key = kind._value_  # .value goes through a descriptor; hot path
+        self._words[key] += words
+        self._counts[key] += 1
+        self._cycles += duration
+        return (start, finish)
+
+    def request_block(
+        self,
+        kind: TransferKind,
+        words: int,
+        duration: int,
+        count: int,
+        earliest_start: int,
+    ) -> Tuple[int, int]:
+        """Account a contiguous run of *count* transfers in one step.
+
+        Equivalent to *count* consecutive :meth:`request` calls with the
+        same ``earliest_start`` and the given total ``words``/
+        ``duration``: the channel serialises back-to-back requests into
+        one contiguous block, so only the block's start and finish
+        matter for the timeline.  Used by the simulator's fast path when
+        the per-transfer trace is off; the statistics stay exact.
+        """
+        if count == 0 or words == 0:
+            start = max(self.busy_until, earliest_start)
+            return (start, start)
+        start = max(self.busy_until, earliest_start)
+        finish = start + duration
+        self.busy_until = finish
+        key = kind._value_
+        self._words[key] += words
+        self._counts[key] += count
+        self._cycles += duration
         return (start, finish)
 
     # -- statistics ---------------------------------------------------------
 
     def words_moved(self, kind: TransferKind) -> int:
         """Total words moved for one transfer kind."""
-        return sum(t.words for t in self.transfers if t.kind is kind)
+        return self._words[kind.value]
 
     def cycles_busy(self) -> int:
         """Total cycles the channel spent transferring."""
-        return sum(t.cycles for t in self.transfers)
+        return self._cycles
 
     def count(self, kind: TransferKind) -> int:
         """Number of transfers of one kind."""
-        return sum(1 for t in self.transfers if t.kind is kind)
+        return self._counts[kind.value]
 
     def by_kind(self) -> Dict[TransferKind, int]:
         """Words moved, keyed by kind."""
-        return {kind: self.words_moved(kind) for kind in TransferKind}
+        return {kind: self._words[kind.value] for kind in TransferKind}
 
     def reset(self) -> None:
         """Clear the timeline and statistics."""
         self.busy_until = 0
         self.transfers.clear()
+        self._words = {k.value: 0 for k in TransferKind}
+        self._counts = {k.value: 0 for k in TransferKind}
+        self._cycles = 0

@@ -10,6 +10,9 @@ Commands:
 * ``alloc <exp>`` — print the frame-buffer allocation walkthrough
   (Figure 5 style) for the CDS schedule of an experiment;
 * ``sweep <exp>`` — trace RF/traffic/makespan against the FB size;
+* ``corpus`` — robustness study over seeded random workloads;
+* ``bench``   — time each pipeline stage and the scalability configs,
+  writing/checking ``BENCH_pipeline.json``;
 * ``tinyrisc <exp>`` — emit the TinyRISC control-program listing;
 * ``lint <exp>`` — run the static-analysis lint passes over an
   experiment's full pipeline (exit 1 when errors are found);
@@ -22,13 +25,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis.ablation import (
-    cross_set_ablation,
-    dma_policy_ablation,
-    keep_policy_ablation,
-    render_ablation,
-    rf_policy_ablation,
-)
+from repro.analysis.ablation import render_ablation
 from repro.analysis.compare import compare_experiment
 from repro.analysis.figure6 import render_figure6
 from repro.analysis.table1 import build_table1, render_table1
@@ -99,13 +96,10 @@ def _cmd_run(args) -> None:
 
 
 def _cmd_ablation(args) -> None:
+    from repro.analysis.parallel import run_all_ablations
+
     spec = _find_spec(args.experiment)
-    results = []
-    results.extend(keep_policy_ablation(spec))
-    results.extend(rf_policy_ablation(spec))
-    results.extend(dma_policy_ablation(spec))
-    results.extend(cross_set_ablation(spec))
-    print(render_ablation(results))
+    print(render_ablation(run_all_ablations(spec, jobs=args.jobs)))
 
 
 def _cmd_tinyrisc(args) -> None:
@@ -140,11 +134,21 @@ def _cmd_sweep(args) -> None:
     spec = _find_spec(args.experiment)
     application, clustering = spec.build()
     sizes = [kwords(k) for k in (0.5, 1, 1.5, 2, 3, 4, 6, 8, 12, 16)]
-    points = sweep_fb_sizes(application, clustering, sizes)
+    points = sweep_fb_sizes(application, clustering, sizes, jobs=args.jobs)
     print(render_sweep(
         points, title=f"frame-buffer sweep of {spec.id} "
                       f"(paper point: FB={spec.fb})"
     ))
+
+
+def _cmd_corpus(args) -> None:
+    from repro.analysis.corpus import corpus_study
+
+    stats = corpus_study(
+        range(args.seeds), fb=args.fb, iterations=args.iterations,
+        jobs=args.jobs,
+    )
+    print(stats.summary())
 
 
 def _cmd_alloc(args) -> None:
@@ -169,6 +173,41 @@ def _cmd_alloc(args) -> None:
                 for name, instance, extents in snapshot.regions
             )
             print(f"  {snapshot.label:<40} [{regions}]")
+
+
+def _cmd_bench(args) -> int:
+    import json
+
+    from repro.analysis.bench import compare_bench, render_bench, run_bench
+
+    # Load the baseline up front: a bad --compare path should fail
+    # before the (expensive) measurement, not after.
+    baseline = None
+    if args.compare:
+        try:
+            with open(args.compare, "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read baseline {args.compare}: {exc}")
+    payload = run_bench(quick=args.quick)
+    print(render_bench(payload))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"\nwrote {args.output}")
+    if baseline is not None:
+        problems = compare_bench(
+            payload, baseline, max_regression_pct=args.max_regression
+        )
+        if problems:
+            print(f"\nREGRESSIONS vs {args.compare}:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"\nno regressions vs {args.compare} "
+              f"(limit +{args.max_regression:.0f}%)")
+    return 0
 
 
 def _cmd_lint(args) -> int:
@@ -244,13 +283,32 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=_cmd_run)
     ablation = sub.add_parser("ablation", help="design-choice ablations")
     ablation.add_argument("experiment")
+    ablation.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (0 = one per CPU; "
+                               "default serial)")
     ablation.set_defaults(func=_cmd_ablation)
     alloc = sub.add_parser("alloc", help="FB allocation walkthrough")
     alloc.add_argument("experiment")
     alloc.set_defaults(func=_cmd_alloc)
     sweep = sub.add_parser("sweep", help="frame-buffer size sweep")
     sweep.add_argument("experiment")
+    sweep.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (0 = one per CPU; "
+                            "default serial)")
     sweep.set_defaults(func=_cmd_sweep)
+    corpus = sub.add_parser(
+        "corpus", help="random-workload robustness study"
+    )
+    corpus.add_argument("--seeds", type=int, default=20,
+                        help="number of seeded workloads (default 20)")
+    corpus.add_argument("--fb", default="4K",
+                        help="frame-buffer set size (default 4K)")
+    corpus.add_argument("--iterations", type=int, default=6,
+                        help="iterations per workload (default 6)")
+    corpus.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (0 = one per CPU; "
+                             "default serial)")
+    corpus.set_defaults(func=_cmd_corpus)
     tinyrisc = sub.add_parser(
         "tinyrisc", help="emit the TinyRISC control program"
     )
@@ -258,6 +316,21 @@ def build_parser() -> argparse.ArgumentParser:
     tinyrisc.add_argument("--lines", type=int, default=40,
                           help="listing lines to print (0 = all)")
     tinyrisc.set_defaults(func=_cmd_tinyrisc)
+    bench = sub.add_parser(
+        "bench", help="time the compile pipeline stage by stage"
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="fewer repeats (CI mode)")
+    bench.add_argument("--output", metavar="PATH", default=None,
+                       help="write the JSON payload (BENCH_pipeline.json)")
+    bench.add_argument("--compare", metavar="PATH", default=None,
+                       help="baseline JSON to compare against "
+                            "(exit 1 on regression)")
+    bench.add_argument("--max-regression", type=float, default=25.0,
+                       metavar="PCT",
+                       help="allowed regression vs --compare baseline "
+                            "(default 25%%)")
+    bench.set_defaults(func=_cmd_bench)
     lint = sub.add_parser(
         "lint",
         help="static-analysis lint of an experiment's full pipeline",

@@ -19,7 +19,7 @@ the order the cluster needs it.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.codegen.ops import LoadContext, LoadData, RunKernel, StoreData, Visit, VisitOps
 from repro.codegen.program import Program
@@ -48,6 +48,15 @@ def generate_program(
     application = schedule.application
     dataflow = schedule.dataflow
 
+    # Round-invariant per-cluster facts, computed once.  Only the visit
+    # index, the iteration window and the CM-block parity change between
+    # a cluster's visits.
+    load_order: Dict[int, Tuple[str, ...]] = {
+        cluster.index: _load_order(schedule, cluster)
+        for cluster in clustering
+    }
+    context_loads_memo: Dict[Tuple[int, int], Tuple[LoadContext, ...]] = {}
+
     visit_index = 0
     next_iteration = 0
     block_holds: List[Optional[int]] = [None, None]  # cluster per CM block
@@ -74,49 +83,45 @@ def generate_program(
             ):
                 context_loads = ()
             else:
-                context_loads = tuple(
-                    LoadContext(
-                        kernel=kernel.name,
-                        words=kernel.context_words,
-                        cm_block=visit.cm_block,
+                memo_key = (cluster.index, visit.cm_block)
+                context_loads = context_loads_memo.get(memo_key)
+                if context_loads is None:
+                    context_loads = tuple(
+                        LoadContext(
+                            kernel=kernel.name,
+                            words=kernel.context_words,
+                            cm_block=visit.cm_block,
+                        )
+                        for kernel in clustering.kernels_of(cluster)
                     )
-                    for kernel in clustering.kernels_of(cluster)
-                )
+                    context_loads_memo[memo_key] = context_loads
                 block_holds[visit.cm_block] = cluster.index
 
+            # Leaf ops are built with ``tuple.__new__`` to skip the
+            # validating constructors: sizes, cycles and iteration
+            # indices here come from already-validated Kernel /
+            # DataflowInfo objects and ``range``.
+            fb_set = cluster.fb_set
+            new = tuple.__new__
             data_loads = []
-            for name in _load_order(schedule, cluster):
+            for name in load_order[cluster.index]:
                 info = dataflow[name]
+                size = info.size
                 if info.invariant:
                     # One shared copy serves every concurrent iteration;
                     # instance 0 is the conventional index.
                     data_loads.append(
-                        LoadData(
-                            name=name,
-                            iteration=0,
-                            words=info.size,
-                            fb_set=cluster.fb_set,
-                        )
+                        new(LoadData, (name, 0, size, fb_set))
                     )
                 else:
                     data_loads.extend(
-                        LoadData(
-                            name=name,
-                            iteration=iteration,
-                            words=info.size,
-                            fb_set=cluster.fb_set,
-                        )
+                        new(LoadData, (name, iteration, size, fb_set))
                         for iteration in iterations
                     )
             data_loads = tuple(data_loads)
 
             compute = tuple(
-                RunKernel(
-                    kernel=kernel.name,
-                    iteration=iteration,
-                    cycles=kernel.cycles,
-                    fb_set=cluster.fb_set,
-                )
+                new(RunKernel, (kernel.name, iteration, kernel.cycles, fb_set))
                 for kernel in clustering.kernels_of(cluster)
                 for iteration in iterations
             )
@@ -126,12 +131,7 @@ def generate_program(
                 )
 
             stores = tuple(
-                StoreData(
-                    name=name,
-                    iteration=iteration,
-                    words=dataflow[name].size,
-                    fb_set=cluster.fb_set,
-                )
+                new(StoreData, (name, iteration, dataflow[name].size, fb_set))
                 for name in plan.stores
                 for iteration in iterations
             )

@@ -10,6 +10,7 @@ round-trips of shared results observable in the functional simulator.
 
 from __future__ import annotations
 
+from collections import namedtuple
 from dataclasses import dataclass
 from typing import Tuple
 
@@ -48,63 +49,61 @@ class Visit:
         return self.index % 2
 
 
-@dataclass(frozen=True)
-class LoadContext:
+# The four leaf ops below are the hottest allocations in the whole
+# pipeline (a program holds tens of thousands).  They are plain
+# namedtuple subclasses — immutable and field-validated like the frozen
+# dataclasses they replaced, but with tuple-speed construction.
+
+
+class LoadContext(namedtuple("LoadContext", ("kernel", "words", "cm_block"))):
     """Load one kernel's contexts into a CM block."""
 
-    kernel: str
-    words: int
-    cm_block: int
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if self.words <= 0:
-            raise CodegenError(f"context load of {self.kernel!r} has no words")
+    def __new__(cls, kernel: str, words: int, cm_block: int) -> "LoadContext":
+        if words <= 0:
+            raise CodegenError(f"context load of {kernel!r} has no words")
+        return tuple.__new__(cls, (kernel, words, cm_block))
 
 
-@dataclass(frozen=True)
-class LoadData:
+class LoadData(namedtuple("LoadData", ("name", "iteration", "words", "fb_set"))):
     """Move one object instance from external memory into an FB set."""
 
-    name: str
-    iteration: int
-    words: int
-    fb_set: int
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if self.words <= 0:
-            raise CodegenError(f"data load of {self.name!r} has no words")
-        if self.iteration < 0:
-            raise CodegenError(f"data load of {self.name!r}: bad iteration")
+    def __new__(cls, name: str, iteration: int, words: int,
+                fb_set: int) -> "LoadData":
+        if words <= 0:
+            raise CodegenError(f"data load of {name!r} has no words")
+        if iteration < 0:
+            raise CodegenError(f"data load of {name!r}: bad iteration")
+        return tuple.__new__(cls, (name, iteration, words, fb_set))
 
 
-@dataclass(frozen=True)
-class StoreData:
+class StoreData(namedtuple("StoreData", ("name", "iteration", "words", "fb_set"))):
     """Move one result instance from an FB set to external memory."""
 
-    name: str
-    iteration: int
-    words: int
-    fb_set: int
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if self.words <= 0:
-            raise CodegenError(f"store of {self.name!r} has no words")
-        if self.iteration < 0:
-            raise CodegenError(f"store of {self.name!r}: bad iteration")
+    def __new__(cls, name: str, iteration: int, words: int,
+                fb_set: int) -> "StoreData":
+        if words <= 0:
+            raise CodegenError(f"store of {name!r} has no words")
+        if iteration < 0:
+            raise CodegenError(f"store of {name!r}: bad iteration")
+        return tuple.__new__(cls, (name, iteration, words, fb_set))
 
 
-@dataclass(frozen=True)
-class RunKernel:
+class RunKernel(namedtuple("RunKernel", ("kernel", "iteration", "cycles", "fb_set"))):
     """Execute one kernel for one iteration on the RC array."""
 
-    kernel: str
-    iteration: int
-    cycles: int
-    fb_set: int
+    __slots__ = ()
 
-    def __post_init__(self) -> None:
-        if self.cycles <= 0:
-            raise CodegenError(f"kernel {self.kernel!r} run has no cycles")
+    def __new__(cls, kernel: str, iteration: int, cycles: int,
+                fb_set: int) -> "RunKernel":
+        if cycles <= 0:
+            raise CodegenError(f"kernel {kernel!r} run has no cycles")
+        return tuple.__new__(cls, (kernel, iteration, cycles, fb_set))
 
 
 @dataclass(frozen=True)

@@ -88,8 +88,9 @@ def iter_program_violations(program: Program) -> Iterator[ProgramViolation]:
     clustering = schedule.clustering
     total_iterations = application.total_iterations
 
-    # (name, iteration) instances present per FB set.
-    present: List[Set[Tuple[str, int]]] = [set(), set()]
+    # Instances present per FB set, bucketed by object name so the
+    # visit-end survivor filter is O(names), not O(instances).
+    present: List[Dict[str, Set[int]]] = [{}, {}]
     stored: Dict[Tuple[str, int], int] = {}
     runs: Dict[Tuple[str, int], int] = {}
     cm_block_words = [0, 0]
@@ -97,6 +98,18 @@ def iter_program_violations(program: Program) -> Iterator[ProgramViolation]:
     block_capacity = schedule.context_block_words or _block_capacity(program)
     external_names = set(application.external_inputs())
     keeps_by_name = {keep.name: keep for keep in schedule.keeps}
+    # Replay-invariant lookups, precomputed: each kernel's inputs with
+    # their invariant flag (invariant operands always read instance 0),
+    # and the kept survivors per (cluster, FB set).
+    kernel_inputs: Dict[str, Tuple[Tuple[str, bool], ...]] = {
+        kernel.name: tuple(
+            (in_name, schedule.dataflow[in_name].invariant)
+            for in_name in kernel.inputs
+        )
+        for kernel in application.kernels
+    }
+    kernel_by_name = {kernel.name: kernel for kernel in application.kernels}
+    survivors_memo: Dict[Tuple[int, int], Set[str]] = {}
 
     for ops in program.visits:
         visit = ops.visit
@@ -131,10 +144,21 @@ def iter_program_violations(program: Program) -> Iterator[ProgramViolation]:
                 )
             cm_block_kernels[block].add(load.kernel)
 
-        # Data loads.
+        # Data loads.  The generator emits a run of instances per
+        # object, so the bucket and external flag of the previous load
+        # usually carry over.
+        in_set = present[visit.fb_set]
+        prev_name = None
+        bucket = None
+        external = False
         for load in ops.data_loads:
-            key = (load.name, load.iteration)
-            if key in present[visit.fb_set]:
+            if load.name != prev_name:
+                prev_name = load.name
+                bucket = in_set.get(load.name)
+                if bucket is None:
+                    bucket = in_set[load.name] = set()
+                external = load.name in external_names
+            if load.iteration in bucket:
                 yield ProgramViolation(
                     "PROG005",
                     f"visit {visit.index}: redundant load of "
@@ -145,7 +169,7 @@ def iter_program_violations(program: Program) -> Iterator[ProgramViolation]:
                     details={"object": load.name,
                              "iteration": load.iteration},
                 )
-            if load.name not in external_names and key not in stored:
+            if not external and (load.name, load.iteration) not in stored:
                 yield ProgramViolation(
                     "PROG005",
                     f"visit {visit.index}: load of result "
@@ -156,11 +180,11 @@ def iter_program_violations(program: Program) -> Iterator[ProgramViolation]:
                     details={"object": load.name,
                              "iteration": load.iteration},
                 )
-            present[visit.fb_set].add(key)
+            bucket.add(load.iteration)
 
         # Compute.
         for run in ops.compute:
-            kernel = application.kernel(run.kernel)
+            kernel = kernel_by_name[run.kernel]
             if run.kernel not in cm_block_kernels[block]:
                 yield ProgramViolation(
                     "PROG002",
@@ -169,22 +193,18 @@ def iter_program_violations(program: Program) -> Iterator[ProgramViolation]:
                     location,
                     details={"kernel": run.kernel, "cm_block": block},
                 )
-            for in_name in kernel.inputs:
-                instance = (
-                    0 if schedule.dataflow[in_name].invariant
-                    else run.iteration
-                )
-                if (in_name, instance) in present[visit.fb_set]:
+            for in_name, invariant in kernel_inputs[run.kernel]:
+                instance = 0 if invariant else run.iteration
+                bucket = in_set.get(in_name)
+                if bucket is not None and instance in bucket:
                     continue
                 # Cross-set retention: a kept operand may live in the
                 # other set (requires fb_cross_set_access).
                 keep = keeps_by_name.get(in_name)
-                if (
-                    keep is not None
-                    and keep.fb_set != visit.fb_set
-                    and (in_name, instance) in present[keep.fb_set]
-                ):
-                    continue
+                if keep is not None and keep.fb_set != visit.fb_set:
+                    other = present[keep.fb_set].get(in_name)
+                    if other is not None and instance in other:
+                        continue
                 yield ProgramViolation(
                     "PROG001",
                     f"visit {visit.index}: kernel {run.kernel!r} "
@@ -198,14 +218,18 @@ def iter_program_violations(program: Program) -> Iterator[ProgramViolation]:
                              "iteration": run.iteration},
                 )
             for out_name in kernel.outputs:
-                present[visit.fb_set].add((out_name, run.iteration))
+                bucket = in_set.get(out_name)
+                if bucket is None:
+                    bucket = in_set[out_name] = set()
+                bucket.add(run.iteration)
             run_key = (run.kernel, run.iteration)
             runs[run_key] = runs.get(run_key, 0) + 1
 
         # Stores.
         for store in ops.stores:
             key = (store.name, store.iteration)
-            if key not in present[visit.fb_set]:
+            bucket = in_set.get(store.name)
+            if bucket is None or store.iteration not in bucket:
                 yield ProgramViolation(
                     "PROG003",
                     f"visit {visit.index}: store of "
@@ -228,15 +252,19 @@ def iter_program_violations(program: Program) -> Iterator[ProgramViolation]:
             stored[key] = stored.get(key, 0) + 1
 
         # Visit end: release everything except surviving kept items.
-        survivors = _survivors(schedule, visit.cluster_index, visit.fb_set)
+        memo_key = (visit.cluster_index, visit.fb_set)
+        survivors = survivors_memo.get(memo_key)
+        if survivors is None:
+            survivors = _survivors(schedule, visit.cluster_index, visit.fb_set)
+            survivors_memo[memo_key] = survivors
         present[visit.fb_set] = {
-            (name, iteration)
-            for (name, iteration) in present[visit.fb_set]
+            name: bucket
+            for name, bucket in in_set.items()
             if name in survivors
         }
         # Round end on the last cluster: both sets drain completely.
         if visit.cluster_index == len(clustering) - 1:
-            present = [set(), set()]
+            present = [{}, {}]
 
     yield from _check_totals(application, total_iterations, runs, stored)
 

@@ -66,6 +66,35 @@ class Application:
         object.__setattr__(self, "objects", dict(self.objects))
         object.__setattr__(self, "final_outputs", frozenset(self.final_outputs))
         self._validate()
+        self._build_indexes()
+
+    def _build_indexes(self) -> None:
+        """Constant-time lookup tables over the validated kernel list.
+
+        The accessors below sit on every hot path of the compile
+        pipeline (occupancy sweeps, codegen, simulation), so linear
+        scans over ``kernels`` are replaced by dict lookups built once
+        at construction.
+        """
+        by_name: Dict[str, Kernel] = {}
+        position: Dict[str, int] = {}
+        producer: Dict[str, Kernel] = {}
+        consumers: Dict[str, List[Kernel]] = {}
+        for index, kernel in enumerate(self.kernels):
+            by_name[kernel.name] = kernel
+            position[kernel.name] = index
+            for obj_name in kernel.outputs:
+                producer[obj_name] = kernel
+            for obj_name in kernel.inputs:
+                consumers.setdefault(obj_name, []).append(kernel)
+        object.__setattr__(self, "_kernel_by_name", by_name)
+        object.__setattr__(self, "_kernel_position", position)
+        object.__setattr__(self, "_producer_by_object", producer)
+        object.__setattr__(
+            self,
+            "_consumers_by_object",
+            {name: tuple(found) for name, found in consumers.items()},
+        )
 
     # -- validation -----------------------------------------------------
 
@@ -144,17 +173,21 @@ class Application:
 
     def kernel(self, name: str) -> Kernel:
         """Look up a kernel by name."""
-        for kernel in self.kernels:
-            if kernel.name == name:
-                return kernel
-        raise KeyError(f"no kernel named {name!r} in application {self.name!r}")
+        try:
+            return self._kernel_by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no kernel named {name!r} in application {self.name!r}"
+            ) from None
 
     def kernel_index(self, name: str) -> int:
         """Position of a kernel in the execution order."""
-        for position, kernel in enumerate(self.kernels):
-            if kernel.name == name:
-                return position
-        raise KeyError(f"no kernel named {name!r} in application {self.name!r}")
+        try:
+            return self._kernel_position[name]
+        except KeyError:
+            raise KeyError(
+                f"no kernel named {name!r} in application {self.name!r}"
+            ) from None
 
     def object(self, name: str) -> DataObject:
         """Look up a data object by name."""
@@ -167,14 +200,11 @@ class Application:
 
     def producer_of(self, obj_name: str) -> Optional[Kernel]:
         """The kernel producing *obj_name*, or ``None`` for external data."""
-        for kernel in self.kernels:
-            if kernel.writes(obj_name):
-                return kernel
-        return None
+        return self._producer_by_object.get(obj_name)
 
     def consumers_of(self, obj_name: str) -> Tuple[Kernel, ...]:
         """Kernels consuming *obj_name*, in execution order."""
-        return tuple(kernel for kernel in self.kernels if kernel.reads(obj_name))
+        return self._consumers_by_object.get(obj_name, ())
 
     def external_inputs(self) -> Tuple[str, ...]:
         """Names of objects with no producer (loaded from external memory)."""

@@ -15,7 +15,7 @@ assignments are given.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.application import Application
 from repro.core.kernel import Kernel
@@ -108,6 +108,13 @@ class Clustering:
         self._cluster_of = {
             name: cluster for cluster in self.clusters for name in cluster.kernel_names
         }
+        self._kernels_of: Dict[int, Tuple[Kernel, ...]] = {
+            cluster.index: tuple(
+                application.kernel(name) for name in cluster.kernel_names
+            )
+            for cluster in self.clusters
+        }
+        self._on_set: Dict[int, Tuple[Cluster, ...]] = {}
 
     # -- construction helpers -------------------------------------------
 
@@ -162,11 +169,15 @@ class Clustering:
 
     def kernels_of(self, cluster: Cluster) -> Tuple[Kernel, ...]:
         """The :class:`Kernel` objects of a cluster, in order."""
-        return tuple(self.application.kernel(name) for name in cluster.kernel_names)
+        return self._kernels_of[cluster.index]
 
     def on_set(self, fb_set: int) -> Tuple[Cluster, ...]:
         """Clusters assigned to a frame-buffer set, in execution order."""
-        return tuple(c for c in self.clusters if c.fb_set == fb_set)
+        found = self._on_set.get(fb_set)
+        if found is None:
+            found = tuple(c for c in self.clusters if c.fb_set == fb_set)
+            self._on_set[fb_set] = found
+        return found
 
     def same_set(self, first: Cluster, second: Cluster) -> bool:
         """True if two clusters share a frame-buffer set."""

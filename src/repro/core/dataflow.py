@@ -117,6 +117,12 @@ class DataflowInfo:
         self.application = application
         self.clustering = clustering
         self._info = info
+        # Memo tables for the per-cluster queries below: dataflow facts
+        # are immutable once analyzed, and the schedulers/codegen re-ask
+        # the same questions thousands of times on large workloads.
+        self._last_use_memo: Dict[Tuple[str, int], Optional[str]] = {}
+        self._inputs_memo: Dict[int, Tuple[str, ...]] = {}
+        self._produced_memo: Dict[int, Tuple[str, ...]] = {}
 
     def __getitem__(self, obj_name: str) -> ObjectInfo:
         try:
@@ -149,6 +155,9 @@ class DataflowInfo:
         set before it starts: external data plus results imported from
         earlier clusters.
         """
+        cached = self._inputs_memo.get(cluster_index)
+        if cached is not None:
+            return cached
         cluster = self._cluster(cluster_index)
         ordered: List[str] = []
         seen = set()
@@ -160,7 +169,9 @@ class DataflowInfo:
                 if not produced_here and obj_name not in seen:
                     ordered.append(obj_name)
                     seen.add(obj_name)
-        return tuple(ordered)
+        result = tuple(ordered)
+        self._inputs_memo[cluster_index] = result
+        return result
 
     def external_inputs_of_cluster(self, cluster_index: int) -> Tuple[str, ...]:
         """External data consumed by the cluster."""
@@ -178,11 +189,16 @@ class DataflowInfo:
 
     def produced_by_cluster(self, cluster_index: int) -> Tuple[str, ...]:
         """Objects produced inside the cluster, in production order."""
+        cached = self._produced_memo.get(cluster_index)
+        if cached is not None:
+            return cached
         cluster = self._cluster(cluster_index)
         ordered: List[str] = []
         for kernel_name in cluster.kernel_names:
             ordered.extend(self.application.kernel(kernel_name).outputs)
-        return tuple(ordered)
+        result = tuple(ordered)
+        self._produced_memo[cluster_index] = result
+        return result
 
     def shared_results_of_cluster(self, cluster_index: int) -> Tuple[str, ...]:
         """Results produced in the cluster and consumed by later clusters."""
@@ -211,11 +227,17 @@ class DataflowInfo:
     def last_use_in_cluster(self, obj_name: str, cluster_index: int) -> Optional[str]:
         """Name of the last kernel of the cluster consuming *obj_name*,
         or ``None`` if the cluster does not consume it."""
+        key = (obj_name, cluster_index)
+        try:
+            return self._last_use_memo[key]
+        except KeyError:
+            pass
         cluster = self._cluster(cluster_index)
         last = None
         for kernel_name in cluster.kernel_names:
             if self.application.kernel(kernel_name).reads(obj_name):
                 last = kernel_name
+        self._last_use_memo[key] = last
         return last
 
     def dead_after_kernel(self, cluster_index: int, kernel_name: str) -> Tuple[str, ...]:

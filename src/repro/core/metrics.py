@@ -39,9 +39,12 @@ from repro.core.reuse import SharedData, SharedResult
 __all__ = [
     "KeepDecision",
     "cluster_data_size",
+    "cluster_data_size_naive",
     "cluster_data_size_formula",
     "cluster_footprint",
+    "cluster_sweep_peak",
     "max_cluster_data_size",
+    "resident_keep_words",
     "total_data_size",
 ]
 
@@ -89,7 +92,8 @@ def _resident_keep_words(
     double-counted by the sweep — they are returned in the second
     element so the sweep can skip them.
     """
-    fb_set = dataflow.clustering[cluster_index].fb_set
+    clustering = dataflow.clustering
+    fb_set = clustering[cluster_index].fb_set
     resident_words = 0
     local_kept: Set[str] = set()
     for keep in keeps:
@@ -110,6 +114,95 @@ def _resident_keep_words(
         if cluster_index in consumers:
             local_kept.add(keep.name)
     return resident_words, local_kept
+
+
+#: Public alias used by the incremental occupancy engine.
+resident_keep_words = _resident_keep_words
+
+
+def cluster_sweep_peak(
+    dataflow: DataflowInfo,
+    cluster_index: int,
+    rf: int,
+    local_kept: Set[str],
+) -> int:
+    """Peak of the load/execute/release sweep, excluding kept-resident
+    words, in ``O(kernels)`` regardless of ``rf``.
+
+    Within one kernel's ``RF`` consecutive executions the occupancy
+    trace is affine in the iteration index: every iteration allocates
+    the kernel's (non-kept) outputs and releases the same set of dead
+    instances — non-invariant inputs whose last local use is this
+    kernel, plus intermediates whose last consumer is this kernel.  The
+    per-kernel peak is therefore reached at either the first or the
+    last iteration, which collapses the naive ``O(kernels * rf)`` sweep
+    (:func:`cluster_data_size_naive`) to a closed form evaluated once
+    per kernel.  Both paths produce identical integers — the
+    equivalence is property-tested.
+    """
+    cluster = dataflow.clustering[cluster_index]
+    kernel_names = list(cluster.kernel_names)
+    position = {name: idx for idx, name in enumerate(kernel_names)}
+
+    inputs = [
+        name for name in dataflow.inputs_of_cluster(cluster_index)
+        if name not in local_kept
+    ]
+    last_local_use: Dict[str, int] = {}
+    for obj_name in inputs:
+        last = dataflow.last_use_in_cluster(obj_name, cluster_index)
+        assert last is not None, (obj_name, cluster_index)
+        last_local_use[obj_name] = position[last]
+
+    occupancy = sum(dataflow[name].words_for(rf) for name in inputs)
+    peak = occupancy
+
+    # Per-kernel totals, each charged once per iteration:
+    #   out_k — non-kept output words allocated;
+    #   rel_k — words released after the peak check (dead non-invariant
+    #           inputs with last local use here, plus intermediates
+    #           whose last in-cluster consumer is here);
+    #   inv_k — invariant inputs released only on the final iteration.
+    intermediate_release_at: Dict[int, int] = {}
+    for k_idx, kernel_name in enumerate(kernel_names):
+        kernel = dataflow.application.kernel(kernel_name)
+        for out_name in kernel.outputs:
+            info = dataflow[out_name]
+            if out_name in local_kept:
+                continue
+            if info.object_class is ObjectClass.INTERMEDIATE_RESULT:
+                consumer_pos = max(
+                    position[c] for c in info.consumers if c in position
+                )
+                intermediate_release_at[consumer_pos] = (
+                    intermediate_release_at.get(consumer_pos, 0) + info.size
+                )
+
+    for k_idx, kernel_name in enumerate(kernel_names):
+        kernel = dataflow.application.kernel(kernel_name)
+        out_words = sum(
+            dataflow[name].size for name in kernel.outputs
+            if name not in local_kept
+        )
+        released = intermediate_release_at.get(k_idx, 0)
+        invariant_words = 0
+        for in_name in kernel.inputs:
+            if in_name in local_kept:
+                continue
+            if last_local_use.get(in_name) == k_idx:
+                info = dataflow[in_name]
+                if info.invariant:
+                    invariant_words += info.size
+                else:
+                    released += info.size
+        # Affine trace: occupancy after allocating iteration i's outputs
+        # is start + (i+1)*out - i*released, maximal at i=0 or i=rf-1.
+        peak = max(
+            peak,
+            occupancy + out_words + max(0, (rf - 1) * (out_words - released)),
+        )
+        occupancy += rf * (out_words - released) - invariant_words
+    return peak
 
 
 def cluster_data_size(
@@ -137,6 +230,10 @@ def cluster_data_size(
       constant ``RF * size`` each for the whole round, and are excluded
       from the load/release sweep.
 
+    Computed via the ``O(kernels)`` closed form
+    (:func:`cluster_sweep_peak`); :func:`cluster_data_size_naive` keeps
+    the original event sweep as the property-tested reference.
+
     Args:
         dataflow: output of :func:`repro.core.dataflow.analyze_dataflow`.
         cluster_index: which cluster.
@@ -145,6 +242,28 @@ def cluster_data_size(
 
     Returns:
         Peak occupancy in words.
+    """
+    if rf < 1:
+        raise ValueError(f"rf must be >= 1, got {rf}")
+    kept_resident, local_kept = _resident_keep_words(
+        dataflow, cluster_index, rf, keeps
+    )
+    return kept_resident + cluster_sweep_peak(
+        dataflow, cluster_index, rf, local_kept
+    )
+
+
+def cluster_data_size_naive(
+    dataflow: DataflowInfo,
+    cluster_index: int,
+    rf: int = 1,
+    keeps: Sequence[KeepDecision] = (),
+) -> int:
+    """Reference implementation of :func:`cluster_data_size`.
+
+    The original ``O(kernels * rf)`` event sweep, retained verbatim so
+    property tests can assert the closed form and the incremental
+    occupancy engine reproduce it exactly.
     """
     if rf < 1:
         raise ValueError(f"rf must be >= 1, got {rf}")

@@ -18,9 +18,14 @@ from repro.arch.params import Architecture
 from repro.core.application import Application
 from repro.core.cluster import Clustering
 from repro.core.dataflow import DataflowInfo, analyze_dataflow
-from repro.core.metrics import KeepDecision, cluster_data_size, cluster_footprint
+from repro.core.metrics import (
+    KeepDecision,
+    cluster_data_size_naive,
+    cluster_footprint,
+)
 from repro.core.reuse import SharedData, SharedResult
 from repro.errors import InfeasibleScheduleError
+from repro.schedule.occupancy import OccupancyEngine
 from repro.schedule.plan import ClusterPlan, Schedule
 from repro.units import format_size
 
@@ -47,6 +52,13 @@ class ScheduleOptions:
             work.  Requires an architecture with
             ``fb_cross_set_access=True``; the Complete Data Scheduler
             rejects the combination otherwise.
+        occupancy_engine: ``"incremental"`` (default) uses the memoised
+            :class:`~repro.schedule.occupancy.OccupancyEngine` for RF
+            search, keep acceptance, and capacity validation;
+            ``"naive"`` recomputes every ``DS(C_c)`` from scratch with
+            the reference event sweep.  Both produce byte-identical
+            schedules (property-tested); the naive path exists as the
+            equivalence oracle and for debugging.
         strict_lint: after building the schedule, run the
             application- and schedule-layer lint passes over it and
             raise :class:`~repro.errors.LintError` if any
@@ -60,6 +72,7 @@ class ScheduleOptions:
     rf_policy: str = "max_then_keep"
     cross_set_retention: bool = False
     strict_lint: bool = False
+    occupancy_engine: str = "incremental"
 
     def __post_init__(self) -> None:
         if self.rf_cap < 0:
@@ -68,6 +81,10 @@ class ScheduleOptions:
             raise ValueError(f"unknown keep_policy {self.keep_policy!r}")
         if self.rf_policy not in ("max_then_keep", "joint"):
             raise ValueError(f"unknown rf_policy {self.rf_policy!r}")
+        if self.occupancy_engine not in ("incremental", "naive"):
+            raise ValueError(
+                f"unknown occupancy_engine {self.occupancy_engine!r}"
+            )
 
 
 class DataSchedulerBase(abc.ABC):
@@ -80,6 +97,9 @@ class DataSchedulerBase(abc.ABC):
                  options: Optional[ScheduleOptions] = None):
         self.architecture = architecture
         self.options = options or ScheduleOptions()
+        #: Per-call incremental occupancy engine (None in naive mode or
+        #: outside :meth:`schedule`).
+        self._engine: Optional[OccupancyEngine] = None
 
     # -- public API ---------------------------------------------------------
 
@@ -87,6 +107,8 @@ class DataSchedulerBase(abc.ABC):
         self,
         application: Application,
         clustering: Optional[Clustering] = None,
+        *,
+        dataflow: Optional[DataflowInfo] = None,
     ) -> Schedule:
         """Produce a validated :class:`Schedule`.
 
@@ -95,6 +117,10 @@ class DataSchedulerBase(abc.ABC):
             clustering: cluster partition; defaults to one cluster per
                 kernel (callers normally obtain a good partition from
                 :class:`~repro.schedule.kernel_scheduler.KernelScheduler`).
+            dataflow: optional pre-computed dataflow analysis of this
+                exact (application, clustering) pair; callers running
+                several schedulers over one workload pass it to avoid
+                re-analysing.
 
         Raises:
             InfeasibleScheduleError: if no legal schedule exists on this
@@ -104,9 +130,25 @@ class DataSchedulerBase(abc.ABC):
         """
         if clustering is None:
             clustering = Clustering.per_kernel(application)
-        dataflow = analyze_dataflow(application, clustering)
+        if dataflow is None:
+            dataflow = analyze_dataflow(application, clustering)
+        elif (dataflow.application is not application
+                or dataflow.clustering is not clustering):
+            raise ValueError(
+                "dataflow was analysed for a different application or "
+                "clustering"
+            )
         self._check_static_capacities(dataflow)
-        schedule = self._schedule(dataflow)
+        if self.options.occupancy_engine == "incremental":
+            self._engine = OccupancyEngine(
+                dataflow, self.architecture.fb_set_words
+            )
+        else:
+            self._engine = None
+        try:
+            schedule = self._schedule(dataflow)
+        finally:
+            self._engine = None
         if self.options.strict_lint:
             self._self_lint(schedule)
         return schedule
@@ -196,10 +238,16 @@ class DataSchedulerBase(abc.ABC):
                 dataflow, rf, keeps,
                 lambda index: cluster_footprint(dataflow, index),
             )
+        elif self._engine is not None:
+            engine = self._engine
+            occupancy = self._require_cluster_fit(
+                dataflow, rf, keeps,
+                lambda index: engine.occupancy(index, rf, keeps),
+            )
         else:
             occupancy = self._require_cluster_fit(
                 dataflow, rf, keeps,
-                lambda index: cluster_data_size(dataflow, index, rf, keeps),
+                lambda index: cluster_data_size_naive(dataflow, index, rf, keeps),
             )
 
         kept_data: List[SharedData] = [

@@ -26,7 +26,11 @@ from __future__ import annotations
 from typing import List, Sequence, Tuple
 
 from repro.core.dataflow import DataflowInfo
-from repro.core.metrics import KeepDecision, cluster_data_size, total_data_size
+from repro.core.metrics import (
+    KeepDecision,
+    cluster_data_size_naive,
+    total_data_size,
+)
 from repro.errors import InfeasibleScheduleError
 from repro.schedule.base import DataSchedulerBase
 from repro.schedule.estimate import estimate_execution_cycles
@@ -59,12 +63,18 @@ class CompleteDataScheduler(DataSchedulerBase):
     # -- RF ------------------------------------------------------------------
 
     def _max_rf(self, dataflow: DataflowInfo) -> int:
-        rf = max_common_rf(
-            dataflow,
-            self.architecture.fb_set_words,
-            keeps=(),
-            max_rf=self.options.rf_cap,
-        )
+        if self._engine is not None:
+            rf = self._engine.max_common_rf(
+                keeps=(), max_rf=self.options.rf_cap
+            )
+        else:
+            rf = max_common_rf(
+                dataflow,
+                self.architecture.fb_set_words,
+                keeps=(),
+                max_rf=self.options.rf_cap,
+                occupancy_fn=cluster_data_size_naive,
+            )
         if rf == 0:
             raise InfeasibleScheduleError(
                 f"{self.name}: some cluster exceeds one frame-buffer set "
@@ -98,7 +108,20 @@ class CompleteDataScheduler(DataSchedulerBase):
     def _choose_keeps(
         self, dataflow: DataflowInfo, rf: int
     ) -> Tuple[KeepDecision, ...]:
-        """Greedy TF-ordered acceptance at a fixed RF."""
+        """Greedy TF-ordered acceptance at a fixed RF.
+
+        The incremental engine keeps per-cluster running ``DS(C_c)``
+        totals so each trial touches only the candidate's affected
+        clusters; the naive path recomputes the candidate's whole FB
+        set per trial with the reference sweep.  Both are exact and
+        produce identical keep sets (property-tested).
+        """
+        if self._engine is not None:
+            engine = self._engine
+            engine.begin_keep_selection(rf)
+            for candidate in self._ranked_candidates(dataflow):
+                engine.try_keep(candidate)
+            return engine.accepted
         fbs = self.architecture.fb_set_words
         accepted: List[KeepDecision] = []
         for candidate in self._ranked_candidates(dataflow):
@@ -118,10 +141,10 @@ class CompleteDataScheduler(DataSchedulerBase):
         """``DS(C_c) <= FBS`` for every cluster of one FB set.
 
         Clusters of the other set are unaffected by a keep on this set,
-        so only this set needs re-checking.
+        so only this set needs re-checking.  (Naive reference path.)
         """
         return all(
-            cluster_data_size(dataflow, cluster.index, rf, keeps) <= fbs
+            cluster_data_size_naive(dataflow, cluster.index, rf, keeps) <= fbs
             for cluster in dataflow.clustering.on_set(fb_set)
         )
 

@@ -16,6 +16,7 @@ outbound results.
 from __future__ import annotations
 
 from repro.core.dataflow import DataflowInfo
+from repro.core.metrics import cluster_data_size_naive
 from repro.errors import InfeasibleScheduleError
 from repro.schedule.base import DataSchedulerBase
 from repro.schedule.plan import Schedule
@@ -31,12 +32,18 @@ class DataScheduler(DataSchedulerBase):
     name = "ds"
 
     def _schedule(self, dataflow: DataflowInfo) -> Schedule:
-        rf = max_common_rf(
-            dataflow,
-            self.architecture.fb_set_words,
-            keeps=(),
-            max_rf=self.options.rf_cap,
-        )
+        if self._engine is not None:
+            rf = self._engine.max_common_rf(
+                keeps=(), max_rf=self.options.rf_cap
+            )
+        else:
+            rf = max_common_rf(
+                dataflow,
+                self.architecture.fb_set_words,
+                keeps=(),
+                max_rf=self.options.rf_cap,
+                occupancy_fn=cluster_data_size_naive,
+            )
         if rf == 0:
             raise InfeasibleScheduleError(
                 f"{self.name}: some cluster exceeds one frame-buffer set "

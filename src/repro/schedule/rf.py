@@ -17,12 +17,14 @@ adds instances), so a galloping + binary search is used.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 from repro.core.dataflow import DataflowInfo
 from repro.core.metrics import KeepDecision, cluster_data_size
 
 __all__ = ["fits", "max_common_rf"]
+
+OccupancyFn = Callable[[DataflowInfo, int, int, Sequence[KeepDecision]], int]
 
 
 def fits(
@@ -30,10 +32,17 @@ def fits(
     rf: int,
     fb_set_words: int,
     keeps: Sequence[KeepDecision] = (),
+    occupancy_fn: OccupancyFn = cluster_data_size,
 ) -> bool:
-    """True if every cluster's ``DS(C_c, rf, keeps)`` fits one FB set."""
+    """True if every cluster's ``DS(C_c, rf, keeps)`` fits one FB set.
+
+    ``occupancy_fn`` defaults to the closed-form
+    :func:`~repro.core.metrics.cluster_data_size`; the naive-mode
+    schedulers pass :func:`~repro.core.metrics.cluster_data_size_naive`
+    to keep a fully independent reference path.
+    """
     return all(
-        cluster_data_size(dataflow, cluster.index, rf, keeps) <= fb_set_words
+        occupancy_fn(dataflow, cluster.index, rf, keeps) <= fb_set_words
         for cluster in dataflow.clustering
     )
 
@@ -43,6 +52,7 @@ def max_common_rf(
     fb_set_words: int,
     keeps: Sequence[KeepDecision] = (),
     max_rf: int = 0,
+    occupancy_fn: OccupancyFn = cluster_data_size,
 ) -> int:
     """Highest common reuse factor fitting every cluster in ``fb_set_words``.
 
@@ -60,23 +70,25 @@ def max_common_rf(
         does not fit (the schedule is infeasible at this capacity).
     """
     cap = max_rf if max_rf > 0 else dataflow.application.total_iterations
-    if cap < 1 or not fits(dataflow, 1, fb_set_words, keeps):
+    if cap < 1 or not fits(dataflow, 1, fb_set_words, keeps, occupancy_fn):
         return 0
     # Gallop to an infeasible upper bound.
     low = 1
     high = 1
-    while high < cap and fits(dataflow, min(high * 2, cap), fb_set_words, keeps):
+    while high < cap and fits(
+        dataflow, min(high * 2, cap), fb_set_words, keeps, occupancy_fn
+    ):
         high = min(high * 2, cap)
         low = high
     if high >= cap:
         return cap
     high = min(high * 2, cap)
     # Invariant: fits(low), not fits(high) unless high == cap handled above.
-    if fits(dataflow, high, fb_set_words, keeps):
+    if fits(dataflow, high, fb_set_words, keeps, occupancy_fn):
         return high
     while high - low > 1:
         mid = (low + high) // 2
-        if fits(dataflow, mid, fb_set_words, keeps):
+        if fits(dataflow, mid, fb_set_words, keeps, occupancy_fn):
             low = mid
         else:
             high = mid

@@ -31,7 +31,12 @@ from repro.core.reuse import (
     find_shared_results,
 )
 
-__all__ = ["time_factor", "rank_by_time_factor", "retention_candidates"]
+__all__ = [
+    "time_factor",
+    "candidate_id",
+    "rank_by_time_factor",
+    "retention_candidates",
+]
 
 
 def time_factor(candidate: KeepDecision, tds: int) -> float:
@@ -60,16 +65,46 @@ def retention_candidates(
     return candidates
 
 
+def candidate_id(candidate: KeepDecision) -> tuple:
+    """A stable, total identifier for one retention candidate.
+
+    Two distinct candidates never share an id: shared data are keyed by
+    ``("D", set, name, consumers)`` and shared results by
+    ``("R", set, name, producer, consumers)``.  The id depends only on
+    the candidate's content — never on discovery order — so it is safe
+    as a sort tie-break across serial and parallel candidate
+    enumeration.
+    """
+    if isinstance(candidate, SharedData):
+        return ("D", candidate.fb_set, candidate.name, candidate.clusters)
+    return (
+        "R",
+        candidate.fb_set,
+        candidate.name,
+        candidate.producer_cluster,
+        candidate.consumer_clusters,
+    )
+
+
 def rank_by_time_factor(
     candidates: Sequence[KeepDecision],
     tds: int,
 ) -> List[KeepDecision]:
     """Sort candidates by decreasing ``TF``.
 
-    Ties are broken by smaller size first (a smaller item achieving the
-    same saving is cheaper to retain), then by name for determinism.
+    The ranking compares the integer ``words_avoided`` (``TF`` times the
+    constant ``TDS``) rather than the normalised float, so candidates
+    whose TF values differ only past float precision still order
+    exactly.  Ties are broken deterministically: **larger size first**
+    (one big retention fragments the free list less than several small
+    ones achieving the same saving), then the stable
+    :func:`candidate_id`.  The total order depends only on candidate
+    content, never on enumeration order, so serial and parallel runs
+    produce identical plans.
     """
+    if tds <= 0:
+        raise ValueError(f"TDS must be positive, got {tds}")
     return sorted(
         candidates,
-        key=lambda c: (-time_factor(c, tds), c.size, c.name),
+        key=lambda c: (-c.words_avoided, -c.size, candidate_id(c)),
     )

@@ -58,6 +58,9 @@ class Simulator:
             consumed; call :meth:`MorphoSysM1.reset` between runs).
         dma_policy: ordering of DMA work inside overlap windows.
         verify: run the static program verifier before executing.
+        trace: record the per-transfer DMA trace (and its labels) in
+            the report.  Aggregate statistics are exact either way;
+            bulk analysis drivers turn tracing off for speed.
     """
 
     def __init__(
@@ -66,10 +69,13 @@ class Simulator:
         *,
         dma_policy: DmaPolicy = DmaPolicy.CONTEXTS_FIRST,
         verify: bool = True,
+        trace: bool = True,
     ):
         self.machine = machine
         self.context_scheduler = ContextScheduler(dma_policy)
         self.verify = verify
+        self.trace = trace
+        machine.dma.record_trace = trace
 
     # -- public API --------------------------------------------------------
 
@@ -174,6 +180,47 @@ class Simulator:
         loads_before_contexts = (
             self.context_scheduler.policy is DmaPolicy.LOADS_FIRST
         )
+        trace = self.trace
+
+        # Fast path (trace off): back-to-back requests at one earliest
+        # start occupy one contiguous timeline block, so each visit's
+        # context/load/store group is accounted in O(1) via
+        # request_block.  Group totals depend only on the cluster and
+        # the round's iteration count, so they are memoised and laid
+        # out per visit up front.
+        groups: List[Tuple] = []
+        if not trace:
+            timing = dma.timing
+            memo: Dict[Tuple[str, int, int], Tuple[int, int, int]] = {}
+
+            def totals(tag, cluster_index, variant, items, cycles_of):
+                key = (tag, cluster_index, variant)
+                found = memo.get(key)
+                if found is None:
+                    words = 0
+                    duration = 0
+                    for item in items:
+                        words += item.words
+                        duration += cycles_of(item.words)
+                    found = (words, duration, len(items))
+                    memo[key] = found
+                return found
+
+            ctx_cycles = timing.context_transfer_cycles
+            data_cycles = timing.data_transfer_cycles
+            for ops in visits:
+                cluster_index = ops.visit.cluster_index
+                n_iters = len(ops.visit.iterations)
+                groups.append((
+                    # Context words never vary with the round, only
+                    # with block residency (empty when reused).
+                    totals("ctx", cluster_index, len(ops.context_loads),
+                           ops.context_loads, ctx_cycles),
+                    totals("ld", cluster_index, n_iters,
+                           ops.data_loads, data_cycles),
+                    totals("st", cluster_index, n_iters,
+                           ops.stores, data_cycles),
+                ))
 
         def issue_prep(index: int, earliest: int) -> None:
             ops = visits[index]
@@ -181,6 +228,15 @@ class Simulator:
             set_free = last_same_set_end(index)
 
             def issue_contexts() -> int:
+                if not trace:
+                    words, duration, count = groups[index][0]
+                    if count == 0:
+                        return earliest
+                    _, done = dma.request_block(
+                        TransferKind.CONTEXT_LOAD, words, duration,
+                        count, earliest,
+                    )
+                    return done
                 done_at = earliest
                 for load in ops.context_loads:
                     _, done = dma.request(
@@ -193,12 +249,22 @@ class Simulator:
                 return done_at
 
             def issue_loads() -> int:
+                start_at = max(earliest, set_free)
+                if not trace:
+                    words, duration, count = groups[index][1]
+                    if count == 0:
+                        return earliest
+                    _, done = dma.request_block(
+                        TransferKind.DATA_LOAD, words, duration,
+                        count, start_at,
+                    )
+                    return done
                 done_at = earliest
                 for load in ops.data_loads:
                     _, done = dma.request(
                         TransferKind.DATA_LOAD,
                         load.words,
-                        max(earliest, set_free),
+                        start_at,
                         label=f"ld:{load.name}#{load.iteration}@v{index}",
                     )
                     done_at = max(done_at, done)
@@ -215,11 +281,20 @@ class Simulator:
                 return
             stores_issued[index] = True
             ops = visits[index]
+            earliest = compute_end[index]
+            if not trace:
+                words, duration, count = groups[index][2]
+                if count:
+                    dma.request_block(
+                        TransferKind.DATA_STORE, words, duration,
+                        count, earliest,
+                    )
+                return
             for store in ops.stores:
                 dma.request(
                     TransferKind.DATA_STORE,
                     store.words,
-                    compute_end[index],
+                    earliest,
                     label=f"st:{store.name}#{store.iteration}@v{index}",
                 )
 
@@ -318,15 +393,18 @@ class Simulator:
     def _populate_accounting(self, application) -> None:
         """Ensure external inputs exist (size-only) so loads are legal."""
         memory = self.machine.external_memory
+        exists = memory.exists
+        put = memory.put
         for name in application.external_inputs():
             obj = application.object(name)
+            size = obj.size
             instances = (
                 (0,) if obj.invariant
                 else range(application.total_iterations)
             )
             for iteration in instances:
-                if not memory.exists(name, iteration):
-                    memory.put(name, iteration, size=obj.size)
+                if not exists(name, iteration):
+                    put(name, iteration, size=size)
 
     # -- functional data movement ---------------------------------------
 

@@ -1,0 +1,69 @@
+"""Unit tests for the ``repro bench`` comparison and rendering logic.
+
+``run_bench`` itself is exercised by the CI quick-mode job (and takes
+seconds); here we pin down the regression-gate semantics the job relies
+on, with synthetic payloads.
+"""
+
+from repro.analysis.bench import (
+    PRE_PR_BASELINE,
+    STAGES,
+    compare_bench,
+    render_bench,
+)
+
+
+def _payload(stages=None, scalability=None):
+    return {
+        "schema": 1,
+        "quick": True,
+        "stages": stages or {},
+        "scalability": scalability or {},
+        "baseline_pre_pr": PRE_PR_BASELINE,
+        "speedup_vs_pre_pr": {},
+    }
+
+
+class TestCompareBench:
+    def test_no_regression_within_limit(self):
+        baseline = _payload(stages={"cds": 0.010}, scalability={"corpus": 0.2})
+        current = _payload(stages={"cds": 0.012}, scalability={"corpus": 0.24})
+        assert compare_bench(current, baseline, max_regression_pct=25.0) == []
+
+    def test_regression_detected_past_limit(self):
+        baseline = _payload(stages={"cds": 0.010})
+        current = _payload(stages={"cds": 0.020})
+        problems = compare_bench(current, baseline, max_regression_pct=25.0)
+        assert len(problems) == 1
+        assert "stages.cds" in problems[0]
+        assert "100.0%" in problems[0]
+
+    def test_missing_keys_skipped(self):
+        baseline = _payload(stages={"cds": 0.010, "lint": 0.001})
+        current = _payload(stages={"cds": 0.010})
+        assert compare_bench(current, baseline, max_regression_pct=25.0) == []
+
+    def test_improvements_never_flagged(self):
+        baseline = _payload(scalability={"cds_large": 0.013})
+        current = _payload(scalability={"cds_large": 0.001})
+        assert compare_bench(current, baseline, max_regression_pct=25.0) == []
+
+
+class TestRenderBench:
+    def test_lists_stages_and_speedups(self):
+        payload = _payload(
+            stages={stage: 0.001 for stage in STAGES},
+            scalability={"cds_large": 0.0026, "corpus": 0.17},
+        )
+        payload["speedup_vs_pre_pr"] = {"cds_large": 5.0, "corpus": 3.2}
+        text = render_bench(payload)
+        for stage in STAGES:
+            assert stage in text
+        assert "vs pre-overhaul" in text
+        assert "5.00x" in text
+
+
+def test_committed_baseline_shape():
+    """The embedded pre-overhaul baseline covers every stage key."""
+    assert set(PRE_PR_BASELINE["stages"]) == set(STAGES)
+    assert set(PRE_PR_BASELINE["scalability"]) == {"cds_large", "corpus"}

@@ -1,0 +1,170 @@
+"""Serial vs. parallel analysis drivers, and the schedule-plan memo.
+
+``--jobs`` fans corpus studies, FB-size sweeps, and ablations over a
+process pool; the contract is that the serial and parallel paths run
+the same top-level worker per item and therefore produce identical
+results.  :func:`~repro.analysis.parallel.plan_key` must depend only on
+content — identical workloads rebuilt from scratch hash identically —
+so :class:`~repro.analysis.parallel.PlanMemo` can deduplicate
+scheduling work across sweep points.
+"""
+
+import pytest
+
+from repro.analysis.corpus import corpus_study
+from repro.analysis.parallel import (
+    PlanMemo,
+    default_jobs,
+    parallel_map,
+    plan_key,
+    run_all_ablations,
+)
+from repro.analysis.sweep import sweep_fb_sizes
+from repro.arch.params import Architecture
+from repro.errors import InfeasibleScheduleError
+from repro.schedule.base import ScheduleOptions
+from repro.schedule.complete import CompleteDataScheduler
+from repro.workloads.random_gen import random_application
+from repro.workloads.spec import paper_experiments
+
+
+def _square(value):
+    return value * value
+
+
+def _experiment(spec_id):
+    return next(s for s in paper_experiments() if s.id == spec_id)
+
+
+class TestParallelMap:
+    def test_serial_and_parallel_identical(self):
+        items = list(range(12))
+        expected = [_square(item) for item in items]
+        assert parallel_map(_square, items) == expected
+        assert parallel_map(_square, items, jobs=1) == expected
+        assert parallel_map(_square, items, jobs=2) == expected
+
+    def test_jobs_zero_uses_cpu_count(self):
+        assert default_jobs() >= 1
+        assert parallel_map(_square, [3, 4], jobs=0) == [9, 16]
+
+    def test_order_preserved(self):
+        items = list(range(20, 0, -1))
+        assert parallel_map(_square, items, jobs=2) == [
+            _square(item) for item in items
+        ]
+
+
+class TestDriverEquivalence:
+    def test_corpus_study_serial_equals_parallel(self):
+        serial = corpus_study(range(6), fb="2K", iterations=4)
+        fanned = corpus_study(range(6), fb="2K", iterations=4, jobs=2)
+        assert serial == fanned
+
+    def test_sweep_serial_equals_parallel(self):
+        application, clustering = _experiment("MPEG").build()
+        sizes = ["1K", "2K", "4K"]
+        serial = sweep_fb_sizes(application, clustering, sizes)
+        fanned = sweep_fb_sizes(application, clustering, sizes, jobs=2)
+        assert serial == fanned
+
+    def test_ablations_serial_equals_parallel(self):
+        spec = paper_experiments()[0]
+        serial = run_all_ablations(spec)
+        fanned = run_all_ablations(spec, jobs=2)
+        assert serial == fanned
+        assert len(serial) >= 10  # keep(3) + rf(2) + dma(3) + cross(2)
+
+
+class TestPlanKey:
+    def test_identity_free(self):
+        """The same workload built twice hashes to the same key."""
+        first_app, first_clustering = random_application(7, iterations=4)
+        second_app, second_clustering = random_application(7, iterations=4)
+        assert first_app is not second_app
+        architecture = Architecture.m1("4K")
+        options = ScheduleOptions()
+        assert plan_key(
+            "cds", first_app, first_clustering, architecture, options
+        ) == plan_key(
+            "cds", second_app, second_clustering, architecture, options
+        )
+
+    def test_sensitive_to_every_input(self):
+        application, clustering = random_application(7, iterations=4)
+        base = plan_key(
+            "cds", application, clustering, Architecture.m1("4K"),
+            ScheduleOptions(),
+        )
+        other_app, other_clustering = random_application(8, iterations=4)
+        assert base != plan_key(
+            "cds", other_app, other_clustering, Architecture.m1("4K"),
+            ScheduleOptions(),
+        )
+        assert base != plan_key(
+            "ds", application, clustering, Architecture.m1("4K"),
+            ScheduleOptions(),
+        )
+        assert base != plan_key(
+            "cds", application, clustering, Architecture.m1("2K"),
+            ScheduleOptions(),
+        )
+        assert base != plan_key(
+            "cds", application, clustering, Architecture.m1("4K"),
+            ScheduleOptions(rf_cap=2),
+        )
+
+
+class TestPlanMemo:
+    def test_hit_returns_same_plan(self):
+        application, clustering = _experiment("MPEG").build()
+        architecture = Architecture.m1("4K")
+        memo = PlanMemo()
+        first = memo.schedule(
+            CompleteDataScheduler, application, clustering, architecture
+        )
+        second = memo.schedule(
+            CompleteDataScheduler, application, clustering, architecture
+        )
+        assert first is second
+        assert (memo.misses, memo.hits) == (1, 1)
+
+    def test_rebuilt_workload_hits(self):
+        """Content hashing: a structurally equal workload rebuilt from
+        its spec reuses the cached plan."""
+        target = _experiment("MPEG")
+        architecture = Architecture.m1("4K")
+        memo = PlanMemo()
+        memo.schedule(
+            CompleteDataScheduler, *target.build(), architecture
+        )
+        memo.schedule(
+            CompleteDataScheduler, *target.build(), architecture
+        )
+        assert (memo.misses, memo.hits) == (1, 1)
+
+    def test_distinct_options_miss(self):
+        application, clustering = _experiment("MPEG").build()
+        architecture = Architecture.m1("4K")
+        memo = PlanMemo()
+        memo.schedule(
+            CompleteDataScheduler, application, clustering, architecture
+        )
+        memo.schedule(
+            CompleteDataScheduler, application, clustering, architecture,
+            options=ScheduleOptions(rf_policy="joint"),
+        )
+        assert (memo.misses, memo.hits) == (2, 0)
+
+    def test_infeasible_not_cached(self):
+        application, clustering = _experiment("MPEG").build()
+        tiny = Architecture.m1(64)
+        memo = PlanMemo()
+        for _ in range(2):
+            with pytest.raises(InfeasibleScheduleError):
+                memo.schedule(
+                    CompleteDataScheduler, application, clustering, tiny
+                )
+        # Both attempts recompute: the failure was never cached.
+        assert (memo.misses, memo.hits) == (2, 0)
+        assert not memo._plans

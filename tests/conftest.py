@@ -2,10 +2,25 @@
 
 import pytest
 
+from repro.alloc.allocator import FrameBufferAllocator
 from repro.arch.params import Architecture
 from repro.core.application import Application
 from repro.core.cluster import Clustering
 from repro.core.dataflow import analyze_dataflow
+
+
+@pytest.fixture(autouse=True)
+def _allocator_debug_invariants():
+    """Every allocator built under test self-checks its free list.
+
+    ``check_invariants`` is one O(n) pass, so leaving it on suite-wide
+    is cheap; tests that explicitly pass ``debug_invariants=...`` are
+    unaffected.
+    """
+    previous = FrameBufferAllocator.default_debug_invariants
+    FrameBufferAllocator.default_debug_invariants = True
+    yield
+    FrameBufferAllocator.default_debug_invariants = previous
 
 
 @pytest.fixture

