@@ -3,7 +3,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint ruff mypy bench bench-quick
+.PHONY: check test lint ruff mypy bench bench-quick trace-demo
 
 check: test ruff mypy lint
 
@@ -25,6 +25,11 @@ bench:
 bench-quick:
 	$(PYTHON) -m repro.cli bench --quick --output BENCH_quick.json \
 		--compare BENCH_pipeline.json --max-regression 25
+
+# Sample Chrome trace_event export — open trace_ATR-FI.json at
+# https://ui.perfetto.dev or in chrome://tracing.
+trace-demo:
+	$(PYTHON) -m repro.cli trace ATR-FI --output trace_ATR-FI.json
 
 # ruff / mypy run only where installed — the pinned container image
 # ships neither, and nothing may be pip-installed into it.

@@ -194,6 +194,13 @@ class FrameBufferAllocator:
             test suite turns it on globally via
             :attr:`default_debug_invariants`.  ``None`` (the default)
             defers to that class attribute.
+        decisions: optional :class:`~repro.obs.events.DecisionTrace`
+            that receives one ``alloc.place``/``alloc.free`` event per
+            instance, plus ``alloc.fallback`` when iteration-adjacent
+            placement failed and ``alloc.split`` when a placement had
+            to span several free blocks.  Pass ``schedule.decisions``
+            to extend the scheduler's own trace.  Recording never
+            changes a placement.
     """
 
     #: Process-wide default for ``debug_invariants`` when the caller
@@ -203,12 +210,14 @@ class FrameBufferAllocator:
 
     def __init__(self, schedule: Schedule, *, allow_split: bool = True,
                  fit_policy: str = "first",
-                 debug_invariants: Optional[bool] = None):
+                 debug_invariants: Optional[bool] = None,
+                 decisions=None):
         if fit_policy not in ("first", "best"):
             raise AllocationError(f"unknown fit_policy {fit_policy!r}")
         self.schedule = schedule
         self.allow_split = allow_split
         self.fit_policy = fit_policy
+        self.decisions = decisions
         if debug_invariants is None:
             debug_invariants = self.default_debug_invariants
         self.debug_invariants = debug_invariants
@@ -219,7 +228,8 @@ class FrameBufferAllocator:
         """Produce the :class:`AllocationMap` of one FB set's round."""
         run = _SetAllocation(self.schedule, fb_set, self.allow_split,
                              best_fit=(self.fit_policy == "best"),
-                             debug_invariants=self.debug_invariants)
+                             debug_invariants=self.debug_invariants,
+                             decisions=self.decisions)
         return run.execute()
 
     def allocate(self) -> Tuple[AllocationMap, AllocationMap]:
@@ -231,13 +241,15 @@ class _SetAllocation:
     """One execution of the Figure-4 algorithm (internal)."""
 
     def __init__(self, schedule: Schedule, fb_set: int, allow_split: bool,
-                 *, best_fit: bool = False, debug_invariants: bool = False):
+                 *, best_fit: bool = False, debug_invariants: bool = False,
+                 decisions=None):
         self.schedule = schedule
         self.dataflow: DataflowInfo = schedule.dataflow
         self.fb_set = fb_set
         self.allow_split = allow_split
         self.best_fit = best_fit
         self.debug_invariants = debug_invariants
+        self.decisions = decisions
         self.rf = schedule.rf
         self.capacity = schedule.fb_set_words
         self.free_list = FreeBlockList(self.capacity)
@@ -441,6 +453,13 @@ class _SetAllocation:
             try:
                 extents = (self.free_list.allocate_at(expected_start, size),)
             except FragmentationError:
+                # The adjacency attempt is rolled back; fall through to
+                # the direction-ordered free-list scan.
+                self._record_alloc(
+                    "alloc.fallback", name, instance,
+                    expected_start=expected_start, size=size,
+                    direction=direction,
+                )
                 extents = None
         if extents is None:
             regular = instance == 0 or expected_start is None
@@ -463,7 +482,18 @@ class _SetAllocation:
                 extents = self.free_list.allocate_split(
                     size, from_high=(direction == "high")
                 )
+                self._record_alloc(
+                    "alloc.split", name, instance, size=size,
+                    direction=direction,
+                    extents=[[e.start, e.end] for e in extents],
+                )
         self.regions.bind(name, instance, extents)
+        self._record_alloc(
+            "alloc.place", name, instance,
+            cluster_index=cluster_index, size=size, direction=direction,
+            regular=regular, split=len(extents) > 1,
+            extents=[[e.start, e.end] for e in extents],
+        )
         self._open[(name, instance)] = {
             "extents": extents,
             "direction": direction,
@@ -494,6 +524,14 @@ class _SetAllocation:
             return None
         return start
 
+    def _record_alloc(self, kind: str, name: str, instance: int,
+                      **detail) -> None:
+        if self.decisions is not None:
+            self.decisions.record(
+                kind, name, instance=instance, fb_set=self.fb_set,
+                step=self.step, **detail,
+            )
+
     def _free(self, name: str, instance: int) -> None:
         key = (name, instance)
         meta = self._open.pop(key, None)
@@ -501,6 +539,10 @@ class _SetAllocation:
             raise AllocationError(f"free of unallocated region {name}#{instance}")
         extents = self.regions.release(name, instance)
         self.free_list.free_extents(extents)
+        self._record_alloc(
+            "alloc.free", name, instance,
+            extents=[[e.start, e.end] for e in extents],
+        )
         if self.debug_invariants:
             self.free_list.check_invariants()
         self.map.records.append(

@@ -120,8 +120,19 @@ def run_bench(*, quick: bool = False) -> Dict[str, object]:
     for CI; the configurations are identical, only the repeat counts
     shrink, so quick results stay comparable to a committed full run
     within normal scheduling noise.
+
+    The run also collects the observability metrics registry (the
+    pipeline-stage timers populated by the corpus study's
+    ``run_scheduler`` calls) and embeds its snapshot under
+    ``"metrics"``; the regression gate ignores the section.  The
+    process-global registry is reset at the start of the run.
     """
     from repro.analysis.corpus import corpus_study
+    from repro.obs.metrics import get_registry, set_metrics_active
+
+    registry = get_registry()
+    registry.reset()
+    metrics_were_active = set_metrics_active(True)
 
     # The per-stage and cds_large samples are milliseconds each; quick
     # mode keeps their full repeat counts (cheap, and best-of-N at full
@@ -131,23 +142,26 @@ def run_bench(*, quick: bool = False) -> Dict[str, object]:
     cds_repeats = 5
     corpus_repeats = 1 if quick else 3
 
-    application, clustering = random_application(
-        123, max_clusters=32, iterations=64
-    )
-    architecture = Architecture.m1("16K")
-    scalability = {
-        "cds_large": _best_of(
-            lambda: CompleteDataScheduler(architecture).schedule(
-                application, clustering
+    try:
+        application, clustering = random_application(
+            123, max_clusters=32, iterations=64
+        )
+        architecture = Architecture.m1("16K")
+        scalability = {
+            "cds_large": _best_of(
+                lambda: CompleteDataScheduler(architecture).schedule(
+                    application, clustering
+                ),
+                cds_repeats,
             ),
-            cds_repeats,
-        ),
-        "corpus": _best_of(
-            lambda: corpus_study(range(20), fb="16K", iterations=48),
-            corpus_repeats,
-        ),
-    }
-    stages = _stage_totals(stage_repeats)
+            "corpus": _best_of(
+                lambda: corpus_study(range(20), fb="16K", iterations=48),
+                corpus_repeats,
+            ),
+        }
+        stages = _stage_totals(stage_repeats)
+    finally:
+        set_metrics_active(metrics_were_active)
 
     baseline_scalability = PRE_PR_BASELINE["scalability"]
     speedups = {
@@ -162,6 +176,7 @@ def run_bench(*, quick: bool = False) -> Dict[str, object]:
         "scalability": scalability,
         "baseline_pre_pr": PRE_PR_BASELINE,
         "speedup_vs_pre_pr": speedups,
+        "metrics": registry.snapshot(),
     }
 
 
@@ -213,4 +228,15 @@ def render_bench(payload: Dict[str, object]) -> str:
         speedup = speedups.get(name)
         extra = f"  ({speedup:4.2f}x vs pre-overhaul)" if speedup else ""
         lines.append(f"  {name:<9} {seconds * 1000.0:9.3f} ms{extra}")
+    metrics_snapshot = payload.get("metrics")
+    if metrics_snapshot and (
+        metrics_snapshot.get("counters") or metrics_snapshot.get("timers")
+    ):
+        from repro.obs.metrics import MetricsRegistry
+
+        rollup = MetricsRegistry()
+        rollup.merge(metrics_snapshot)
+        lines.append("metrics rollup:")
+        for line in rollup.render().splitlines():
+            lines.append(f"  {line}")
     return "\n".join(lines)

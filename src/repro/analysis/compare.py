@@ -13,6 +13,7 @@ from repro.core.cluster import Clustering
 from repro.core.dataflow import analyze_dataflow
 from repro.core.metrics import total_data_size
 from repro.errors import InfeasibleScheduleError
+from repro.obs.metrics import time_stage
 from repro.schedule.base import DataSchedulerBase, ScheduleOptions
 from repro.schedule.basic import BasicScheduler
 from repro.schedule.complete import CompleteDataScheduler
@@ -117,20 +118,28 @@ def run_scheduler(
 
     ``trace=False`` skips recording the per-transfer DMA trace; the
     report's aggregate statistics are identical.
+
+    Each pipeline stage reports into the observability metrics registry
+    (scope ``pipeline.<scheduler>``) when collection is on — a no-op
+    flag check otherwise.
     """
+    scope = f"pipeline.{scheduler.name}"
     try:
-        schedule = scheduler.schedule(
-            application, clustering, dataflow=dataflow
-        )
+        with time_stage("schedule", scope=scope):
+            schedule = scheduler.schedule(
+                application, clustering, dataflow=dataflow
+            )
     except InfeasibleScheduleError as exc:
         return SchedulerOutcome(
             scheduler=scheduler.name,
             feasible=False,
             infeasible_reason=str(exc),
         )
-    program = generate_program(schedule)
+    with time_stage("codegen", scope=scope):
+        program = generate_program(schedule)
     machine = MorphoSysM1(architecture)
-    report = Simulator(machine, trace=trace).run(program)
+    with time_stage("simulate", scope=scope):
+        report = Simulator(machine, trace=trace).run(program)
     return SchedulerOutcome(
         scheduler=scheduler.name,
         feasible=True,

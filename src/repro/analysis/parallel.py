@@ -51,6 +51,33 @@ def default_jobs() -> int:
     return os.cpu_count() or 1
 
 
+class _MetricsWorker:
+    """Wraps a worker *fn* to return ``(result, metrics snapshot)``.
+
+    Top-level class so it pickles into :class:`ProcessPoolExecutor`
+    workers.  Each call collects into the worker process's own registry
+    (reset per item, so pool reuse cannot leak samples between items)
+    and ships the snapshot back for the parent to merge — the
+    per-worker rollup behind ``repro bench`` / ``--profile`` with
+    ``--jobs``.
+    """
+
+    def __init__(self, fn: Callable[[_T], _R]):
+        self.fn = fn
+
+    def __call__(self, item: _T):
+        from repro.obs import metrics
+
+        registry = metrics.get_registry()
+        registry.reset()
+        previous = metrics.set_metrics_active(True)
+        try:
+            result = self.fn(item)
+        finally:
+            metrics.set_metrics_active(previous)
+        return result, registry.snapshot()
+
+
 def parallel_map(
     fn: Callable[[_T], _R],
     items: Iterable[_T],
@@ -61,18 +88,43 @@ def parallel_map(
 
     ``jobs=None`` or ``jobs=1`` runs serially in-process; ``jobs=0``
     uses :func:`default_jobs`; ``jobs>1`` fans out over a
-    :class:`ProcessPoolExecutor`.  Results are returned in item order
-    regardless of completion order, so callers observe identical output
-    either way.  *fn* and every item must be picklable when ``jobs>1``
-    (top-level functions and plain data only).
+    :class:`ProcessPoolExecutor`.  Negative ``jobs`` values are
+    rejected (they are always a caller bug, not a serial-mode request).
+    Results are returned in item order regardless of completion order,
+    so callers observe identical output either way.  *fn* and every
+    item must be picklable when ``jobs>1`` (top-level functions and
+    plain data only).
+
+    When the global metrics registry is collecting
+    (:func:`repro.obs.metrics.metrics_active`), parallel runs wrap the
+    worker so each item's counters/timers are snapshotted in its worker
+    process and merged back into the parent registry; serial runs
+    collect in-process.  Either way the *results* are identical.
     """
+    if jobs is not None and jobs < 0:
+        raise ValueError(
+            f"jobs must be >= 0 (0 = one worker per CPU), got {jobs}"
+        )
     items = list(items)
     if jobs == 0:
         jobs = default_jobs()
+    from repro.obs import metrics
+
+    collect = metrics.metrics_active()
+    if collect:
+        metrics.inc("parallel.items", len(items), scope="driver")
     if jobs is None or jobs <= 1 or len(items) <= 1:
         return [fn(item) for item in items]
+    if collect:
+        metrics.inc("parallel.fanouts", scope="driver")
     with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(fn, items))
+        if not collect:
+            return list(pool.map(fn, items))
+        pairs = list(pool.map(_MetricsWorker(fn), items))
+    registry = metrics.get_registry()
+    for _, snapshot in pairs:
+        registry.merge(snapshot)
+    return [result for result, _ in pairs]
 
 
 # -- content-hash schedule-plan memo -------------------------------------

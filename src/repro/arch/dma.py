@@ -132,7 +132,21 @@ class DmaChannel:
         one contiguous block, so only the block's start and finish
         matter for the timeline.  Used by the simulator's fast path when
         the per-transfer trace is off; the statistics stay exact.
+
+        The fast path enforces the same accounting guards as the traced
+        path: negative sizes, durations, counts, or start times are
+        rejected rather than silently corrupting the statistics.
         """
+        if words < 0:
+            raise SimulationError(f"negative transfer size {words}")
+        if earliest_start < 0:
+            raise SimulationError(
+                f"negative earliest_start {earliest_start}"
+            )
+        if duration < 0:
+            raise SimulationError(f"negative block duration {duration}")
+        if count < 0:
+            raise SimulationError(f"negative transfer count {count}")
         if count == 0 or words == 0:
             start = max(self.busy_until, earliest_start)
             return (start, start)

@@ -13,6 +13,9 @@ Commands:
 * ``corpus`` — robustness study over seeded random workloads;
 * ``bench``   — time each pipeline stage and the scalability configs,
   writing/checking ``BENCH_pipeline.json``;
+* ``trace <exp>`` — export one experiment's simulated timeline (and the
+  scheduler's decision trace) as Chrome ``trace_event`` JSON for
+  Perfetto / ``chrome://tracing``, raw JSON, or text;
 * ``tinyrisc <exp>`` — emit the TinyRISC control-program listing;
 * ``lint <exp>`` — run the static-analysis lint passes over an
   experiment's full pipeline (exit 1 when errors are found);
@@ -33,6 +36,19 @@ from repro.alloc.allocator import FrameBufferAllocator
 from repro.workloads.spec import ExperimentSpec, paper_experiments
 
 __all__ = ["main"]
+
+
+def _jobs_count(text: str) -> int:
+    """argparse type for ``--jobs``: a non-negative worker count."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid jobs count {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"jobs must be >= 0 (0 = one worker per CPU), got {value}"
+        )
+    return value
 
 
 def _find_spec(experiment_id: str) -> ExperimentSpec:
@@ -76,8 +92,18 @@ def _cmd_figure6(_args) -> None:
 
 
 def _cmd_run(args) -> None:
+    from repro.obs.metrics import get_registry, set_metrics_active
+
+    profile = getattr(args, "profile", False)
+    if profile:
+        get_registry().reset()
+        set_metrics_active(True)
     spec = _find_spec(args.experiment)
-    row = compare_experiment(spec)
+    try:
+        row = compare_experiment(spec)
+    finally:
+        if profile:
+            set_metrics_active(False)
     print(f"experiment {spec.id} on {row.architecture}")
     for outcome in (row.basic, row.ds, row.cds):
         if not outcome.feasible:
@@ -93,6 +119,76 @@ def _cmd_run(args) -> None:
           if row.ds_improvement_pct is not None else "\nDS  improvement: n/a")
     print(f"CDS improvement: {row.cds_improvement_pct:.1f}%"
           if row.cds_improvement_pct is not None else "CDS improvement: n/a")
+    if profile:
+        print("\npipeline profile (metrics registry):")
+        print(get_registry().render())
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.arch.machine import MorphoSysM1
+    from repro.arch.params import Architecture
+    from repro.codegen.generator import generate_program
+    from repro.obs import (
+        chrome_trace,
+        render_text_timeline,
+        report_to_dict,
+        validate_chrome_trace,
+    )
+    from repro.schedule.base import ScheduleOptions
+    from repro.schedule.basic import BasicScheduler
+    from repro.schedule.complete import CompleteDataScheduler
+    from repro.schedule.data_scheduler import DataScheduler
+    from repro.sim.engine import Simulator
+
+    schedulers = {
+        "basic": BasicScheduler,
+        "ds": DataScheduler,
+        "cds": CompleteDataScheduler,
+    }
+    spec = _find_spec(args.experiment)
+    application, clustering = spec.build()
+    architecture = Architecture.m1(spec.fb)
+    options = ScheduleOptions(decision_trace=True)
+    schedule = schedulers[args.scheduler](architecture, options).schedule(
+        application, clustering
+    )
+    # Extend the scheduler's decision trace with the Figure-4
+    # placement/rollback events of both FB sets.
+    FrameBufferAllocator(schedule, decisions=schedule.decisions).allocate()
+    program = generate_program(schedule)
+    report = Simulator(MorphoSysM1(architecture), trace=True).run(program)
+
+    if args.format == "chrome":
+        payload = chrome_trace(report, decisions=schedule.decisions)
+        validate_chrome_trace(payload)
+        text = json.dumps(payload, indent=1)
+    elif args.format == "json":
+        payload = {
+            "report": report_to_dict(report),
+            "decisions": schedule.decisions.to_dicts(),
+        }
+        text = json.dumps(payload, indent=1)
+    else:
+        lines = [
+            f"{spec.id} ({args.scheduler}): {report.total_cycles} cycles, "
+            f"{len(schedule.decisions)} recorded decisions",
+            render_text_timeline(report),
+        ]
+        if args.decisions:
+            lines.append("")
+            lines.append("decision trace:")
+            lines.append(schedule.decisions.render())
+        text = "\n".join(lines)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    return 0
 
 
 def _cmd_ablation(args) -> None:
@@ -280,10 +376,30 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment")
     run.add_argument("--gantt", action="store_true",
                      help="print per-scheduler Gantt charts")
+    run.add_argument("--profile", action="store_true",
+                     help="collect and print per-stage pipeline metrics")
     run.set_defaults(func=_cmd_run)
+    trace = sub.add_parser(
+        "trace",
+        help="export a simulated timeline (Chrome trace_event / "
+             "JSON / text)",
+    )
+    trace.add_argument("experiment")
+    trace.add_argument("--scheduler", choices=("basic", "ds", "cds"),
+                       default="cds", help="scheduler to trace")
+    trace.add_argument("--format", choices=("chrome", "json", "text"),
+                       default="chrome",
+                       help="chrome: trace_event JSON for Perfetto / "
+                            "chrome://tracing (default)")
+    trace.add_argument("--output", metavar="PATH", default=None,
+                       help="write to a file instead of stdout")
+    trace.add_argument("--decisions", action="store_true",
+                       help="include the full decision log in text "
+                            "output")
+    trace.set_defaults(func=_cmd_trace)
     ablation = sub.add_parser("ablation", help="design-choice ablations")
     ablation.add_argument("experiment")
-    ablation.add_argument("--jobs", type=int, default=None,
+    ablation.add_argument("--jobs", type=_jobs_count, default=None,
                           help="worker processes (0 = one per CPU; "
                                "default serial)")
     ablation.set_defaults(func=_cmd_ablation)
@@ -292,7 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
     alloc.set_defaults(func=_cmd_alloc)
     sweep = sub.add_parser("sweep", help="frame-buffer size sweep")
     sweep.add_argument("experiment")
-    sweep.add_argument("--jobs", type=int, default=None,
+    sweep.add_argument("--jobs", type=_jobs_count, default=None,
                        help="worker processes (0 = one per CPU; "
                             "default serial)")
     sweep.set_defaults(func=_cmd_sweep)
@@ -305,7 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="frame-buffer set size (default 4K)")
     corpus.add_argument("--iterations", type=int, default=6,
                         help="iterations per workload (default 6)")
-    corpus.add_argument("--jobs", type=int, default=None,
+    corpus.add_argument("--jobs", type=_jobs_count, default=None,
                         help="worker processes (0 = one per CPU; "
                              "default serial)")
     corpus.set_defaults(func=_cmd_corpus)

@@ -1,0 +1,52 @@
+"""Observability: decision traces, timeline export, metrics.
+
+The schedulers are compile-time optimisers — their value is only
+legible through what they *decided* (TF ranking, keep accept/reject,
+RF search) and what the simulated machine then *did* (DMA timeline,
+stalls).  This package makes both first-class:
+
+* :mod:`repro.obs.events` — a structured decision trace recorded by the
+  schedulers and the frame-buffer allocator, attached to
+  :class:`~repro.schedule.plan.Schedule` and queryable
+  (``schedule.decisions.why("obj_name")``);
+* :mod:`repro.obs.trace` — exports a
+  :class:`~repro.sim.report.SimulationReport` as Chrome ``trace_event``
+  JSON (``repro trace --format chrome``) so runs open in Perfetto or
+  ``chrome://tracing``;
+* :mod:`repro.obs.metrics` — a lightweight counters/timers registry
+  with labelled scopes and a ``time_stage()`` context manager, wired
+  through the pipeline stages and the parallel analysis drivers.
+
+Every hook is default-off or O(1): with observability disabled,
+schedules, allocations, and simulation reports are byte-identical to
+the uninstrumented pipeline.
+"""
+
+from repro.obs.events import Decision, DecisionTrace
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    metrics_active,
+    set_metrics_active,
+    time_stage,
+)
+from repro.obs.trace import (
+    chrome_trace,
+    render_text_timeline,
+    report_to_dict,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Decision",
+    "DecisionTrace",
+    "MetricsRegistry",
+    "get_registry",
+    "metrics_active",
+    "set_metrics_active",
+    "time_stage",
+    "chrome_trace",
+    "render_text_timeline",
+    "report_to_dict",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,191 @@
+"""Lightweight metrics registry: labelled counters and stage timers.
+
+The pipeline stages (:func:`repro.analysis.compare.run_scheduler`), the
+parallel analysis drivers (:func:`repro.analysis.parallel.parallel_map`,
+with per-worker rollup), and the CLI entry points (``repro bench``,
+``repro run --profile``) report into one process-global
+:class:`MetricsRegistry`.
+
+Collection is **off by default**: the module-level :func:`time_stage`
+and :func:`inc` are O(1) no-ops until :func:`set_metrics_active` turns
+the registry on, so instrumented hot paths pay one flag check.  Worker
+processes each collect into their own registry; snapshots travel back
+through :func:`MetricsRegistry.snapshot` / :meth:`MetricsRegistry.merge`
+(plain dicts, picklable).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Iterator, Optional
+from contextlib import contextmanager
+
+__all__ = [
+    "MetricsRegistry",
+    "get_registry",
+    "metrics_active",
+    "set_metrics_active",
+    "time_stage",
+    "inc",
+]
+
+
+def _key(name: str, scope: Optional[str]) -> str:
+    return f"{scope}/{name}" if scope else name
+
+
+class MetricsRegistry:
+    """Counters and timers keyed by ``scope/name`` labels."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = {}
+        self._timers: Dict[str, Dict[str, float]] = {}
+
+    # -- recording ------------------------------------------------------
+
+    def inc(self, name: str, value: int = 1, *,
+            scope: Optional[str] = None) -> None:
+        """Add *value* to a counter."""
+        key = _key(name, scope)
+        self._counters[key] = self._counters.get(key, 0) + value
+
+    def observe(self, name: str, seconds: float, *,
+                scope: Optional[str] = None) -> None:
+        """Record one timed sample of a stage."""
+        key = _key(name, scope)
+        timer = self._timers.get(key)
+        if timer is None:
+            timer = {"total_s": 0.0, "count": 0, "max_s": 0.0}
+            self._timers[key] = timer
+        timer["total_s"] += seconds
+        timer["count"] += 1
+        if seconds > timer["max_s"]:
+            timer["max_s"] = seconds
+
+    @contextmanager
+    def time_stage(self, name: str, *,
+                   scope: Optional[str] = None) -> Iterator[None]:
+        """Time a ``with`` block as one sample of stage *name*."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start, scope=scope)
+
+    # -- aggregation ----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable copy of everything recorded so far."""
+        return {
+            "counters": dict(self._counters),
+            "timers": {key: dict(value) for key, value in self._timers.items()},
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Used for the per-worker rollup: each
+        :func:`~repro.analysis.parallel.parallel_map` worker returns its
+        snapshot and the driver merges them into the parent registry.
+        """
+        for key, value in snapshot.get("counters", {}).items():
+            self._counters[key] = self._counters.get(key, 0) + value
+        for key, sample in snapshot.get("timers", {}).items():
+            timer = self._timers.get(key)
+            if timer is None:
+                self._timers[key] = dict(sample)
+                continue
+            timer["total_s"] += sample["total_s"]
+            timer["count"] += sample["count"]
+            if sample["max_s"] > timer["max_s"]:
+                timer["max_s"] = sample["max_s"]
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._timers.clear()
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def counters(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    @property
+    def timers(self) -> Dict[str, Dict[str, float]]:
+        return {key: dict(value) for key, value in self._timers.items()}
+
+    def render(self) -> str:
+        """Human-readable rollup (``repro run --profile`` output)."""
+        if not self._counters and not self._timers:
+            return "(no metrics recorded)"
+        lines = []
+        if self._timers:
+            lines.append("timers (total / calls / max):")
+            for key in sorted(self._timers):
+                timer = self._timers[key]
+                lines.append(
+                    f"  {key:<32} {timer['total_s'] * 1000.0:10.3f} ms"
+                    f" / {timer['count']:>5}"
+                    f" / {timer['max_s'] * 1000.0:8.3f} ms"
+                )
+        if self._counters:
+            lines.append("counters:")
+            for key in sorted(self._counters):
+                lines.append(f"  {key:<32} {self._counters[key]}")
+        return "\n".join(lines)
+
+
+# -- process-global registry ---------------------------------------------
+
+_REGISTRY = MetricsRegistry()
+_ACTIVE = False
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry (collects only while active)."""
+    return _REGISTRY
+
+
+def metrics_active() -> bool:
+    """True while the global registry is collecting."""
+    return _ACTIVE
+
+
+def set_metrics_active(active: bool) -> bool:
+    """Turn global collection on or off; returns the previous state."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = bool(active)
+    return previous
+
+
+class _NullTimer:
+    """Reusable no-op context manager (the disabled fast path)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+_NULL_TIMER = _NullTimer()
+
+
+def time_stage(name: str, *, scope: Optional[str] = None):
+    """Time a ``with`` block into the global registry.
+
+    A shared no-op context manager is returned while collection is off,
+    so instrumentation points cost one flag check and no allocation.
+    """
+    if not _ACTIVE:
+        return _NULL_TIMER
+    return _REGISTRY.time_stage(name, scope=scope)
+
+
+def inc(name: str, value: int = 1, *, scope: Optional[str] = None) -> None:
+    """Bump a global counter (no-op while collection is off)."""
+    if _ACTIVE:
+        _REGISTRY.inc(name, value, scope=scope)

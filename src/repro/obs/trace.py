@@ -1,0 +1,234 @@
+"""Timeline export: SimulationReport -> Chrome ``trace_event`` JSON.
+
+:func:`chrome_trace` turns a traced simulation run (per-visit compute
+windows plus the per-transfer DMA trace) into the Chrome/Perfetto
+``trace_event`` format, so ``repro trace --format chrome`` output opens
+directly in ``chrome://tracing`` or https://ui.perfetto.dev.
+
+Mapping (documented in ``docs/observability.md``):
+
+* one process (``pid`` 0) named after the run;
+* thread 0 — "RC array": a complete event (``ph: "X"``) per visit,
+  spanning ``compute_start .. compute_end``;
+* thread 1 — "DMA channel": a complete event per transfer, category
+  ``data_load`` / ``data_store`` / ``context_load``;
+* thread 2 — "scheduler decisions" (only when a decision trace is
+  supplied): one instant event (``ph: "i"``) per decision, ordered by
+  sequence number.
+
+One machine cycle is exported as one microsecond (``ts``/``dur`` are
+µs in the trace_event spec); the scale is recorded in ``otherData``.
+
+:func:`validate_chrome_trace` checks a payload against this schema —
+the CLI validates every export before writing it, and the tests use it
+as the conformance oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.sim.report import SimulationReport
+
+__all__ = [
+    "chrome_trace",
+    "validate_chrome_trace",
+    "report_to_dict",
+    "render_text_timeline",
+]
+
+#: pid/tid layout of the exported trace.
+TRACE_PID = 0
+TID_COMPUTE = 0
+TID_DMA = 1
+TID_DECISIONS = 2
+
+_PHASES_WITH_DURATION = ("X",)
+
+
+def _meta(name: str, tid: Optional[int], value: str) -> Dict[str, Any]:
+    event: Dict[str, Any] = {
+        "ph": "M",
+        "pid": TRACE_PID,
+        "name": name,
+        "args": {"name": value},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def chrome_trace(
+    report: SimulationReport,
+    *,
+    decisions=None,
+) -> Dict[str, Any]:
+    """Export *report* (and optionally a decision trace) as a Chrome
+    ``trace_event`` payload (JSON-ready dict).
+
+    Args:
+        report: a simulation report.  The DMA thread is populated from
+            ``report.transfers`` — run the simulator with ``trace=True``
+            for a complete timeline (with tracing off the DMA thread is
+            empty, which the payload flags in ``otherData``).
+        decisions: optional
+            :class:`~repro.obs.events.DecisionTrace`; rendered as
+            instant events on their own thread.
+    """
+    events: List[Dict[str, Any]] = [
+        _meta(
+            "process_name", None,
+            f"repro {report.scheduler} on {report.application}",
+        ),
+        _meta("thread_name", TID_COMPUTE, "RC array"),
+        _meta("thread_name", TID_DMA, "DMA channel"),
+    ]
+    for timing in report.visits:
+        events.append({
+            "ph": "X",
+            "pid": TRACE_PID,
+            "tid": TID_COMPUTE,
+            "name": f"visit {timing.index} Cl{timing.cluster_index + 1}",
+            "cat": "compute",
+            "ts": timing.compute_start,
+            "dur": timing.compute_cycles,
+            "args": {
+                "round": timing.round_index,
+                "cluster": timing.cluster_index,
+                "fb_set": timing.fb_set,
+                "prep_finish": timing.prep_finish,
+            },
+        })
+    for transfer in report.transfers:
+        events.append({
+            "ph": "X",
+            "pid": TRACE_PID,
+            "tid": TID_DMA,
+            "name": transfer.label or transfer.kind.value,
+            "cat": transfer.kind.value,
+            "ts": transfer.start,
+            "dur": transfer.cycles,
+            "args": {"words": transfer.words},
+        })
+    if decisions is not None and len(decisions):
+        events.append(_meta("thread_name", TID_DECISIONS,
+                            "scheduler decisions"))
+        for decision in decisions:
+            events.append({
+                "ph": "i",
+                "pid": TRACE_PID,
+                "tid": TID_DECISIONS,
+                "name": f"{decision.kind} {decision.subject}".strip(),
+                "cat": decision.kind.split(".", 1)[0],
+                "ts": decision.seq,
+                "s": "t",
+                "args": dict(decision.detail),
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "scheduler": report.scheduler,
+            "application": report.application,
+            "total_cycles": report.total_cycles,
+            "cycles_per_us": 1,
+            "dma_trace_recorded": bool(report.transfers),
+        },
+    }
+
+
+def validate_chrome_trace(payload: Any) -> None:
+    """Raise ``ValueError`` unless *payload* conforms to the exporter's
+    documented trace_event schema."""
+
+    def fail(message: str) -> None:
+        raise ValueError(f"invalid chrome trace: {message}")
+
+    if not isinstance(payload, dict):
+        fail("payload is not an object")
+    events = payload.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail("traceEvents must be a non-empty array")
+    for position, event in enumerate(events):
+        where = f"traceEvents[{position}]"
+        if not isinstance(event, dict):
+            fail(f"{where} is not an object")
+        phase = event.get("ph")
+        if phase not in ("M", "X", "i"):
+            fail(f"{where}: unsupported phase {phase!r}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            fail(f"{where}: missing event name")
+        if not isinstance(event.get("pid"), int):
+            fail(f"{where}: pid must be an integer")
+        if phase == "M":
+            args = event.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                fail(f"{where}: metadata event without args.name")
+            continue
+        if not isinstance(event.get("tid"), int):
+            fail(f"{where}: tid must be an integer")
+        timestamp = event.get("ts")
+        if not isinstance(timestamp, int) or timestamp < 0:
+            fail(f"{where}: ts must be a non-negative integer")
+        if phase in _PHASES_WITH_DURATION:
+            duration = event.get("dur")
+            if not isinstance(duration, int) or duration < 0:
+                fail(f"{where}: dur must be a non-negative integer")
+        if phase == "i" and event.get("s") not in ("t", "p", "g"):
+            fail(f"{where}: instant event scope must be t/p/g")
+
+
+def report_to_dict(report: SimulationReport) -> Dict[str, Any]:
+    """JSON-ready dump of a report (``repro trace --format json``)."""
+    return {
+        "scheduler": report.scheduler,
+        "application": report.application,
+        "total_cycles": report.total_cycles,
+        "compute_cycles": report.compute_cycles,
+        "rc_stall_cycles": report.rc_stall_cycles,
+        "dma_busy_cycles": report.dma_busy_cycles,
+        "data_load_words": report.data_load_words,
+        "data_store_words": report.data_store_words,
+        "context_words": report.context_words,
+        "data_load_count": report.data_load_count,
+        "data_store_count": report.data_store_count,
+        "context_load_count": report.context_load_count,
+        "functional_verified": report.functional_verified,
+        "visits": [
+            {
+                "index": timing.index,
+                "round": timing.round_index,
+                "cluster": timing.cluster_index,
+                "fb_set": timing.fb_set,
+                "prep_finish": timing.prep_finish,
+                "compute_start": timing.compute_start,
+                "compute_end": timing.compute_end,
+            }
+            for timing in report.visits
+        ],
+        "transfers": [
+            {
+                "kind": transfer.kind.value,
+                "label": transfer.label,
+                "words": transfer.words,
+                "start": transfer.start,
+                "finish": transfer.finish,
+            }
+            for transfer in report.transfers
+        ],
+    }
+
+
+def render_text_timeline(report: SimulationReport, *, width: int = 72) -> str:
+    """Gantt chart plus a per-transfer table (``--format text``)."""
+    lines = [report.gantt(width=width)]
+    if report.transfers:
+        lines.append("")
+        lines.append(f"{'kind':<14} {'start':>8} {'finish':>8} "
+                     f"{'words':>7}  label")
+        for transfer in report.transfers:
+            lines.append(
+                f"{transfer.kind.value:<14} {transfer.start:>8} "
+                f"{transfer.finish:>8} {transfer.words:>7}  {transfer.label}"
+            )
+    return "\n".join(lines)

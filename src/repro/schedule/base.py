@@ -65,6 +65,13 @@ class ScheduleOptions:
             error-severity diagnostic is found.  A self-check: the
             scheduler refuses to hand out a schedule its own static
             analysis rejects.
+        decision_trace: record a structured
+            :class:`~repro.obs.events.DecisionTrace` of every TF
+            ranking, keep accept/reject (with the occupancy numbers
+            behind it), and RF search step, attached to the returned
+            schedule as ``schedule.decisions``.  Off by default; the
+            trace never changes a decision, so traced and untraced
+            schedules of one problem are identical.
     """
 
     rf_cap: int = 0
@@ -73,6 +80,7 @@ class ScheduleOptions:
     cross_set_retention: bool = False
     strict_lint: bool = False
     occupancy_engine: str = "incremental"
+    decision_trace: bool = False
 
     def __post_init__(self) -> None:
         if self.rf_cap < 0:
@@ -100,6 +108,9 @@ class DataSchedulerBase(abc.ABC):
         #: Per-call incremental occupancy engine (None in naive mode or
         #: outside :meth:`schedule`).
         self._engine: Optional[OccupancyEngine] = None
+        #: Per-call decision recorder (None unless
+        #: ``options.decision_trace`` and inside :meth:`schedule`).
+        self._decisions = None
 
     # -- public API ---------------------------------------------------------
 
@@ -139,19 +150,48 @@ class DataSchedulerBase(abc.ABC):
                 "clustering"
             )
         self._check_static_capacities(dataflow)
+        if self.options.decision_trace:
+            from repro.obs.events import DecisionTrace
+
+            self._decisions = DecisionTrace()
+        else:
+            self._decisions = None
         if self.options.occupancy_engine == "incremental":
             self._engine = OccupancyEngine(
                 dataflow, self.architecture.fb_set_words
             )
+            self._engine.recorder = self._decisions
         else:
             self._engine = None
         try:
             schedule = self._schedule(dataflow)
+            if self._decisions is not None:
+                # Schedule is frozen; the trace is metadata attached
+                # after construction (compare=False, so equality with
+                # untraced schedules is unaffected).
+                object.__setattr__(schedule, "decisions", self._decisions)
         finally:
             self._engine = None
+            self._decisions = None
         if self.options.strict_lint:
             self._self_lint(schedule)
         return schedule
+
+    def _record(self, kind: str, subject: str = "", **detail) -> None:
+        """Record one decision when tracing is on (one check when off)."""
+        if self._decisions is not None:
+            self._decisions.record(kind, subject, **detail)
+
+    def _rf_probe_hook(self):
+        """Probe callback for the naive RF search, or None when off."""
+        if self._decisions is None:
+            return None
+        recorder = self._decisions
+
+        def probe(rf: int, ok: bool) -> None:
+            recorder.record("rf.probe", rf=rf, fits=ok)
+
+        return probe
 
     def _self_lint(self, schedule: Schedule) -> None:
         """Run the schedule-layer lint passes; raise on any error."""

@@ -74,7 +74,12 @@ class CompleteDataScheduler(DataSchedulerBase):
                 keeps=(),
                 max_rf=self.options.rf_cap,
                 occupancy_fn=cluster_data_size_naive,
+                probe=self._rf_probe_hook(),
             )
+        self._record(
+            "rf.result", rf=rf, rf_cap=self.options.rf_cap,
+            total_iterations=dataflow.application.total_iterations,
+        )
         if rf == 0:
             raise InfeasibleScheduleError(
                 f"{self.name}: some cluster exceeds one frame-buffer set "
@@ -99,11 +104,27 @@ class CompleteDataScheduler(DataSchedulerBase):
         if not candidates:
             return []
         policy = self.options.keep_policy
+        tds = total_data_size(dataflow)
         if policy == "tf":
-            return rank_by_time_factor(candidates, total_data_size(dataflow))
-        if policy == "size":
-            return sorted(candidates, key=lambda c: (-c.size, c.name))
-        return list(candidates)  # "fifo": discovery order
+            ranked = rank_by_time_factor(candidates, tds)
+        elif policy == "size":
+            ranked = sorted(candidates, key=lambda c: (-c.size, c.name))
+        else:
+            ranked = list(candidates)  # "fifo": discovery order
+        if self._decisions is not None:
+            for rank, candidate in enumerate(ranked):
+                self._record(
+                    "tf.rank",
+                    candidate.name,
+                    rank=rank,
+                    keep=candidate.label,
+                    policy=policy,
+                    tf=candidate.words_avoided / tds,
+                    words_avoided=candidate.words_avoided,
+                    size=candidate.size,
+                    fb_set=candidate.fb_set,
+                )
+        return ranked
 
     def _choose_keeps(
         self, dataflow: DataflowInfo, rf: int
@@ -126,7 +147,30 @@ class CompleteDataScheduler(DataSchedulerBase):
         accepted: List[KeepDecision] = []
         for candidate in self._ranked_candidates(dataflow):
             trial = accepted + [candidate]
-            if self._fits_set(dataflow, candidate.fb_set, rf, trial, fbs):
+            fits = self._fits_set(dataflow, candidate.fb_set, rf, trial, fbs)
+            if self._decisions is not None:
+                occupancies = {
+                    cluster.index: cluster_data_size_naive(
+                        dataflow, cluster.index, rf, trial
+                    )
+                    for cluster in dataflow.clustering.on_set(candidate.fb_set)
+                }
+                self._record(
+                    "keep.accept" if fits else "keep.reject",
+                    candidate.name,
+                    keep=candidate.label,
+                    fb_set=candidate.fb_set,
+                    rf=rf,
+                    size=candidate.size,
+                    words_avoided=candidate.words_avoided,
+                    occupancies=occupancies,
+                    fb_set_words=fbs,
+                    reason=(
+                        "fits every cluster of the set" if fits
+                        else "DS(C_c) > FBS with this keep"
+                    ),
+                )
+            if fits:
                 accepted.append(candidate)
         return tuple(accepted)
 
@@ -166,7 +210,13 @@ class CompleteDataScheduler(DataSchedulerBase):
                 dataflow, rf=rf, keeps=keeps, contexts_per_iteration=False
             )
             cycles = estimate_execution_cycles(schedule, self.architecture)
+            self._record(
+                "rf.joint", rf=rf, estimated_cycles=cycles,
+                n_keeps=len(keeps),
+            )
             if best_cycles is None or cycles < best_cycles:
                 best_cycles = cycles
                 best = (rf, keeps)
+        self._record("rf.result", rf=best[0], rf_cap=self.options.rf_cap,
+                     policy="joint")
         return best

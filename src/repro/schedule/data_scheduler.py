@@ -43,7 +43,12 @@ class DataScheduler(DataSchedulerBase):
                 keeps=(),
                 max_rf=self.options.rf_cap,
                 occupancy_fn=cluster_data_size_naive,
+                probe=self._rf_probe_hook(),
             )
+        self._record(
+            "rf.result", rf=rf, rf_cap=self.options.rf_cap,
+            total_iterations=dataflow.application.total_iterations,
+        )
         if rf == 0:
             raise InfeasibleScheduleError(
                 f"{self.name}: some cluster exceeds one frame-buffer set "

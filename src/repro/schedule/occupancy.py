@@ -52,6 +52,11 @@ class OccupancyEngine:
     def __init__(self, dataflow: DataflowInfo, fb_set_words: int):
         self.dataflow = dataflow
         self.fb_set_words = fb_set_words
+        #: Optional :class:`~repro.obs.events.DecisionTrace`; when set,
+        #: RF probes and keep accept/reject verdicts (with the
+        #: occupancy numbers behind them) are recorded.  Never changes
+        #: a decision.
+        self.recorder = None
         self._clusters = list(dataflow.clustering)
         self._sweep_memo: Dict[Tuple[int, int, FrozenSet[str]], int] = {}
         # Keep-selection session state (begin_keep_selection resets it).
@@ -98,25 +103,31 @@ class OccupancyEngine:
         """Highest common reuse factor — the same gallop + bisection as
         :func:`repro.schedule.rf.max_common_rf`, with every cluster
         sweep served from the memo."""
+        def check(rf: int) -> bool:
+            ok = self.fits(rf, keeps)
+            if self.recorder is not None:
+                self.recorder.record("rf.probe", rf=rf, fits=ok)
+            return ok
+
         cap = (
             max_rf if max_rf > 0
             else self.dataflow.application.total_iterations
         )
-        if cap < 1 or not self.fits(1, keeps):
+        if cap < 1 or not check(1):
             return 0
         low = 1
         high = 1
-        while high < cap and self.fits(min(high * 2, cap), keeps):
+        while high < cap and check(min(high * 2, cap)):
             high = min(high * 2, cap)
             low = high
         if high >= cap:
             return cap
         high = min(high * 2, cap)
-        if self.fits(high, keeps):
+        if check(high):
             return high
         while high - low > 1:
             mid = (low + high) // 2
-            if self.fits(mid, keeps):
+            if check(mid):
                 low = mid
             else:
                 high = mid
@@ -176,9 +187,23 @@ class OccupancyEngine:
         affected = {index for index, _, _, _ in trial}
         # Untouched clusters keep their occupancy: the set fits iff none
         # of them is currently unfit and every affected cluster fits.
-        if self._unfit.get(fb_set, set()) - affected:
+        blocking = sorted(self._unfit.get(fb_set, set()) - affected)
+        if blocking:
+            self._record_keep(
+                "keep.reject", candidate, rf,
+                {index: self._occupancy[index] for index in blocking},
+                reason="set already unfit without this keep",
+            )
             return False
-        if any(occ > self.fb_set_words for _, _, _, occ in trial):
+        overflow = {
+            index: occ for index, _, _, occ in trial
+            if occ > self.fb_set_words
+        }
+        if overflow:
+            self._record_keep(
+                "keep.reject", candidate, rf, overflow,
+                reason="DS(C_c) > FBS with this keep",
+            )
             return False
 
         for index, resident, local, occ in trial:
@@ -206,4 +231,26 @@ class OccupancyEngine:
             else:
                 unfit.discard(index)
         self._accepted.append(candidate)
+        self._record_keep(
+            "keep.accept", candidate, rf,
+            {index: occ for index, _, _, occ in trial},
+            reason="fits every cluster of the set",
+        )
         return True
+
+    def _record_keep(self, kind: str, candidate: KeepDecision, rf: int,
+                     occupancies: Dict[int, int], *, reason: str) -> None:
+        if self.recorder is None:
+            return
+        self.recorder.record(
+            kind,
+            candidate.name,
+            keep=candidate.label,
+            fb_set=candidate.fb_set,
+            rf=rf,
+            size=candidate.size,
+            words_avoided=candidate.words_avoided,
+            occupancies=occupancies,
+            fb_set_words=self.fb_set_words,
+            reason=reason,
+        )

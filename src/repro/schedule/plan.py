@@ -11,7 +11,7 @@ derives the traffic numbers reported in the paper's Table 1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.application import Application
 from repro.core.cluster import Clustering
@@ -19,6 +19,9 @@ from repro.core.dataflow import DataflowInfo
 from repro.core.metrics import KeepDecision
 from repro.errors import ReproError
 from repro.units import ceil_div, format_size
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.events import DecisionTrace
 
 __all__ = ["ClusterPlan", "Schedule", "TransferSummary"]
 
@@ -96,6 +99,12 @@ class Schedule:
             transfers serialise with computation — which is why the
             paper's DS column shows gains even at ``RF = 1`` for some
             kernel schedules and exactly 0% for single-kernel clusters.
+        decisions: the scheduler's decision trace
+            (:class:`~repro.obs.events.DecisionTrace`) when the
+            schedule was built with
+            ``ScheduleOptions(decision_trace=True)``; ``None``
+            otherwise.  Excluded from equality/repr so traced and
+            untraced schedules of one problem compare equal.
     """
 
     scheduler: str
@@ -109,6 +118,9 @@ class Schedule:
     fb_set_words: int
     context_block_words: int = 0
     overlap_transfers: bool = True
+    decisions: Optional["DecisionTrace"] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.rf < 1:

@@ -17,7 +17,7 @@ adds instances), so a galloping + binary search is used.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.core.dataflow import DataflowInfo
 from repro.core.metrics import KeepDecision, cluster_data_size
@@ -53,6 +53,7 @@ def max_common_rf(
     keeps: Sequence[KeepDecision] = (),
     max_rf: int = 0,
     occupancy_fn: OccupancyFn = cluster_data_size,
+    probe: Optional[Callable[[int, bool], None]] = None,
 ) -> int:
     """Highest common reuse factor fitting every cluster in ``fb_set_words``.
 
@@ -64,32 +65,41 @@ def max_common_rf(
         max_rf: optional cap; defaults to the application's
             ``total_iterations`` (fissioning deeper than the iteration
             count is pointless).
+        probe: optional observer called as ``probe(rf, fits)`` after
+            every feasibility check (the decision trace's ``rf.probe``
+            events); never changes the search.
 
     Returns:
         The largest feasible ``RF >= 1``, or ``0`` if even ``RF = 1``
         does not fit (the schedule is infeasible at this capacity).
     """
+
+    def check(rf: int) -> bool:
+        ok = fits(dataflow, rf, fb_set_words, keeps, occupancy_fn)
+        if probe is not None:
+            probe(rf, ok)
+        return ok
+
     cap = max_rf if max_rf > 0 else dataflow.application.total_iterations
-    if cap < 1 or not fits(dataflow, 1, fb_set_words, keeps, occupancy_fn):
+    if cap < 1 or not check(1):
         return 0
     # Gallop to an infeasible upper bound.
     low = 1
     high = 1
-    while high < cap and fits(
-        dataflow, min(high * 2, cap), fb_set_words, keeps, occupancy_fn
-    ):
+    while high < cap and check(min(high * 2, cap)):
         high = min(high * 2, cap)
         low = high
     if high >= cap:
         return cap
     high = min(high * 2, cap)
     # Invariant: fits(low), not fits(high) unless high == cap handled above.
-    if fits(dataflow, high, fb_set_words, keeps, occupancy_fn):
+    if check(high):
         return high
     while high - low > 1:
         mid = (low + high) // 2
-        if fits(dataflow, mid, fb_set_words, keeps, occupancy_fn):
+        if check(mid):
             low = mid
         else:
             high = mid
     return low
+

@@ -75,7 +75,6 @@ class Simulator:
         self.context_scheduler = ContextScheduler(dma_policy)
         self.verify = verify
         self.trace = trace
-        machine.dma.record_trace = trace
 
     # -- public API --------------------------------------------------------
 
@@ -120,7 +119,16 @@ class Simulator:
         else:
             self._populate_accounting(application)
 
-        timings = self._execute(program, functional, impls)
+        # The tracing mode is set only for the duration of this run and
+        # restored afterwards: the DMA channel is shared machine state,
+        # and a constructor side effect would let two simulators over
+        # one machine silently flip each other's tracing.
+        dma_record_trace = self.machine.dma.record_trace
+        self.machine.dma.record_trace = self.trace
+        try:
+            timings = self._execute(program, functional, impls)
+        finally:
+            self.machine.dma.record_trace = dma_record_trace
 
         verified: Optional[bool] = None
         if functional:

@@ -105,12 +105,22 @@ class SimulationReport:
         ]
         for timing in self.visits:
             start = int(timing.compute_start / scale * width)
-            end = max(int(timing.compute_end / scale * width), start + 1)
+            # A window ending at the makespan lands exactly on `width`;
+            # clamp like the DMA row so the right frame edge survives.
+            end = min(
+                max(int(timing.compute_end / scale * width), start + 1),
+                width,
+            )
             bar = " " * start + "#" * (end - start)
             lines.append(
                 f"{timing.index:>6} {('Cl' + str(timing.cluster_index + 1)):>8} "
                 f"{timing.fb_set:>3}  |{bar:<{width}}|"
             )
+        if not self.transfers:
+            # The run recorded no per-transfer trace (trace=False) —
+            # an empty bar would be indistinguishable from an idle DMA.
+            lines.append(f"{'DMA':>19}  (trace disabled)")
+            return "\n".join(lines)
         dma_bar = [" "] * width
         for transfer in self.transfers:
             start = int(transfer.start / scale * width)

@@ -67,3 +67,29 @@ def test_committed_baseline_shape():
     """The embedded pre-overhaul baseline covers every stage key."""
     assert set(PRE_PR_BASELINE["stages"]) == set(STAGES)
     assert set(PRE_PR_BASELINE["scalability"]) == {"cds_large", "corpus"}
+
+
+class TestMetricsSection:
+    def test_render_shows_rollup_when_metrics_present(self):
+        payload = _payload(stages={"cds": 0.001})
+        payload["metrics"] = {
+            "counters": {"driver/parallel.items": 20},
+            "timers": {"pipeline.cds/schedule":
+                       {"total_s": 0.5, "count": 20, "max_s": 0.1}},
+        }
+        text = render_bench(payload)
+        assert "metrics rollup:" in text
+        assert "pipeline.cds/schedule" in text
+        assert "driver/parallel.items" in text
+
+    def test_render_omits_rollup_when_absent_or_empty(self):
+        assert "metrics rollup" not in render_bench(_payload())
+        empty = _payload()
+        empty["metrics"] = {"counters": {}, "timers": {}}
+        assert "metrics rollup" not in render_bench(empty)
+
+    def test_compare_bench_ignores_the_metrics_section(self):
+        baseline = _payload(stages={"cds": 0.010})
+        current = _payload(stages={"cds": 0.010})
+        current["metrics"] = {"counters": {"n": 1}, "timers": {}}
+        assert compare_bench(current, baseline, max_regression_pct=25.0) == []

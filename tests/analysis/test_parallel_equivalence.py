@@ -168,3 +168,76 @@ class TestPlanMemo:
         # Both attempts recompute: the failure was never cached.
         assert (memo.misses, memo.hits) == (2, 0)
         assert not memo._plans
+
+
+class TestJobsValidation:
+    def test_negative_jobs_rejected(self):
+        # Silently treating jobs=-1 as the serial path hid caller bugs;
+        # negative counts are now an explicit error.
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            parallel_map(_square, [1, 2, 3], jobs=-1)
+
+    def test_negative_jobs_rejected_even_for_empty_input(self):
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            parallel_map(_square, [], jobs=-4)
+
+    def test_driver_propagates_the_error(self):
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            run_all_ablations(_experiment("E1"), jobs=-2)
+
+
+class TestMetricsRollup:
+    @pytest.fixture(autouse=True)
+    def _metrics_off_around(self):
+        from repro.obs.metrics import get_registry, set_metrics_active
+
+        previous = set_metrics_active(False)
+        get_registry().reset()
+        yield
+        set_metrics_active(previous)
+        get_registry().reset()
+
+    def test_parallel_workers_roll_up_into_parent_registry(self):
+        from repro.obs.metrics import get_registry, set_metrics_active
+
+        set_metrics_active(True)
+        items = list(range(6))
+        assert parallel_map(_timed_square, items, jobs=2) == \
+            [item * item for item in items]
+        registry = get_registry()
+        assert registry.counters["driver/parallel.items"] == len(items)
+        assert registry.counters["driver/parallel.fanouts"] == 1
+        assert registry.counters["worker/squares"] == len(items)
+        assert registry.timers["worker/square"]["count"] == len(items)
+
+    def test_serial_path_collects_in_process(self):
+        from repro.obs.metrics import get_registry, set_metrics_active
+
+        set_metrics_active(True)
+        parallel_map(_timed_square, [1, 2], jobs=1)
+        registry = get_registry()
+        assert registry.counters["worker/squares"] == 2
+        assert "driver/parallel.fanouts" not in registry.counters
+
+    def test_results_identical_with_metrics_on_or_off(self):
+        from repro.obs.metrics import set_metrics_active
+
+        items = list(range(5))
+        off = parallel_map(_timed_square, items, jobs=2)
+        set_metrics_active(True)
+        on = parallel_map(_timed_square, items, jobs=2)
+        assert on == off
+
+    def test_metrics_off_records_nothing(self):
+        from repro.obs.metrics import get_registry
+
+        parallel_map(_timed_square, [1, 2, 3], jobs=2)
+        assert get_registry().snapshot() == {"counters": {}, "timers": {}}
+
+
+def _timed_square(value):
+    from repro.obs.metrics import inc, time_stage
+
+    with time_stage("square", scope="worker"):
+        inc("squares", scope="worker")
+        return value * value

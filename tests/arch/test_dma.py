@@ -75,3 +75,59 @@ class TestDmaChannel:
         dma.reset()
         assert dma.busy_until == 0
         assert dma.transfers == []
+
+
+class TestRequestBlock:
+    def test_equivalent_to_consecutive_requests(self):
+        traced = _channel()
+        for _ in range(3):
+            traced.request(TransferKind.DATA_LOAD, 10, 0, "x")
+        block = _channel()
+        duration = sum(t.cycles for t in traced.transfers)
+        start, finish = block.request_block(
+            TransferKind.DATA_LOAD, 30, duration, 3, 0
+        )
+        assert (start, finish) == (traced.transfers[0].start,
+                                   traced.transfers[-1].finish)
+        assert block.words_moved(TransferKind.DATA_LOAD) == \
+            traced.words_moved(TransferKind.DATA_LOAD)
+        assert block.count(TransferKind.DATA_LOAD) == \
+            traced.count(TransferKind.DATA_LOAD)
+        assert block.cycles_busy() == traced.cycles_busy()
+        assert block.busy_until == traced.busy_until
+
+    def test_zero_count_or_words_is_free(self):
+        dma = _channel()
+        for words, count in ((0, 3), (30, 0)):
+            start, finish = dma.request_block(
+                TransferKind.DATA_LOAD, words, 60, count, 5
+            )
+            assert start == finish == 5
+        assert dma.cycles_busy() == 0
+
+    def test_negative_words_rejected(self):
+        with pytest.raises(SimulationError, match="negative transfer size"):
+            _channel().request_block(TransferKind.DATA_LOAD, -1, 10, 1, 0)
+
+    def test_negative_earliest_start_rejected(self):
+        with pytest.raises(SimulationError, match="negative earliest_start"):
+            _channel().request_block(TransferKind.DATA_LOAD, 10, 10, 1, -1)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SimulationError, match="negative block duration"):
+            _channel().request_block(TransferKind.DATA_LOAD, 10, -1, 1, 0)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SimulationError, match="negative transfer count"):
+            _channel().request_block(TransferKind.DATA_LOAD, 10, 10, -1, 0)
+
+    def test_validation_matches_request_for_shared_arguments(self):
+        # The fast path and the traced path must agree on what they
+        # reject: same arguments, same verdict.
+        for words, earliest in ((-5, 0), (5, -2)):
+            with pytest.raises(SimulationError):
+                _channel().request(TransferKind.DATA_LOAD, words, earliest)
+            with pytest.raises(SimulationError):
+                _channel().request_block(
+                    TransferKind.DATA_LOAD, words, 10, 1, earliest
+                )

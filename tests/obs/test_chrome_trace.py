@@ -1,0 +1,183 @@
+"""Chrome ``trace_event`` exporter: schema conformance and content."""
+
+import json
+
+import pytest
+
+from repro.arch.machine import MorphoSysM1
+from repro.arch.params import Architecture
+from repro.codegen.generator import generate_program
+from repro.obs.trace import (
+    TID_COMPUTE,
+    TID_DECISIONS,
+    TID_DMA,
+    TRACE_PID,
+    chrome_trace,
+    render_text_timeline,
+    report_to_dict,
+    validate_chrome_trace,
+)
+from repro.schedule.base import ScheduleOptions
+from repro.schedule.complete import CompleteDataScheduler
+from repro.sim.engine import Simulator
+from repro.workloads.spec import paper_experiments
+
+
+def _pipeline(spec_id, *, trace=True, decision_trace=False):
+    spec = next(s for s in paper_experiments() if s.id == spec_id)
+    application, clustering = spec.build()
+    architecture = Architecture.m1(spec.fb)
+    schedule = CompleteDataScheduler(
+        architecture, ScheduleOptions(decision_trace=decision_trace)
+    ).schedule(application, clustering)
+    program = generate_program(schedule)
+    report = Simulator(MorphoSysM1(architecture), trace=trace).run(program)
+    return schedule, report
+
+
+@pytest.fixture(scope="module")
+def atr_traced():
+    return _pipeline("ATR-FI", decision_trace=True)
+
+
+class TestChromeTrace:
+    def test_bundled_experiments_export_valid_payloads(self):
+        for spec in paper_experiments():
+            application, clustering = spec.build()
+            architecture = Architecture.m1(spec.fb)
+            schedule = CompleteDataScheduler(
+                architecture, ScheduleOptions(decision_trace=True)
+            ).schedule(application, clustering)
+            program = generate_program(schedule)
+            report = Simulator(MorphoSysM1(architecture), trace=True).run(
+                program
+            )
+            payload = chrome_trace(report, decisions=schedule.decisions)
+            validate_chrome_trace(payload)
+            json.loads(json.dumps(payload))
+
+    def test_thread_layout_and_event_counts(self, atr_traced):
+        schedule, report = atr_traced
+        payload = chrome_trace(report, decisions=schedule.decisions)
+        events = payload["traceEvents"]
+        thread_names = {
+            event.get("tid"): event["args"]["name"]
+            for event in events
+            if event["ph"] == "M" and event["name"] == "thread_name"
+        }
+        assert thread_names == {
+            TID_COMPUTE: "RC array",
+            TID_DMA: "DMA channel",
+            TID_DECISIONS: "scheduler decisions",
+        }
+        compute = [e for e in events
+                   if e["ph"] == "X" and e["tid"] == TID_COMPUTE]
+        dma = [e for e in events if e["ph"] == "X" and e["tid"] == TID_DMA]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert len(compute) == len(report.visits)
+        assert len(dma) == len(report.transfers)
+        assert len(instants) == len(schedule.decisions)
+        assert all(e["pid"] == TRACE_PID for e in events)
+
+    def test_compute_events_carry_visit_timing(self, atr_traced):
+        _, report = atr_traced
+        payload = chrome_trace(report)
+        compute = [e for e in payload["traceEvents"]
+                   if e["ph"] == "X" and e["tid"] == TID_COMPUTE]
+        for event, timing in zip(compute, report.visits):
+            assert event["ts"] == timing.compute_start
+            assert event["dur"] == timing.compute_cycles
+            assert event["args"]["fb_set"] == timing.fb_set
+
+    def test_dma_events_categorised_by_transfer_kind(self, atr_traced):
+        _, report = atr_traced
+        payload = chrome_trace(report)
+        categories = {
+            e["cat"] for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["tid"] == TID_DMA
+        }
+        assert categories <= {"data_load", "data_store", "context_load"}
+        assert "data_load" in categories and "context_load" in categories
+
+    def test_other_data_summarises_the_run(self, atr_traced):
+        _, report = atr_traced
+        payload = chrome_trace(report)
+        other = payload["otherData"]
+        assert other["scheduler"] == "cds"
+        assert other["total_cycles"] == report.total_cycles
+        assert other["cycles_per_us"] == 1
+        assert other["dma_trace_recorded"] is True
+
+    def test_untraced_run_exports_without_dma_thread_events(self):
+        _, report = _pipeline("E1", trace=False)
+        payload = chrome_trace(report)
+        validate_chrome_trace(payload)
+        dma = [e for e in payload["traceEvents"]
+               if e["ph"] == "X" and e.get("tid") == TID_DMA]
+        assert not dma
+        assert payload["otherData"]["dma_trace_recorded"] is False
+
+
+class TestValidator:
+    def _valid(self):
+        _, report = _pipeline("E1")
+        return chrome_trace(report)
+
+    @pytest.mark.parametrize("mutate, message", [
+        (lambda p: "nope", "not an object"),
+        (lambda p: {**p, "traceEvents": []}, "non-empty array"),
+        (lambda p: _with_event(p, {"ph": "B", "pid": 0, "name": "x"}),
+         "unsupported phase"),
+        (lambda p: _with_event(p, {"ph": "X", "pid": 0, "name": "",
+                                   "tid": 0, "ts": 0, "dur": 1}),
+         "missing event name"),
+        (lambda p: _with_event(p, {"ph": "X", "pid": "0", "name": "x",
+                                   "tid": 0, "ts": 0, "dur": 1}),
+         "pid must be an integer"),
+        (lambda p: _with_event(p, {"ph": "X", "pid": 0, "name": "x",
+                                   "ts": 0, "dur": 1}),
+         "tid must be an integer"),
+        (lambda p: _with_event(p, {"ph": "X", "pid": 0, "name": "x",
+                                   "tid": 0, "ts": -4, "dur": 1}),
+         "ts must be a non-negative integer"),
+        (lambda p: _with_event(p, {"ph": "X", "pid": 0, "name": "x",
+                                   "tid": 0, "ts": 0, "dur": -1}),
+         "dur must be a non-negative integer"),
+        (lambda p: _with_event(p, {"ph": "i", "pid": 0, "name": "x",
+                                   "tid": 0, "ts": 0, "s": "z"}),
+         "scope must be t/p/g"),
+    ])
+    def test_rejects_malformed_payloads(self, mutate, message):
+        payload = mutate(self._valid())
+        with pytest.raises(ValueError, match=message):
+            validate_chrome_trace(payload)
+
+    def test_accepts_its_own_output(self):
+        validate_chrome_trace(self._valid())
+
+
+def _with_event(payload, event):
+    return {**payload, "traceEvents": payload["traceEvents"] + [event]}
+
+
+class TestJsonAndTextExports:
+    def test_report_to_dict_round_trips(self, atr_traced):
+        _, report = atr_traced
+        dumped = json.loads(json.dumps(report_to_dict(report)))
+        assert dumped["total_cycles"] == report.total_cycles
+        assert len(dumped["visits"]) == len(report.visits)
+        assert len(dumped["transfers"]) == len(report.transfers)
+        assert dumped["transfers"][0]["kind"] in (
+            "data_load", "data_store", "context_load"
+        )
+
+    def test_text_timeline_includes_gantt_and_transfer_table(self, atr_traced):
+        _, report = atr_traced
+        text = render_text_timeline(report)
+        assert "timeline" in text
+        assert "kind" in text and "words" in text
+
+    def test_text_timeline_flags_disabled_trace(self):
+        _, report = _pipeline("E1", trace=False)
+        text = render_text_timeline(report)
+        assert "(trace disabled)" in text

@@ -176,3 +176,43 @@ class TestTimingModelEffects:
             if same_set_prev and same_set_prev[-1].index == timing.index - 1:
                 # Consecutive same-set visits: prep waited for the set.
                 assert timing.prep_finish >= same_set_prev[-1].compute_end
+
+
+class TestSharedMachineTraceFlag:
+    """Simulators must not leave their trace setting on a shared machine."""
+
+    def _program(self, app, clustering, fb="2K"):
+        arch = Architecture.m1(fb)
+        schedule = CompleteDataScheduler(arch).schedule(app, clustering)
+        return arch, generate_program(schedule)
+
+    def test_constructing_a_simulator_leaves_the_machine_alone(
+        self, sharing_app, sharing_clustering
+    ):
+        arch, _ = self._program(sharing_app, sharing_clustering)
+        machine = MorphoSysM1(arch)
+        assert machine.dma.record_trace is True
+        Simulator(machine, trace=False)
+        assert machine.dma.record_trace is True
+
+    def test_run_restores_the_machine_trace_flag(
+        self, sharing_app, sharing_clustering
+    ):
+        arch, program = self._program(sharing_app, sharing_clustering)
+        machine = MorphoSysM1(arch)
+        Simulator(machine, trace=False).run(program)
+        assert machine.dma.record_trace is True
+
+    def test_untraced_run_does_not_poison_a_later_traced_simulator(
+        self, sharing_app, sharing_clustering
+    ):
+        # The original bug: an untraced Simulator flipped the shared
+        # machine's flag at construction time, so a traced simulation of
+        # the same machine recorded nothing.
+        arch, program = self._program(sharing_app, sharing_clustering)
+        machine = MorphoSysM1(arch)
+        untraced = Simulator(machine, trace=False)
+        traced = Simulator(machine, trace=True)
+        assert untraced.run(program).transfers == ()
+        report = traced.run(program)
+        assert report.transfers

@@ -1,0 +1,82 @@
+"""Gantt rendering: frame geometry and the trace-disabled marker."""
+
+from repro.arch.dma import DmaTransfer, TransferKind
+from repro.sim.report import SimulationReport, VisitTiming
+
+
+def _report(visits, transfers, total_cycles):
+    return SimulationReport(
+        scheduler="cds", application="demo", total_cycles=total_cycles,
+        compute_cycles=sum(v.compute_cycles for v in visits),
+        rc_stall_cycles=0, dma_busy_cycles=0,
+        data_load_words=0, data_store_words=0, context_words=0,
+        data_load_count=0, data_store_count=0, context_load_count=0,
+        visits=tuple(visits), transfers=tuple(transfers),
+    )
+
+
+def _visit(index, start, end, *, cluster=0):
+    return VisitTiming(
+        index=index, round_index=0, cluster_index=cluster, fb_set=0,
+        prep_finish=start, compute_start=start, compute_end=end,
+    )
+
+
+def _load(start, finish):
+    return DmaTransfer(TransferKind.DATA_LOAD, "d", 8, start, finish)
+
+
+class TestGanttGeometry:
+    def test_bar_ending_at_makespan_stays_inside_the_frame(self):
+        # A compute window closing exactly at the makespan maps to
+        # column `width`; the bar must be clamped, not overflow by one.
+        width = 10
+        report = _report(
+            [_visit(0, 0, 50), _visit(1, 50, 100, cluster=1)],
+            [_load(0, 10)],
+            total_cycles=100,
+        )
+        chart = report.gantt(width=width)
+        for line in chart.splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == width, line
+            assert line.endswith("|"), line
+
+    def test_golden_two_visit_chart(self):
+        report = _report(
+            [_visit(0, 0, 50), _visit(1, 50, 100, cluster=1)],
+            [_load(0, 50)],
+            total_cycles=100,
+        )
+        assert report.gantt(width=10).splitlines() == [
+            " visit  cluster set  timeline (total 100 cycles)",
+            "     0      Cl1   0  |#####     |",
+            "     1      Cl2   0  |     #####|",
+            "                DMA  |LLLLL     |",
+        ]
+
+    def test_tiny_window_still_renders_one_column(self):
+        report = _report(
+            [_visit(0, 9_999, 10_000)], [_load(0, 1)], total_cycles=10_000
+        )
+        chart = report.gantt(width=10)
+        visit_bar = chart.splitlines()[1].split("|")[1]
+        assert visit_bar.count("#") == 1
+        assert len(visit_bar) == 10
+
+
+class TestGanttTraceDisabledMarker:
+    def test_no_transfers_prints_marker_instead_of_blank_row(self):
+        report = _report([_visit(0, 0, 100)], [], total_cycles=100)
+        chart = report.gantt(width=10)
+        assert chart.splitlines()[-1] == "                DMA  (trace disabled)"
+        assert "|          |" not in chart.splitlines()[-1]
+
+    def test_traced_run_keeps_the_dma_bar(self):
+        report = _report([_visit(0, 0, 100)], [_load(0, 100)],
+                         total_cycles=100)
+        assert chart_last_line(report).endswith("|LLLLLLLLLL|")
+
+
+def chart_last_line(report):
+    return report.gantt(width=10).splitlines()[-1]

@@ -56,3 +56,90 @@ class TestCli:
         assert main(["figure6"]) == 0
         out = capsys.readouterr().out
         assert "Figure 6" in out
+
+
+class TestJobsFlagValidation:
+    @pytest.mark.parametrize("command", ["ablation", "sweep", "corpus"])
+    def test_negative_jobs_rejected_at_the_parser(self, command, capsys):
+        argv = [command, "--jobs", "-1"]
+        if command != "corpus":
+            argv.insert(1, "E1")
+        with pytest.raises(SystemExit):
+            main(argv)
+        assert "jobs must be >= 0" in capsys.readouterr().err
+
+    def test_non_integer_jobs_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["ablation", "E1", "--jobs", "two"])
+        assert "invalid jobs count" in capsys.readouterr().err
+
+    def test_zero_and_positive_jobs_accepted_by_the_parser(self):
+        args = build_parser().parse_args(["ablation", "E1", "--jobs", "0"])
+        assert args.jobs == 0
+        args = build_parser().parse_args(["ablation", "E1", "--jobs", "3"])
+        assert args.jobs == 3
+
+
+class TestRunProfile:
+    def test_profile_prints_stage_timers(self, capsys):
+        assert main(["run", "E1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline profile" in out
+        assert "pipeline.cds/schedule" in out
+        assert "pipeline.basic/simulate" in out
+
+    def test_profile_leaves_collection_off_afterwards(self):
+        from repro.obs.metrics import metrics_active
+
+        assert main(["run", "E1", "--profile"]) == 0
+        assert metrics_active() is False
+
+
+class TestTraceCommand:
+    def test_chrome_output_is_valid_trace_event_json(self, capsys):
+        import json
+
+        from repro.obs.trace import validate_chrome_trace
+
+        assert main(["trace", "ATR-FI"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        validate_chrome_trace(payload)
+        assert payload["otherData"]["scheduler"] == "cds"
+        phases = {event["ph"] for event in payload["traceEvents"]}
+        assert {"M", "X", "i"} <= phases
+
+    def test_json_format_carries_report_and_decisions(self, capsys):
+        import json
+
+        assert main(["trace", "E1", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["total_cycles"] > 0
+        assert payload["decisions"]
+        kinds = {decision["kind"] for decision in payload["decisions"]}
+        assert "rf.result" in kinds
+        assert any(kind.startswith("alloc.") for kind in kinds)
+
+    def test_text_format_with_decisions(self, capsys):
+        assert main(["trace", "E1", "--format", "text", "--decisions"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline" in out
+        assert "decision trace:" in out
+        assert "rf.result" in out
+
+    def test_basic_scheduler_traces_too(self, capsys):
+        assert main(["trace", "E1", "--scheduler", "basic",
+                     "--format", "text"]) == 0
+        assert "timeline" in capsys.readouterr().out
+
+    def test_output_writes_file(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "trace.json"
+        assert main(["trace", "E1", "--output", str(target)]) == 0
+        assert f"wrote {target}" in capsys.readouterr().out
+        payload = json.loads(target.read_text())
+        assert payload["traceEvents"]
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "E1", "--format", "xml"])
