@@ -3,9 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint ruff mypy bench bench-quick trace-demo
+.PHONY: check test lint ruff mypy bench bench-quick trace-demo fuzz fuzz-quick
 
-check: test ruff mypy lint
+check: test ruff mypy lint fuzz-quick
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +16,18 @@ lint:
 	$(PYTHON) -m repro.cli lint all --scheduler basic
 	$(PYTHON) -m repro.cli lint all --scheduler ds
 	$(PYTHON) -m repro.cli lint all --scheduler cds
+
+# Differential fuzzing: adversarial workload regimes cross-checked by
+# the oracle stack.  `fuzz-quick` (CI) round-robins seeds across the
+# regime matrix; failures are shrunk and written to fuzz-failures/,
+# which CI uploads as an artifact.
+fuzz:
+	$(PYTHON) -m repro.cli fuzz --seeds 500 --jobs 0 \
+		--failures-dir fuzz-failures
+
+fuzz-quick:
+	$(PYTHON) -m repro.cli fuzz --seeds 60 --quick --jobs 0 \
+		--failures-dir fuzz-failures
 
 # Full pipeline benchmark; refreshes the committed baseline.
 bench:

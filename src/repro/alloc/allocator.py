@@ -201,6 +201,12 @@ class FrameBufferAllocator:
             to span several free blocks.  Pass ``schedule.decisions``
             to extend the scheduler's own trace.  Recording never
             changes a placement.
+        free_list_factory: optional callable ``capacity -> free list``
+            substituted for :class:`~repro.alloc.free_list.FreeBlockList`.
+            Any object with the same interface works; the differential
+            fuzz harness injects a wrapper that mirrors every operation
+            onto :class:`~repro.alloc.reference.ReferenceFreeBlockList`
+            and asserts the two agree.
     """
 
     #: Process-wide default for ``debug_invariants`` when the caller
@@ -211,13 +217,14 @@ class FrameBufferAllocator:
     def __init__(self, schedule: Schedule, *, allow_split: bool = True,
                  fit_policy: str = "first",
                  debug_invariants: Optional[bool] = None,
-                 decisions=None):
+                 decisions=None, free_list_factory=None):
         if fit_policy not in ("first", "best"):
             raise AllocationError(f"unknown fit_policy {fit_policy!r}")
         self.schedule = schedule
         self.allow_split = allow_split
         self.fit_policy = fit_policy
         self.decisions = decisions
+        self.free_list_factory = free_list_factory
         if debug_invariants is None:
             debug_invariants = self.default_debug_invariants
         self.debug_invariants = debug_invariants
@@ -229,7 +236,8 @@ class FrameBufferAllocator:
         run = _SetAllocation(self.schedule, fb_set, self.allow_split,
                              best_fit=(self.fit_policy == "best"),
                              debug_invariants=self.debug_invariants,
-                             decisions=self.decisions)
+                             decisions=self.decisions,
+                             free_list_factory=self.free_list_factory)
         return run.execute()
 
     def allocate(self) -> Tuple[AllocationMap, AllocationMap]:
@@ -242,7 +250,7 @@ class _SetAllocation:
 
     def __init__(self, schedule: Schedule, fb_set: int, allow_split: bool,
                  *, best_fit: bool = False, debug_invariants: bool = False,
-                 decisions=None):
+                 decisions=None, free_list_factory=None):
         self.schedule = schedule
         self.dataflow: DataflowInfo = schedule.dataflow
         self.fb_set = fb_set
@@ -252,7 +260,9 @@ class _SetAllocation:
         self.decisions = decisions
         self.rf = schedule.rf
         self.capacity = schedule.fb_set_words
-        self.free_list = FreeBlockList(self.capacity)
+        if free_list_factory is None:
+            free_list_factory = FreeBlockList
+        self.free_list = free_list_factory(self.capacity)
         self.regions = FrameBufferSet(self.capacity, set_index=fb_set)
         self.map = AllocationMap(
             fb_set=fb_set, capacity_words=self.capacity, rf=self.rf

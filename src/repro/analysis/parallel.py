@@ -83,6 +83,7 @@ def parallel_map(
     items: Iterable[_T],
     *,
     jobs: Optional[int] = None,
+    chunksize: int = 1,
 ) -> List[_R]:
     """``[fn(item) for item in items]``, optionally across processes.
 
@@ -93,7 +94,10 @@ def parallel_map(
     Results are returned in item order regardless of completion order,
     so callers observe identical output either way.  *fn* and every
     item must be picklable when ``jobs>1`` (top-level functions and
-    plain data only).
+    plain data only).  ``chunksize`` batches items per pool dispatch
+    (forwarded to :meth:`ProcessPoolExecutor.map`) — raise it when the
+    per-item work is small relative to pickling overhead, as the fuzz
+    runner's seed batches are; it never changes results or their order.
 
     When the global metrics registry is collecting
     (:func:`repro.obs.metrics.metrics_active`), parallel runs wrap the
@@ -105,6 +109,8 @@ def parallel_map(
         raise ValueError(
             f"jobs must be >= 0 (0 = one worker per CPU), got {jobs}"
         )
+    if chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
     items = list(items)
     if jobs == 0:
         jobs = default_jobs()
@@ -119,8 +125,8 @@ def parallel_map(
         metrics.inc("parallel.fanouts", scope="driver")
     with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
         if not collect:
-            return list(pool.map(fn, items))
-        pairs = list(pool.map(_MetricsWorker(fn), items))
+            return list(pool.map(fn, items, chunksize=chunksize))
+        pairs = list(pool.map(_MetricsWorker(fn), items, chunksize=chunksize))
     registry = metrics.get_registry()
     for _, snapshot in pairs:
         registry.merge(snapshot)

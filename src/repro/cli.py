@@ -19,6 +19,9 @@ Commands:
 * ``tinyrisc <exp>`` — emit the TinyRISC control-program listing;
 * ``lint <exp>`` — run the static-analysis lint passes over an
   experiment's full pipeline (exit 1 when errors are found);
+* ``fuzz``    — differential fuzzing: adversarial workload regimes
+  cross-checked by the oracle stack, failures shrunk to minimal
+  reproducers (exit 1 on any violation);
 * ``list``     — list the available experiments.
 """
 
@@ -33,6 +36,7 @@ from repro.analysis.compare import compare_experiment
 from repro.analysis.figure6 import render_figure6
 from repro.analysis.table1 import build_table1, render_table1
 from repro.alloc.allocator import FrameBufferAllocator
+from repro.fuzz.generator import regime_names
 from repro.workloads.spec import ExperimentSpec, paper_experiments
 
 __all__ = ["main"]
@@ -358,6 +362,26 @@ def _cmd_lint(args) -> int:
     return exit_code
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz.runner import run_fuzz
+
+    report = run_fuzz(
+        range(args.seeds),
+        regimes=args.regime or None,
+        quick=args.quick,
+        jobs=args.jobs,
+        shrink=not args.no_shrink,
+        failures_dir=args.failures_dir,
+        include_paper=not args.no_paper,
+        functional=not args.no_functional,
+    )
+    print(report.summary())
+    if not report.ok and args.failures_dir:
+        print(f"reproducers written to {args.failures_dir}/ — copy into "
+              f"tests/corpus/ to pin them as regression tests")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -470,6 +494,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="deliberately corrupt the schedule first "
                            "(framework self-test)")
     lint.set_defaults(func=_cmd_lint)
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing with oracle cross-checks",
+    )
+    fuzz.add_argument("--seeds", type=int, default=100,
+                      help="number of generator seeds to sweep (default 100)")
+    fuzz.add_argument("--quick", action="store_true",
+                      help="round-robin seeds across regimes instead of the "
+                           "full regimes x seeds cross product")
+    fuzz.add_argument("--regime", action="append", metavar="NAME",
+                      choices=regime_names(),
+                      help="restrict to one regime (repeatable; default all: "
+                           f"{', '.join(regime_names())})")
+    fuzz.add_argument("--jobs", type=_jobs_count, default=None,
+                      help="parallel workers (0 = one per CPU; default "
+                           "serial)")
+    fuzz.add_argument("--failures-dir", metavar="DIR", default=None,
+                      help="write shrunk reproducer JSON files here")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip shrinking failures to minimal reproducers")
+    fuzz.add_argument("--no-paper", action="store_true",
+                      help="skip the Table-1 experiment anchor cases")
+    fuzz.add_argument("--no-functional", action="store_true",
+                      help="skip the functional-simulation oracle (faster)")
+    fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

@@ -1,0 +1,32 @@
+"""Differential fuzzing of the scheduling pipeline.
+
+The fuzz subsystem generates adversarial workloads
+(:mod:`repro.fuzz.generator`), cross-checks every generated case
+against a stack of independent oracles (:mod:`repro.fuzz.oracles`),
+shrinks any violation to a minimal reproducer
+(:mod:`repro.fuzz.shrink`), and persists reproducers as JSON
+(:class:`repro.fuzz.case.FuzzCase`) that the pytest corpus collector
+replays forever after (``tests/fuzz/test_corpus_replay.py``).
+
+Entry points: ``repro fuzz`` on the command line, or
+:func:`repro.fuzz.runner.run_fuzz` from Python.
+"""
+
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.generator import REGIMES, generate_case, regime_names
+from repro.fuzz.oracles import ORACLE_NAMES, OracleFailure, run_oracles
+from repro.fuzz.runner import FuzzReport, run_fuzz
+from repro.fuzz.shrink import shrink_case
+
+__all__ = [
+    "FuzzCase",
+    "REGIMES",
+    "generate_case",
+    "regime_names",
+    "ORACLE_NAMES",
+    "OracleFailure",
+    "run_oracles",
+    "FuzzReport",
+    "run_fuzz",
+    "shrink_case",
+]

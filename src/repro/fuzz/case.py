@@ -1,0 +1,199 @@
+"""Self-contained, JSON-serialisable fuzz cases.
+
+A :class:`FuzzCase` captures everything needed to replay one workload
+through the oracle stack: the application structure (objects, kernels,
+finals, iteration count), the clustering (kernel groups and their
+frame-buffer set assignment), and the architecture's frame-buffer set
+size.  Cases round-trip through plain dicts/JSON so shrunk reproducers
+can live under ``tests/corpus/`` and be replayed by the pytest
+collector without the generator that found them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.params import Architecture
+from repro.core.application import Application
+from repro.core.cluster import Clustering
+
+__all__ = ["FuzzCase"]
+
+
+@dataclass
+class FuzzCase:
+    """One replayable workload + architecture configuration.
+
+    Attributes:
+        name: case identifier (used for corpus file names).
+        total_iterations: the application's iteration count ``n``.
+        objects: ``{name: {"size": int, "invariant": bool}}`` for every
+            data object, externals and results alike.
+        kernels: ordered kernel specs
+            ``{"name", "context_words", "cycles", "inputs", "outputs"}``.
+        finals: names of final outputs.
+        groups: ordered kernel-name partition defining the clusters.
+        fb_sets: frame-buffer set of each cluster (parallel to
+            ``groups``); ``None`` selects the default alternation.
+        fb_words: frame-buffer set size in words.
+        regime: generator regime that produced the case (``""`` for
+            hand-written or captured cases).
+        seed: generator seed (``None`` for hand-written cases).
+        failing_oracle: for corpus reproducers, the oracle the case was
+            shrunk against.
+        xfail: corpus replay marker — ``True`` for reproducers of bugs
+            that are known but not fixed yet.
+    """
+
+    name: str
+    total_iterations: int
+    objects: Dict[str, Dict] = field(default_factory=dict)
+    kernels: List[Dict] = field(default_factory=list)
+    finals: List[str] = field(default_factory=list)
+    groups: List[List[str]] = field(default_factory=list)
+    fb_sets: Optional[List[int]] = None
+    fb_words: int = 2048
+    regime: str = ""
+    seed: Optional[int] = None
+    failing_oracle: str = ""
+    xfail: bool = False
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_workload(
+        cls,
+        application: Application,
+        clustering: Clustering,
+        fb_words: int,
+        *,
+        name: Optional[str] = None,
+        regime: str = "",
+        seed: Optional[int] = None,
+    ) -> "FuzzCase":
+        """Capture an existing workload as a replayable case."""
+        objects = {
+            obj.name: {"size": obj.size, "invariant": obj.invariant}
+            for obj in application.objects.values()
+        }
+        kernels = [
+            {
+                "name": kernel.name,
+                "context_words": kernel.context_words,
+                "cycles": kernel.cycles,
+                "inputs": list(kernel.inputs),
+                "outputs": list(kernel.outputs),
+            }
+            for kernel in application.kernels
+        ]
+        groups = [list(cluster.kernel_names) for cluster in clustering]
+        fb_sets = [cluster.fb_set for cluster in clustering]
+        return cls(
+            name=name or application.name,
+            total_iterations=application.total_iterations,
+            objects=objects,
+            kernels=kernels,
+            finals=sorted(application.final_outputs),
+            groups=groups,
+            fb_sets=fb_sets,
+            fb_words=fb_words,
+            regime=regime,
+            seed=seed,
+        )
+
+    # -- replay ----------------------------------------------------------
+
+    def build(self) -> Tuple[Application, Clustering]:
+        """Reconstruct the application and clustering (validated)."""
+        builder = Application.build(
+            self.name, total_iterations=self.total_iterations
+        )
+        for obj_name in sorted(self.objects):
+            spec = self.objects[obj_name]
+            builder.data(
+                obj_name, spec["size"],
+                invariant=bool(spec.get("invariant", False)),
+            )
+        for kernel in self.kernels:
+            builder.kernel(
+                kernel["name"],
+                context_words=kernel["context_words"],
+                cycles=kernel["cycles"],
+                inputs=list(kernel["inputs"]),
+                outputs=list(kernel["outputs"]),
+            )
+        builder.final(*self.finals)
+        application = builder.finish()
+        clustering = Clustering(application, self.groups, fb_sets=self.fb_sets)
+        return application, clustering
+
+    def architecture(self) -> Architecture:
+        """An M1 with this case's frame-buffer set size."""
+        return Architecture.m1(self.fb_words)
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        data = {
+            "name": self.name,
+            "total_iterations": self.total_iterations,
+            "objects": self.objects,
+            "kernels": self.kernels,
+            "finals": list(self.finals),
+            "groups": [list(group) for group in self.groups],
+            "fb_sets": list(self.fb_sets) if self.fb_sets is not None else None,
+            "fb_words": self.fb_words,
+            "regime": self.regime,
+            "seed": self.seed,
+        }
+        if self.failing_oracle:
+            data["failing_oracle"] = self.failing_oracle
+        if self.xfail:
+            data["xfail"] = True
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FuzzCase":
+        return cls(
+            name=data["name"],
+            total_iterations=data["total_iterations"],
+            objects={
+                name: dict(spec) for name, spec in data["objects"].items()
+            },
+            kernels=[dict(kernel) for kernel in data["kernels"]],
+            finals=list(data["finals"]),
+            groups=[list(group) for group in data["groups"]],
+            fb_sets=(
+                list(data["fb_sets"]) if data.get("fb_sets") is not None
+                else None
+            ),
+            fb_words=data["fb_words"],
+            regime=data.get("regime", ""),
+            seed=data.get("seed"),
+            failing_oracle=data.get("failing_oracle", ""),
+            xfail=bool(data.get("xfail", False)),
+        )
+
+    def save(self, path) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path) -> "FuzzCase":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # -- shrinking support ------------------------------------------------
+
+    @property
+    def weight(self) -> int:
+        """Size metric minimised by the shrinker: total structure count."""
+        return (
+            len(self.kernels)
+            + len(self.objects)
+            + sum(spec["size"] for spec in self.objects.values())
+            + self.total_iterations
+        )

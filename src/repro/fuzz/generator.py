@@ -1,0 +1,139 @@
+"""The fuzz generator matrix: adversarial workload regimes.
+
+Each regime is a named recipe that turns a seed into a
+:class:`~repro.fuzz.case.FuzzCase`.  All regimes funnel through
+:func:`repro.workloads.random_gen.random_application` (so every case is
+a valid application by construction) but steer its knobs — and the
+frame-buffer size — towards the corners where scheduler bugs live:
+
+* ``baseline`` — the generator's historical defaults at a roomy 4K set;
+  the control group.
+* ``tiny_fb`` — the frame-buffer set is placed *at* the workload's
+  RF=1 footprint, plus a seed-dependent offset of a few words either
+  side, so cases straddle the feasible/infeasible boundary.  This is
+  the regime that exercises the infeasibility diagnostics (the
+  "needs 1K but holds 1K" rounding bug lived exactly here).
+* ``nondivisor_rf`` — prime iteration counts, so no reuse factor above
+  1 divides ``n`` and every schedule ends with a remainder round.
+* ``invariant_tables`` — large iteration-invariant tables shared
+  across clusters; a kept table occupies ``size`` words rather than
+  ``RF * size``, stressing the keep-acceptance arithmetic.
+* ``deep_chains`` — few clusters, many kernels each, so intermediate
+  result chains run deep and the replacement logic dominates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.core.dataflow import analyze_dataflow
+from repro.core.metrics import cluster_data_size_naive
+from repro.fuzz.case import FuzzCase
+from repro.workloads.random_gen import random_application
+
+__all__ = ["REGIMES", "generate_case", "regime_names"]
+
+#: A few words around the footprint: exact boundary, barely infeasible,
+#: barely feasible, and a little slack in both directions.
+_TINY_FB_OFFSETS = (0, -1, 1, -5, 7, 16, -16, 64)
+
+_PRIMES = (7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)
+
+
+def _footprint(application, clustering) -> int:
+    """Worst per-cluster DS occupancy at RF=1 (the feasibility floor)."""
+    dataflow = analyze_dataflow(application, clustering)
+    return max(
+        cluster_data_size_naive(dataflow, cluster.index, 1, ())
+        for cluster in clustering
+    )
+
+
+def _baseline(seed: int) -> FuzzCase:
+    application, clustering = random_application(seed)
+    return FuzzCase.from_workload(
+        application, clustering, 4096,
+        name=f"baseline-{seed}", regime="baseline", seed=seed,
+    )
+
+
+def _tiny_fb(seed: int) -> FuzzCase:
+    application, clustering = random_application(seed)
+    offset = _TINY_FB_OFFSETS[seed % len(_TINY_FB_OFFSETS)]
+    fb_words = max(_footprint(application, clustering) + offset, 16)
+    return FuzzCase.from_workload(
+        application, clustering, fb_words,
+        name=f"tiny-fb-{seed}", regime="tiny_fb", seed=seed,
+    )
+
+
+def _nondivisor_rf(seed: int) -> FuzzCase:
+    iterations = int(_PRIMES[seed % len(_PRIMES)])
+    application, clustering = random_application(
+        seed, iterations=iterations, max_object_words=128,
+    )
+    # A set around twice the footprint admits RF >= 2 for most seeds,
+    # so the prime iteration count actually leaves a remainder round.
+    fb_words = max(2 * _footprint(application, clustering), 64)
+    return FuzzCase.from_workload(
+        application, clustering, fb_words,
+        name=f"nondivisor-rf-{seed}", regime="nondivisor_rf", seed=seed,
+    )
+
+
+def _invariant_tables(seed: int) -> FuzzCase:
+    rng = np.random.RandomState(seed)
+    tables = int(rng.randint(1, 4))
+    application, clustering = random_application(
+        seed,
+        max_object_words=96,
+        invariant_tables=tables,
+        invariant_table_words=(256, 1024),
+    )
+    return FuzzCase.from_workload(
+        application, clustering, 2048,
+        name=f"invariant-tables-{seed}", regime="invariant_tables",
+        seed=seed,
+    )
+
+
+def _deep_chains(seed: int) -> FuzzCase:
+    application, clustering = random_application(
+        seed,
+        max_clusters=3,
+        min_kernels_per_cluster=5,
+        max_kernels_per_cluster=9,
+        max_object_words=96,
+    )
+    return FuzzCase.from_workload(
+        application, clustering, 2048,
+        name=f"deep-chains-{seed}", regime="deep_chains", seed=seed,
+    )
+
+
+#: Regime name -> ``seed -> FuzzCase`` recipe, in sweep order.
+REGIMES: Dict[str, Callable[[int], FuzzCase]] = {
+    "baseline": _baseline,
+    "tiny_fb": _tiny_fb,
+    "nondivisor_rf": _nondivisor_rf,
+    "invariant_tables": _invariant_tables,
+    "deep_chains": _deep_chains,
+}
+
+
+def regime_names() -> Tuple[str, ...]:
+    """The regime matrix, in sweep order."""
+    return tuple(REGIMES)
+
+
+def generate_case(regime: str, seed: int) -> FuzzCase:
+    """One case of one regime (deterministic in ``(regime, seed)``)."""
+    try:
+        recipe = REGIMES[regime]
+    except KeyError:
+        raise ValueError(
+            f"unknown regime {regime!r}; known: {', '.join(REGIMES)}"
+        ) from None
+    return recipe(seed)

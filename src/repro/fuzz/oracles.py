@@ -1,0 +1,526 @@
+"""The oracle stack: independent cross-checks over one fuzz case.
+
+Every generated case runs through all oracles (no early exit), each of
+which compares two independent computations of the same fact:
+
+``probes``
+    The RF search never probes the same reuse factor twice (the gallop
+    hand-off re-probe bug class).
+``diagnostics``
+    Every :class:`~repro.errors.InfeasibleScheduleError` carries
+    ``required > available`` and renders the two numbers distinctly
+    (the "needs 1K but holds 1K" rounding-collision bug class).
+``feasibility``
+    Feasibility is monotone across the scheduler hierarchy: Basic
+    feasible implies DS feasible, and DS and CDS agree.
+``traffic``
+    Words moved (data + context) obey CDS <= DS <= Basic, and data
+    words alone obey the same ordering.
+``engine``
+    The incremental occupancy engine and the naive reference sweep
+    produce byte-identical schedules (and agree on infeasibility).
+``trace``
+    Decision tracing never changes a schedule: trace-on and trace-off
+    runs are equal.
+``freelist``
+    Every free-list operation of the Figure-4 allocator produces
+    identical results and identical free-block state on the production
+    bisect list and the linear reference list; the resulting allocation
+    passes offline overlap verification and fits the set.
+``verifier``
+    The lowered program passes static verification.
+``functional``
+    Functional simulation reproduces the application's reference
+    outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.alloc.allocator import FrameBufferAllocator
+from repro.alloc.free_list import FreeBlockList
+from repro.alloc.reference import ReferenceFreeBlockList
+from repro.arch.machine import MorphoSysM1
+from repro.codegen.generator import generate_program
+from repro.codegen.verifier import verify_program
+from repro.core.dataflow import analyze_dataflow
+from repro.errors import InfeasibleScheduleError, ReproError
+from repro.fuzz.case import FuzzCase
+from repro.schedule.base import ScheduleOptions
+from repro.schedule.basic import BasicScheduler
+from repro.schedule.complete import CompleteDataScheduler
+from repro.schedule.data_scheduler import DataScheduler
+from repro.sim.engine import Simulator
+from repro.units import format_words_pair
+
+__all__ = [
+    "ORACLE_NAMES",
+    "OracleFailure",
+    "FreeListMismatch",
+    "MirroredFreeList",
+    "run_oracles",
+]
+
+ORACLE_NAMES: Tuple[str, ...] = (
+    "probes",
+    "diagnostics",
+    "feasibility",
+    "traffic",
+    "engine",
+    "trace",
+    "freelist",
+    "verifier",
+    "functional",
+)
+
+_SCHEDULERS = (BasicScheduler, DataScheduler, CompleteDataScheduler)
+
+
+@dataclass(frozen=True)
+class OracleFailure:
+    """One oracle violation on one case."""
+
+    oracle: str
+    case: str
+    message: str
+    scheduler: str = ""
+
+    def to_dict(self) -> Dict:
+        return {
+            "oracle": self.oracle,
+            "case": self.case,
+            "message": self.message,
+            "scheduler": self.scheduler,
+        }
+
+
+class FreeListMismatch(ReproError):
+    """Production and reference free lists diverged."""
+
+
+class MirroredFreeList:
+    """A free list that mirrors every operation onto the linear oracle.
+
+    Injected into the allocator via ``free_list_factory``; each call is
+    applied to both the production :class:`FreeBlockList` and the
+    :class:`ReferenceFreeBlockList`, and must yield the same result (or
+    the same exception type) and leave both lists with identical free
+    blocks.  Any divergence raises :class:`FreeListMismatch`.
+    """
+
+    def __init__(self, capacity_words: int):
+        self.primary = FreeBlockList(capacity_words)
+        self.oracle = ReferenceFreeBlockList(capacity_words)
+        self.operations = 0
+
+    # -- mirroring core ---------------------------------------------------
+
+    def _both(self, method: str, *args, **kwargs):
+        self.operations += 1
+        outcomes = []
+        for target in (self.primary, self.oracle):
+            try:
+                outcomes.append(("ok", getattr(target, method)(*args, **kwargs)))
+            except ReproError as exc:
+                outcomes.append(("err", exc))
+        (kind_a, value_a), (kind_b, value_b) = outcomes
+        if kind_a != kind_b:
+            raise FreeListMismatch(
+                f"{method}{args}: production "
+                f"{'raised ' + type(value_a).__name__ if kind_a == 'err' else 'returned ' + repr(value_a)}"
+                f" but reference "
+                f"{'raised ' + type(value_b).__name__ if kind_b == 'err' else 'returned ' + repr(value_b)}"
+            )
+        if kind_a == "err":
+            if type(value_a) is not type(value_b):
+                raise FreeListMismatch(
+                    f"{method}{args}: exception types diverged: "
+                    f"{type(value_a).__name__} vs {type(value_b).__name__}"
+                )
+            self._check_state(method, args)
+            raise value_a
+        if value_a != value_b:
+            raise FreeListMismatch(
+                f"{method}{args}: results diverged: "
+                f"{value_a!r} vs {value_b!r}"
+            )
+        self._check_state(method, args)
+        return value_a
+
+    def _check_state(self, method: str, args) -> None:
+        if self.primary.blocks() != self.oracle.blocks():
+            raise FreeListMismatch(
+                f"after {method}{args}: free blocks diverged: "
+                f"{self.primary} vs {self.oracle}"
+            )
+        if self.primary.free_words != self.oracle.free_words:
+            raise FreeListMismatch(
+                f"after {method}{args}: free words diverged: "
+                f"{self.primary.free_words} vs {self.oracle.free_words}"
+            )
+
+    # -- FreeBlockList interface ------------------------------------------
+
+    @property
+    def free_words(self) -> int:
+        self._check_state("free_words", ())
+        return self.primary.free_words
+
+    @property
+    def largest_block(self) -> int:
+        return self.primary.largest_block
+
+    def blocks(self):
+        self._check_state("blocks", ())
+        return self.primary.blocks()
+
+    def is_free(self, start: int, size: int) -> bool:
+        return self._both("is_free", start, size)
+
+    def allocate_high(self, size: int, *, best_fit: bool = False):
+        return self._both("allocate_high", size, best_fit=best_fit)
+
+    def allocate_low(self, size: int, *, best_fit: bool = False):
+        return self._both("allocate_low", size, best_fit=best_fit)
+
+    def allocate_at(self, start: int, size: int):
+        return self._both("allocate_at", start, size)
+
+    def allocate_split(self, size: int, *, from_high: bool):
+        return self._both("allocate_split", size, from_high=from_high)
+
+    def free(self, start: int, size: int) -> None:
+        return self._both("free", start, size)
+
+    def free_extents(self, extents) -> None:
+        for extent in extents:
+            self.free(extent.start, extent.size)
+
+    def check_invariants(self) -> None:
+        self.primary.check_invariants()
+        self.oracle.check_invariants()
+        self._check_state("check_invariants", ())
+
+
+@dataclass
+class _Run:
+    """One scheduler's pipeline products on the case."""
+
+    scheduler: str
+    schedule: Optional[object] = None
+    report: Optional[object] = None
+    program: Optional[object] = None
+    error: Optional[InfeasibleScheduleError] = None
+    failures: List[OracleFailure] = field(default_factory=list)
+
+    @property
+    def feasible(self) -> bool:
+        return self.schedule is not None
+
+
+def _schedule_only(scheduler_cls, architecture, options, application,
+                   clustering, dataflow):
+    """Schedule; return ``(schedule, infeasible_error)``."""
+    scheduler = scheduler_cls(architecture, options)
+    try:
+        return (
+            scheduler.schedule(application, clustering, dataflow=dataflow),
+            None,
+        )
+    except InfeasibleScheduleError as exc:
+        return None, exc
+
+
+def run_oracles(
+    case: FuzzCase,
+    *,
+    oracles: Optional[Sequence[str]] = None,
+    functional: bool = True,
+) -> List[OracleFailure]:
+    """All oracle verdicts on one case (never stops at the first).
+
+    Args:
+        case: the case to check.
+        oracles: restrict to a subset of :data:`ORACLE_NAMES`.
+        functional: include the (slower) functional-simulation oracle.
+
+    Returns:
+        One :class:`OracleFailure` per violation; empty when clean.
+    """
+    enabled = set(ORACLE_NAMES if oracles is None else oracles)
+    unknown = enabled - set(ORACLE_NAMES)
+    if unknown:
+        raise ValueError(f"unknown oracles: {sorted(unknown)}")
+    if not functional:
+        enabled.discard("functional")
+    failures: List[OracleFailure] = []
+
+    try:
+        application, clustering = case.build()
+    except Exception as exc:
+        return [OracleFailure("build", case.name, f"case does not build: {exc}")]
+    architecture = case.architecture()
+    dataflow = analyze_dataflow(application, clustering)
+    traced = ScheduleOptions(decision_trace=True)
+
+    runs: Dict[str, _Run] = {}
+    for scheduler_cls in _SCHEDULERS:
+        run = _Run(scheduler=scheduler_cls.name)
+        run.schedule, run.error = _schedule_only(
+            scheduler_cls, architecture, traced, application, clustering,
+            dataflow,
+        )
+        if run.schedule is not None:
+            try:
+                run.program = generate_program(run.schedule)
+                run.report = Simulator(
+                    MorphoSysM1(architecture), trace=False
+                ).run(run.program)
+            except ReproError as exc:
+                failures.append(OracleFailure(
+                    "verifier", case.name,
+                    f"pipeline failed after scheduling: {exc}",
+                    scheduler=run.scheduler,
+                ))
+        runs[scheduler_cls.name] = run
+
+    if "probes" in enabled:
+        failures.extend(_check_probes(case, runs))
+    if "diagnostics" in enabled:
+        failures.extend(_check_diagnostics(case, runs))
+    if "feasibility" in enabled:
+        failures.extend(_check_feasibility(case, runs))
+    if "traffic" in enabled:
+        failures.extend(_check_traffic(case, runs))
+    if "trace" in enabled or "engine" in enabled:
+        failures.extend(_check_equivalences(
+            case, runs, architecture, application, clustering, dataflow,
+            enabled,
+        ))
+    if "freelist" in enabled:
+        failures.extend(_check_freelist(case, runs, architecture))
+    if "verifier" in enabled:
+        failures.extend(_check_verifier(case, runs))
+    if "functional" in enabled:
+        failures.extend(_check_functional(case, runs, architecture))
+    return failures
+
+
+# -- individual oracles ---------------------------------------------------
+
+
+def _check_probes(case, runs) -> List[OracleFailure]:
+    failures = []
+    for run in runs.values():
+        if run.schedule is None or run.schedule.decisions is None:
+            continue
+        probed = [
+            event.detail["rf"]
+            for event in run.schedule.decisions.of_kind("rf.probe")
+        ]
+        duplicates = sorted(
+            {rf for rf in probed if probed.count(rf) > 1}
+        )
+        if duplicates:
+            failures.append(OracleFailure(
+                "probes", case.name,
+                f"RF search probed {duplicates} more than once "
+                f"(sequence {probed})",
+                scheduler=run.scheduler,
+            ))
+    return failures
+
+
+def _check_diagnostics(case, runs) -> List[OracleFailure]:
+    failures = []
+    for run in runs.values():
+        exc = run.error
+        if exc is None:
+            continue
+        if exc.required is None or exc.available is None:
+            failures.append(OracleFailure(
+                "diagnostics", case.name,
+                f"infeasibility lacks required/available numbers: {exc}",
+                scheduler=run.scheduler,
+            ))
+            continue
+        if exc.required <= exc.available:
+            failures.append(OracleFailure(
+                "diagnostics", case.name,
+                f"infeasibility claims required {exc.required} <= "
+                f"available {exc.available}: {exc}",
+                scheduler=run.scheduler,
+            ))
+            continue
+        need, capacity = format_words_pair(exc.required, exc.available)
+        message = str(exc)
+        if need == capacity:
+            failures.append(OracleFailure(
+                "diagnostics", case.name,
+                f"need and capacity render identically ({need}): {exc}",
+                scheduler=run.scheduler,
+            ))
+        elif need not in message or capacity not in message:
+            failures.append(OracleFailure(
+                "diagnostics", case.name,
+                f"message does not show exact numbers "
+                f"({need} vs {capacity}): {exc}",
+                scheduler=run.scheduler,
+            ))
+    return failures
+
+
+def _check_feasibility(case, runs) -> List[OracleFailure]:
+    failures = []
+    basic, ds, cds = runs["basic"], runs["ds"], runs["cds"]
+    if basic.feasible and not ds.feasible:
+        failures.append(OracleFailure(
+            "feasibility", case.name,
+            f"Basic feasible but DS infeasible: {ds.error}",
+            scheduler="ds",
+        ))
+    if ds.feasible != cds.feasible:
+        failures.append(OracleFailure(
+            "feasibility", case.name,
+            f"DS {'feasible' if ds.feasible else 'infeasible'} but CDS "
+            f"{'feasible' if cds.feasible else 'infeasible'} "
+            f"({ds.error or cds.error})",
+            scheduler="cds",
+        ))
+    return failures
+
+
+def _check_traffic(case, runs) -> List[OracleFailure]:
+    failures = []
+    reports = {
+        name: run.report for name, run in runs.items()
+        if run.report is not None
+    }
+
+    def total(name: str) -> int:
+        return reports[name].data_words + reports[name].context_words
+
+    ordering = [name for name in ("cds", "ds", "basic") if name in reports]
+    for better, worse in zip(ordering, ordering[1:]):
+        if total(better) > total(worse):
+            failures.append(OracleFailure(
+                "traffic", case.name,
+                f"{better} moves {total(better)} words but {worse} only "
+                f"{total(worse)} (data+context)",
+                scheduler=better,
+            ))
+        if reports[better].data_words > reports[worse].data_words:
+            failures.append(OracleFailure(
+                "traffic", case.name,
+                f"{better} moves {reports[better].data_words} data words "
+                f"but {worse} only {reports[worse].data_words}",
+                scheduler=better,
+            ))
+    return failures
+
+
+def _check_equivalences(case, runs, architecture, application, clustering,
+                        dataflow, enabled) -> List[OracleFailure]:
+    """Trace on/off and incremental/naive must not change schedules."""
+    failures = []
+    variants = []
+    if "trace" in enabled:
+        variants.append(("trace", ScheduleOptions()))
+    if "engine" in enabled:
+        variants.append(("engine", ScheduleOptions(occupancy_engine="naive")))
+    for scheduler_cls in _SCHEDULERS:
+        reference = runs[scheduler_cls.name]
+        for oracle, options in variants:
+            schedule, error = _schedule_only(
+                scheduler_cls, architecture, options, application,
+                clustering, dataflow,
+            )
+            label = (
+                "decision_trace off" if oracle == "trace"
+                else "naive occupancy engine"
+            )
+            if (schedule is None) != (reference.schedule is None):
+                failures.append(OracleFailure(
+                    oracle, case.name,
+                    f"feasibility flips with {label}: "
+                    f"{error or reference.error}",
+                    scheduler=scheduler_cls.name,
+                ))
+            elif schedule is not None and schedule != reference.schedule:
+                failures.append(OracleFailure(
+                    oracle, case.name,
+                    f"schedule changes with {label} "
+                    f"(rf {schedule.rf} vs {reference.schedule.rf}, "
+                    f"keeps {len(schedule.keeps)} vs "
+                    f"{len(reference.schedule.keeps)})",
+                    scheduler=scheduler_cls.name,
+                ))
+    return failures
+
+
+def _check_freelist(case, runs, architecture) -> List[OracleFailure]:
+    failures = []
+    for run in runs.values():
+        if run.schedule is None:
+            continue
+        allocator = FrameBufferAllocator(
+            run.schedule, free_list_factory=MirroredFreeList
+        )
+        for fb_set in (0, 1):
+            try:
+                allocation = allocator.allocate_set(fb_set)
+                allocation.verify()
+            except ReproError as exc:
+                failures.append(OracleFailure(
+                    "freelist", case.name,
+                    f"set {fb_set}: {exc}",
+                    scheduler=run.scheduler,
+                ))
+                continue
+            if allocation.peak_words > architecture.fb_set_words:
+                failures.append(OracleFailure(
+                    "freelist", case.name,
+                    f"set {fb_set} peak {allocation.peak_words} exceeds "
+                    f"capacity {architecture.fb_set_words}",
+                    scheduler=run.scheduler,
+                ))
+    return failures
+
+
+def _check_verifier(case, runs) -> List[OracleFailure]:
+    failures = []
+    for run in runs.values():
+        if run.program is None:
+            continue
+        try:
+            verify_program(run.program)
+        except ReproError as exc:
+            failures.append(OracleFailure(
+                "verifier", case.name, str(exc), scheduler=run.scheduler,
+            ))
+    return failures
+
+
+def _check_functional(case, runs, architecture) -> List[OracleFailure]:
+    failures = []
+    for run in runs.values():
+        if run.program is None:
+            continue
+        try:
+            machine = MorphoSysM1(architecture, functional=True)
+            report = Simulator(machine).run(run.program, functional=True)
+        except ReproError as exc:
+            failures.append(OracleFailure(
+                "functional", case.name, str(exc), scheduler=run.scheduler,
+            ))
+            continue
+        if report.functional_verified is not True:
+            failures.append(OracleFailure(
+                "functional", case.name,
+                f"functional verification outcome: "
+                f"{report.functional_verified}",
+                scheduler=run.scheduler,
+            ))
+    return failures

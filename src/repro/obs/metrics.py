@@ -72,6 +72,10 @@ class MetricsRegistry:
         finally:
             self.observe(name, time.perf_counter() - start, scope=scope)
 
+    def counter(self, name: str, *, scope: Optional[str] = None) -> int:
+        """Current value of one counter (0 if never bumped)."""
+        return self._counters.get(_key(name, scope), 0)
+
     # -- aggregation ----------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:

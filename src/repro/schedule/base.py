@@ -27,7 +27,7 @@ from repro.core.reuse import SharedData, SharedResult
 from repro.errors import InfeasibleScheduleError
 from repro.schedule.occupancy import OccupancyEngine
 from repro.schedule.plan import ClusterPlan, Schedule
-from repro.units import format_size
+from repro.units import format_words_pair
 
 __all__ = ["ScheduleOptions", "DataSchedulerBase"]
 
@@ -220,9 +220,12 @@ class DataSchedulerBase(abc.ABC):
         arch = self.architecture
         for info in dataflow:
             if info.size > arch.fb_set_words:
+                need, capacity = format_words_pair(
+                    info.size, arch.fb_set_words
+                )
                 raise InfeasibleScheduleError(
-                    f"object {info.name!r} ({format_size(info.size)}) exceeds "
-                    f"one frame-buffer set ({format_size(arch.fb_set_words)})",
+                    f"object {info.name!r} ({need}) exceeds "
+                    f"one frame-buffer set ({capacity})",
                     required=info.size,
                     available=arch.fb_set_words,
                 )
@@ -251,15 +254,44 @@ class DataSchedulerBase(abc.ABC):
             peak = occupancy_fn(cluster.index)
             occupancy[cluster.index] = peak
             if peak > fbs:
+                need, capacity = format_words_pair(peak, fbs)
                 raise InfeasibleScheduleError(
                     f"{self.name}: cluster {cluster.name} needs "
-                    f"{format_size(peak)} (RF={rf}) but one frame-buffer set "
-                    f"holds {format_size(fbs)}",
+                    f"{need} (RF={rf}) but one frame-buffer set "
+                    f"holds {capacity}",
                     cluster=cluster.name,
                     required=peak,
                     available=fbs,
                 )
         return occupancy
+
+    def _raise_rf1_infeasible(self, dataflow: DataflowInfo) -> None:
+        """Raise the ``RF = 1 does not fit`` diagnostic with the worst
+        cluster named and exact word counts.
+
+        Shared by the Data and Complete Data Schedulers for the
+        ``max_common_rf == 0`` case.  The occupancy numbers come from
+        whichever engine the scheduler is running (incremental or the
+        naive reference sweep), so the message always matches the
+        verdict that produced it.
+        """
+        fbs = self.architecture.fb_set_words
+        engine = self._engine
+
+        def occupancy_of(index: int) -> int:
+            if engine is not None:
+                return engine.occupancy(index, 1, ())
+            return cluster_data_size_naive(dataflow, index, 1, ())
+        worst = max(dataflow.clustering, key=lambda c: occupancy_of(c.index))
+        peak = occupancy_of(worst.index)
+        need, capacity = format_words_pair(peak, fbs)
+        raise InfeasibleScheduleError(
+            f"{self.name}: cluster {worst.name} needs {need} even at RF=1 "
+            f"but one frame-buffer set holds {capacity}",
+            cluster=worst.name,
+            required=peak,
+            available=fbs,
+        )
 
     def _build_schedule(
         self,

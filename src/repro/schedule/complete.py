@@ -37,7 +37,6 @@ from repro.schedule.estimate import estimate_execution_cycles
 from repro.schedule.plan import Schedule
 from repro.schedule.rf import max_common_rf
 from repro.schedule.tf import rank_by_time_factor, retention_candidates
-from repro.units import format_size
 
 __all__ = ["CompleteDataScheduler"]
 
@@ -81,11 +80,7 @@ class CompleteDataScheduler(DataSchedulerBase):
             total_iterations=dataflow.application.total_iterations,
         )
         if rf == 0:
-            raise InfeasibleScheduleError(
-                f"{self.name}: some cluster exceeds one frame-buffer set "
-                f"({format_size(self.architecture.fb_set_words)}) even at RF=1",
-                available=self.architecture.fb_set_words,
-            )
+            self._raise_rf1_infeasible(dataflow)
         return rf
 
     # -- keep selection ---------------------------------------------------

@@ -17,11 +17,9 @@ from __future__ import annotations
 
 from repro.core.dataflow import DataflowInfo
 from repro.core.metrics import cluster_data_size_naive
-from repro.errors import InfeasibleScheduleError
 from repro.schedule.base import DataSchedulerBase
 from repro.schedule.plan import Schedule
 from repro.schedule.rf import max_common_rf
-from repro.units import format_size
 
 __all__ = ["DataScheduler"]
 
@@ -50,11 +48,7 @@ class DataScheduler(DataSchedulerBase):
             total_iterations=dataflow.application.total_iterations,
         )
         if rf == 0:
-            raise InfeasibleScheduleError(
-                f"{self.name}: some cluster exceeds one frame-buffer set "
-                f"({format_size(self.architecture.fb_set_words)}) even at RF=1",
-                available=self.architecture.fb_set_words,
-            )
+            self._raise_rf1_infeasible(dataflow)
         return self._build_schedule(
             dataflow,
             rf=rf,

@@ -122,9 +122,9 @@ class OccupancyEngine:
             low = high
         if high >= cap:
             return cap
+        # The gallop already judged min(high * 2, cap) infeasible; reuse
+        # that verdict instead of re-probing (see repro.schedule.rf).
         high = min(high * 2, cap)
-        if check(high):
-            return high
         while high - low > 1:
             mid = (low + high) // 2
             if check(mid):

@@ -91,10 +91,11 @@ def max_common_rf(
         low = high
     if high >= cap:
         return cap
+    # The loop exited on a failed check of min(high * 2, cap), so that
+    # value is already known infeasible — re-probing it would waste an
+    # occupancy sweep and emit a duplicate rf.probe trace event.
     high = min(high * 2, cap)
-    # Invariant: fits(low), not fits(high) unless high == cap handled above.
-    if check(high):
-        return high
+    # Invariant: fits(low), not fits(high).
     while high - low > 1:
         mid = (low + high) // 2
         if check(mid):

@@ -17,6 +17,7 @@ __all__ = [
     "WORDS_PER_K",
     "parse_size",
     "format_size",
+    "format_words_pair",
     "kwords",
     "ceil_div",
     "align_up",
@@ -95,6 +96,27 @@ def format_size(words: int) -> str:
         text = f"{value:.2f}".rstrip("0").rstrip(".")
         return f"{text}K"
     return str(words)
+
+
+def format_words_pair(required: int, available: int) -> tuple:
+    """Format a (need, capacity) pair without rounding contradictions.
+
+    :func:`format_size` rounds to two decimals of a K, so 1029 and 1024
+    both render as ``1K`` — an infeasibility message built from them
+    would claim "needs 1K but holds 1K".  Whenever the two counts would
+    round to the same string while being different numbers, both are
+    rendered as exact word counts instead:
+
+    >>> format_words_pair(2048, 1024)
+    ('2K', '1K')
+    >>> format_words_pair(1029, 1024)
+    ('1029 words', '1024 words')
+    """
+    required_text = format_size(required)
+    available_text = format_size(available)
+    if required != available and required_text == available_text:
+        return f"{required} words", f"{available} words"
+    return required_text, available_text
 
 
 def kwords(value: float) -> int:

@@ -27,10 +27,20 @@ def random_application(
     max_kernels_per_cluster: int = 3,
     max_object_words: int = 256,
     iterations: Optional[int] = None,
+    min_object_words: int = 8,
+    min_kernels_per_cluster: int = 1,
+    invariant_tables: int = 0,
+    invariant_table_words: Optional[Tuple[int, int]] = None,
 ) -> Tuple[Application, Clustering]:
     """Build a random valid application and clustering.
 
-    The same *seed* always yields the same application.
+    The same *seed* always yields the same application; with the default
+    arguments the RNG stream (and hence the generated application) is
+    identical to what this generator has always produced, so historical
+    seeds stay reproducible.  The extra knobs open the adversarial
+    regimes the differential fuzz harness (:mod:`repro.fuzz`) sweeps:
+    deep result chains, tiny or huge objects, and large
+    iteration-invariant tables shared across clusters.
 
     Args:
         seed: RNG seed.
@@ -38,17 +48,29 @@ def random_application(
         max_kernels_per_cluster: upper bound on kernels per cluster.
         max_object_words: upper bound on object sizes.
         iterations: total iterations; random in [2, 24] when omitted.
+        min_object_words: lower bound on object sizes.
+        min_kernels_per_cluster: lower bound on kernels per cluster
+            (raise it to force deep within-cluster result chains).
+        invariant_tables: number of iteration-invariant shared tables
+            (coefficient banks, LUTs) consumed by 2+ random clusters.
+        invariant_table_words: inclusive ``(low, high)`` size range of
+            the invariant tables; defaults to
+            ``(max_object_words, 4 * max_object_words)`` — deliberately
+            large, since a kept invariant table occupies ``size`` words
+            rather than ``RF * size`` and thus stresses the keep
+            acceptance maths.
     """
     rng = np.random.RandomState(seed)
     n_clusters = int(rng.randint(2, max_clusters + 1))
-    sizes = [int(rng.randint(1, max_kernels_per_cluster + 1))
+    sizes = [int(rng.randint(min_kernels_per_cluster,
+                             max_kernels_per_cluster + 1))
              for _ in range(n_clusters)]
     total_iterations = (
         iterations if iterations is not None else int(rng.randint(2, 25))
     )
 
     def words() -> int:
-        return int(rng.randint(8, max_object_words + 1))
+        return int(rng.randint(min_object_words, max_object_words + 1))
 
     builder = Application.build(
         f"random-{seed}", total_iterations=total_iterations
@@ -66,6 +88,24 @@ def random_application(
         name = f"table{index}"
         builder.data(name, words())
         shared_names.append((name, consumers))
+
+    # Iteration-invariant tables (fuzz regime): large coefficient banks
+    # consumed by 2+ clusters.  The whole block is guarded so the
+    # default of zero tables draws nothing from the RNG — historical
+    # seeds keep producing byte-identical applications.
+    invariant_names: List[Tuple[str, List[int]]] = []
+    if invariant_tables > 0:
+        low, high = invariant_table_words or (
+            max_object_words, 4 * max_object_words
+        )
+        for index in range(invariant_tables):
+            consumers = sorted(
+                rng.choice(n_clusters, size=min(n_clusters, 2 + index % 2),
+                           replace=False).tolist()
+            )
+            name = f"inv{index}"
+            builder.data(name, int(rng.randint(low, high + 1)), invariant=True)
+            invariant_names.append((name, consumers))
 
     # Shared results: last kernel of a cluster feeding a later cluster.
     shared_result_plan: List[Tuple[int, int, str]] = []
@@ -91,6 +131,9 @@ def random_application(
                 inputs.append(previous)
             if kernel_index == 0:
                 for name, consumers in shared_names:
+                    if cluster_index in consumers:
+                        inputs.append(name)
+                for name, consumers in invariant_names:
                     if cluster_index in consumers:
                         inputs.append(name)
                 for producer, consumer, name in shared_result_plan:

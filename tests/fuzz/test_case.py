@@ -1,0 +1,80 @@
+"""FuzzCase capture, replay, and JSON round-trip."""
+
+import json
+
+import pytest
+
+from repro.errors import ApplicationError
+from repro.fuzz.case import FuzzCase
+from repro.workloads.random_gen import random_application
+
+
+def _case(seed: int = 3, fb_words: int = 2048) -> FuzzCase:
+    application, clustering = random_application(seed)
+    return FuzzCase.from_workload(
+        application, clustering, fb_words, regime="test", seed=seed
+    )
+
+
+def test_from_workload_captures_structure():
+    application, clustering = random_application(5)
+    case = FuzzCase.from_workload(application, clustering, 1024)
+    assert case.total_iterations == application.total_iterations
+    assert set(case.objects) == set(application.objects)
+    assert [k["name"] for k in case.kernels] == [
+        kernel.name for kernel in application.kernels
+    ]
+    assert case.groups == [list(c.kernel_names) for c in clustering]
+    assert case.fb_sets == [c.fb_set for c in clustering]
+
+
+def test_build_reconstructs_equivalent_workload():
+    case = _case()
+    application, clustering = case.build()
+    original_app, original_cl = random_application(3)
+    assert application.total_iterations == original_app.total_iterations
+    assert set(application.objects) == set(original_app.objects)
+    for name, obj in application.objects.items():
+        assert obj.size == original_app.objects[name].size
+        assert obj.invariant == original_app.objects[name].invariant
+    assert [k.name for k in application.kernels] == [
+        k.name for k in original_app.kernels
+    ]
+    assert application.final_outputs == original_app.final_outputs
+    assert [c.fb_set for c in clustering] == [c.fb_set for c in original_cl]
+
+
+def test_json_roundtrip_is_lossless(tmp_path):
+    case = _case()
+    case.failing_oracle = "traffic"
+    path = tmp_path / "case.json"
+    case.save(path)
+    again = FuzzCase.load(path)
+    assert again.to_dict() == case.to_dict()
+    # The file itself is plain JSON (corpus entries are reviewable).
+    payload = json.loads(path.read_text())
+    assert payload["name"] == case.name
+    assert payload["failing_oracle"] == "traffic"
+    assert "xfail" not in payload  # only written when set
+
+
+def test_xfail_flag_roundtrips(tmp_path):
+    case = _case()
+    case.xfail = True
+    path = tmp_path / "case.json"
+    case.save(path)
+    assert FuzzCase.load(path).xfail is True
+
+
+def test_build_rejects_invalid_structure():
+    case = _case()
+    case.kernels[0]["inputs"] = ["no_such_object"]
+    with pytest.raises(ApplicationError):
+        case.build()
+
+
+def test_weight_shrinks_with_structure():
+    case = _case()
+    lighter = FuzzCase.from_dict(case.to_dict())
+    lighter.total_iterations = 1
+    assert lighter.weight < case.weight

@@ -1,0 +1,49 @@
+"""Replay every shrunk reproducer under ``tests/corpus/``.
+
+Each corpus entry is a :class:`~repro.fuzz.case.FuzzCase` JSON file:
+
+* regular entries are regressions of **fixed** bugs and must pass the
+  whole oracle stack forever;
+* entries with ``"xfail": true`` reproduce **known, unfixed** bugs —
+  they are expected to keep failing their recorded oracle until the
+  fix lands (at which point the flag is removed to pin the fix).
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.oracles import run_oracles
+
+CORPUS_DIR = Path(__file__).resolve().parent.parent / "corpus"
+CORPUS = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_exists():
+    assert CORPUS, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_corpus_case_replays(path):
+    case = FuzzCase.load(path)
+    failures = run_oracles(case)
+    if case.xfail:
+        still_failing = [
+            f for f in failures
+            if not case.failing_oracle or f.oracle == case.failing_oracle
+        ]
+        if still_failing:
+            pytest.xfail(
+                f"known-unfixed reproducer ({case.failing_oracle}): "
+                f"{still_failing[0].message}"
+            )
+        pytest.fail(
+            f"{path.name} no longer fails oracle "
+            f"{case.failing_oracle!r} — the bug appears fixed; remove "
+            f'"xfail": true to pin the fix'
+        )
+    assert failures == [], (
+        f"{path.name} regressed: "
+        + "; ".join(f"[{f.oracle}] {f.message}" for f in failures)
+    )

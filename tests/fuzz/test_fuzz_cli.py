@@ -1,0 +1,42 @@
+"""The ``repro fuzz`` command."""
+
+from repro.cli import main
+
+
+def test_fuzz_command_clean_run_exits_zero(capsys):
+    code = main([
+        "fuzz", "--seeds", "3", "--quick", "--no-paper", "--no-functional",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "all oracles clean" in out
+
+
+def test_fuzz_command_regime_filter(capsys):
+    code = main([
+        "fuzz", "--seeds", "2", "--regime", "tiny_fb",
+        "--no-paper", "--no-functional",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "1 regimes (tiny_fb)" in out
+
+
+def test_fuzz_command_failures_dir(tmp_path, capsys, monkeypatch):
+    from repro.fuzz import runner as runner_module
+    from repro.fuzz.oracles import OracleFailure
+
+    monkeypatch.setattr(
+        runner_module, "run_oracles",
+        lambda case, **kwargs: [
+            OracleFailure("traffic", case.name, "planted")
+        ],
+    )
+    code = main([
+        "fuzz", "--seeds", "1", "--quick", "--no-paper", "--no-shrink",
+        "--failures-dir", str(tmp_path / "out"),
+    ])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "reproducers written" in out
+    assert list((tmp_path / "out").glob("*.json"))

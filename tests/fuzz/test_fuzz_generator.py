@@ -1,0 +1,112 @@
+"""The regime matrix: determinism and adversarial shape."""
+
+import pytest
+
+from repro.core.dataflow import analyze_dataflow
+from repro.core.metrics import cluster_data_size_naive
+from repro.fuzz.generator import REGIMES, generate_case, regime_names
+from repro.workloads.random_gen import random_application
+
+
+def test_regime_names_cover_the_matrix():
+    assert regime_names() == tuple(REGIMES)
+    assert set(regime_names()) == {
+        "baseline", "tiny_fb", "nondivisor_rf", "invariant_tables",
+        "deep_chains",
+    }
+
+
+@pytest.mark.parametrize("regime", sorted(REGIMES))
+def test_cases_are_deterministic_and_build(regime):
+    first = generate_case(regime, 9)
+    second = generate_case(regime, 9)
+    assert first.to_dict() == second.to_dict()
+    application, clustering = first.build()
+    assert application.total_iterations == first.total_iterations
+    assert len(clustering) == len(first.groups)
+    assert first.regime == regime
+    assert first.seed == 9
+
+
+def test_unknown_regime_is_rejected():
+    with pytest.raises(ValueError, match="unknown regime"):
+        generate_case("nope", 0)
+
+
+def test_tiny_fb_straddles_the_footprint():
+    """The tiny_fb set size sits within a few words of the RF=1 floor."""
+    for seed in range(8):
+        case = generate_case("tiny_fb", seed)
+        application, clustering = case.build()
+        dataflow = analyze_dataflow(application, clustering)
+        footprint = max(
+            cluster_data_size_naive(dataflow, c.index, 1, ())
+            for c in clustering
+        )
+        assert abs(case.fb_words - footprint) <= 64
+
+
+def test_nondivisor_rf_uses_prime_iterations():
+    for seed in range(6):
+        case = generate_case("nondivisor_rf", seed)
+        n = case.total_iterations
+        assert n >= 7
+        assert all(n % d for d in range(2, n))  # prime
+
+
+def test_invariant_tables_regime_produces_invariant_objects():
+    case = generate_case("invariant_tables", 1)
+    invariants = [
+        name for name, spec in case.objects.items() if spec["invariant"]
+    ]
+    assert invariants
+    assert all(case.objects[name]["size"] >= 256 for name in invariants)
+
+
+def test_deep_chains_regime_runs_long_clusters():
+    case = generate_case("deep_chains", 2)
+    assert max(len(group) for group in case.groups) >= 5
+
+
+def test_random_application_default_stream_is_unchanged():
+    """New generator knobs must not perturb historical seeds.
+
+    Golden values captured before the adversarial knobs were added; if
+    this test fails, a new parameter is consuming RNG draws at its
+    default value and every seeded corpus result shifts.
+    """
+    application, _ = random_application(0)
+    assert application.total_iterations == 5
+    assert [k.name for k in application.kernels] == ["c0k0", "c0k1", "c1k0"]
+    sizes = sorted(
+        (obj.name, obj.size) for obj in application.objects.values()
+    )
+    assert sizes == [
+        ("in_0_0", 44), ("in_0_1", 148), ("in_1_0", 182),
+        ("mid_0_0", 95), ("out_0", 66), ("out_1", 96),
+        ("table0", 29), ("xres0", 201), ("xres1", 238),
+    ]
+
+
+def test_random_application_adversarial_knobs():
+    application, clustering = random_application(
+        4,
+        min_kernels_per_cluster=4,
+        max_kernels_per_cluster=6,
+        min_object_words=1,
+        max_object_words=16,
+        invariant_tables=2,
+        invariant_table_words=(100, 200),
+    )
+    assert all(len(c.kernel_names) >= 4 for c in clustering)
+    invariants = [o for o in application.objects.values() if o.invariant]
+    assert len(invariants) == 2
+    assert all(100 <= o.size <= 200 for o in invariants)
+    # Each table is consumed by at least two clusters' first kernels.
+    for table in invariants:
+        consumers = {
+            clustering.cluster_of(kernel.name).index
+            for kernel in application.kernels
+            if table.name in kernel.inputs
+        }
+        assert len(consumers) >= 2

@@ -1,0 +1,98 @@
+"""The fuzz campaign driver: matrices, fan-out, persistence, metrics."""
+
+import json
+
+import pytest
+
+from repro.fuzz import runner as runner_module
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.oracles import OracleFailure
+from repro.fuzz.runner import _task_matrix, run_fuzz
+from repro.obs import metrics
+
+
+def test_quick_matrix_round_robins_regimes():
+    tasks = _task_matrix(
+        list(range(6)), ("a", "b", "c"), quick=True, functional=False
+    )
+    assert len(tasks) == 6
+    assert [t[0] for t in tasks] == ["a", "b", "c", "a", "b", "c"]
+
+
+def test_full_matrix_is_cross_product():
+    tasks = _task_matrix(
+        list(range(4)), ("a", "b"), quick=False, functional=True
+    )
+    assert len(tasks) == 8
+    assert {t[0] for t in tasks} == {"a", "b"}
+
+
+def test_quick_campaign_runs_clean_serially():
+    report = run_fuzz(
+        range(5), quick=True, include_paper=False, functional=False
+    )
+    assert report.ok
+    assert report.cases_run == 5
+    assert "all oracles clean" in report.summary()
+
+
+def test_parallel_campaign_matches_serial():
+    serial = run_fuzz(
+        range(4), quick=True, include_paper=False, functional=False
+    )
+    parallel = run_fuzz(
+        range(4), quick=True, include_paper=False, functional=False, jobs=2
+    )
+    assert serial.cases_run == parallel.cases_run
+    assert serial.ok == parallel.ok
+
+
+def test_paper_anchor_cases_included():
+    report = run_fuzz(
+        range(0), include_paper=True, functional=False
+    )
+    assert report.cases_run >= 12  # the Table-1 experiment list
+    assert report.ok
+
+
+def test_unknown_regime_rejected():
+    with pytest.raises(ValueError, match="unknown regimes"):
+        run_fuzz(range(2), regimes=("bogus",))
+
+
+def test_failures_are_shrunk_and_persisted(tmp_path, monkeypatch):
+    planted = {"count": 0}
+
+    def fake_run_oracles(case, **kwargs):
+        planted["count"] += 1
+        return [OracleFailure("traffic", case.name, "planted failure")]
+
+    monkeypatch.setattr(runner_module, "run_oracles", fake_run_oracles)
+    failures_dir = tmp_path / "failures"
+    report = run_fuzz(
+        range(2), quick=True, include_paper=False, shrink=False,
+        failures_dir=str(failures_dir),
+    )
+    assert not report.ok
+    assert len(report.findings) == 2
+    written = sorted(failures_dir.glob("*.json"))
+    assert len(written) == 2
+    payload = json.loads(written[0].read_text())
+    assert payload["failing_oracle"] == "traffic"
+    FuzzCase.from_dict(payload).build()  # reproducers replay standalone
+    assert report.findings[0].reproducer_path
+    assert "planted failure" in report.summary()
+
+
+def test_campaign_metrics_counters(monkeypatch):
+    registry = metrics.get_registry()
+    registry.reset()
+    previous = metrics.set_metrics_active(True)
+    try:
+        run_fuzz(range(3), quick=True, include_paper=False,
+                 functional=False)
+    finally:
+        metrics.set_metrics_active(previous)
+    assert registry.counter("cases", scope="fuzz") == 3
+    assert registry.counter("failing_cases", scope="fuzz") == 0
+    registry.reset()

@@ -1,0 +1,90 @@
+"""Infeasibility diagnostics must show need strictly above capacity.
+
+Regression for the rounding-collision bug: ``format_size`` renders to
+two decimals of a K, so 1029 and 1024 both became ``1K`` and seed 13
+at a 1K set produced "cluster Cl4 needs 1K (RF=1) but one frame-buffer
+set holds 1K".  Messages now fall back to exact word counts whenever
+the two numbers would collide, and every
+:class:`~repro.errors.InfeasibleScheduleError` carries machine-readable
+``required``/``available`` with ``required > available``.
+"""
+
+import re
+
+import pytest
+
+from repro.arch.params import Architecture
+from repro.errors import InfeasibleScheduleError
+from repro.schedule.basic import BasicScheduler
+from repro.schedule.complete import CompleteDataScheduler
+from repro.schedule.data_scheduler import DataScheduler
+from repro.units import format_words_pair
+from repro.workloads.random_gen import random_application
+
+_SCHEDULERS = (BasicScheduler, DataScheduler, CompleteDataScheduler)
+
+
+def test_seed13_at_1k_reports_exact_words():
+    """The exact reproducer: 1029 vs 1024 previously both rendered 1K."""
+    application, clustering = random_application(13)
+    with pytest.raises(InfeasibleScheduleError) as excinfo:
+        BasicScheduler(Architecture.m1(1024)).schedule(
+            application, clustering
+        )
+    exc = excinfo.value
+    assert exc.required == 1029
+    assert exc.available == 1024
+    assert "1029 words" in str(exc)
+    assert "1024 words" in str(exc)
+    assert "1K" not in str(exc)
+
+
+def test_ds_rf1_diagnostic_names_worst_cluster():
+    application, clustering = random_application(13)
+    with pytest.raises(InfeasibleScheduleError) as excinfo:
+        DataScheduler(Architecture.m1(300)).schedule(
+            application, clustering
+        )
+    exc = excinfo.value
+    assert exc.cluster
+    assert exc.required is not None and exc.available == 300
+    assert exc.required > exc.available
+    assert "RF=1" in str(exc)
+
+
+@pytest.mark.parametrize("scheduler_cls", _SCHEDULERS)
+def test_infeasibility_always_displays_need_above_capacity(scheduler_cls):
+    """Property: every infeasibility message shows need > capacity.
+
+    Sweeps random workloads across frame-buffer sizes chosen to make
+    many of them infeasible, including sizes straddling the 1K/2K
+    rounding boundaries where the old message collided.
+    """
+    checked = 0
+    for seed in range(25):
+        application, clustering = random_application(seed)
+        for fb_words in (260, 1021, 1024, 1027, 2048):
+            scheduler = scheduler_cls(Architecture.m1(fb_words))
+            try:
+                scheduler.schedule(application, clustering)
+                continue
+            except InfeasibleScheduleError as exc:
+                checked += 1
+                message = str(exc)
+                assert exc.required is not None, message
+                assert exc.available is not None, message
+                assert exc.required > exc.available, message
+                need, capacity = format_words_pair(
+                    exc.required, exc.available
+                )
+                assert need != capacity, message
+                assert need in message and capacity in message, message
+                # The two rendered quantities must also compare in the
+                # stated direction when both are plain word counts.
+                numbers = [
+                    int(value)
+                    for value in re.findall(r"(\d+) words", message)
+                ]
+                if len(numbers) >= 2:
+                    assert numbers[0] > numbers[1], message
+    assert checked >= 25  # the sweep really exercised infeasible cases
