@@ -3,9 +3,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint ruff mypy bench bench-quick trace-demo fuzz fuzz-quick
+.PHONY: check test lint ruff mypy bench bench-quick trace-demo fuzz fuzz-quick cache-smoke
 
-check: test ruff mypy lint fuzz-quick
+check: test ruff mypy lint fuzz-quick cache-smoke
+
+# Persistent-cache smoke: fill a throwaway cache directory, check the
+# stats/clear plumbing end to end.
+cache-smoke:
+	rm -rf .cache-smoke
+	$(PYTHON) -m repro.cli corpus --seeds 3 --cache-dir .cache-smoke > /dev/null
+	$(PYTHON) -m repro.cli cache stats --cache-dir .cache-smoke
+	$(PYTHON) -m repro.cli cache clear --cache-dir .cache-smoke
+	rm -rf .cache-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -29,13 +38,18 @@ fuzz-quick:
 	$(PYTHON) -m repro.cli fuzz --seeds 60 --quick --jobs 0 \
 		--failures-dir fuzz-failures
 
-# Full pipeline benchmark; refreshes the committed baseline.
+# Full pipeline benchmark; refreshes the committed baseline.  The
+# speedup column diffs against the recorded BENCH_baseline.json
+# (refresh it with `repro bench --baseline BENCH_baseline.json
+# --update-baseline` when re-anchoring the trajectory).
 bench:
-	$(PYTHON) -m repro.cli bench --output BENCH_pipeline.json
+	$(PYTHON) -m repro.cli bench --output BENCH_pipeline.json \
+		--baseline BENCH_baseline.json
 
 # CI's quick-mode benchmark, gated against the committed baseline.
 bench-quick:
 	$(PYTHON) -m repro.cli bench --quick --output BENCH_quick.json \
+		--baseline BENCH_baseline.json \
 		--compare BENCH_pipeline.json --max-regression 25
 
 # Sample Chrome trace_event export — open trace_ATR-FI.json at

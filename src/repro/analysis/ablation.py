@@ -19,7 +19,6 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.parallel import PlanMemo
-from repro.arch.machine import MorphoSysM1
 from repro.arch.params import Architecture
 from repro.codegen.generator import generate_program
 from repro.core.application import Application
@@ -28,7 +27,7 @@ from repro.errors import InfeasibleScheduleError
 from repro.schedule.base import ScheduleOptions
 from repro.schedule.complete import CompleteDataScheduler
 from repro.schedule.context_scheduler import DmaPolicy
-from repro.sim.engine import Simulator
+from repro.sim.batch import simulate_program
 from repro.workloads.spec import ExperimentSpec
 
 __all__ = [
@@ -67,7 +66,28 @@ def _run_cds(
     variant: str,
     dma_policy: DmaPolicy = DmaPolicy.CONTEXTS_FIRST,
     memo: Optional[PlanMemo] = None,
+    cache=None,
 ) -> AblationResult:
+    key = None
+    if cache is not None:
+        from repro.cache import (
+            arch_fingerprint,
+            digest,
+            options_fingerprint,
+            workload_fingerprint,
+        )
+
+        key = digest((
+            "ablation",
+            variant,
+            workload_fingerprint(application, clustering),
+            arch_fingerprint(architecture),
+            options_fingerprint(options),
+            dma_policy.value,
+        ))
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
     try:
         if memo is not None:
             schedule = memo.schedule(
@@ -79,16 +99,19 @@ def _run_cds(
                 application, clustering
             )
     except InfeasibleScheduleError as exc:
-        return AblationResult(
+        result = AblationResult(
             workload=application.name, variant=variant,
             total_cycles=None, data_words=None, rf=None, kept_items=None,
             infeasible_reason=str(exc),
         )
+        if cache is not None:
+            cache.put(key, result)
+        return result
     program = generate_program(schedule)
-    report = Simulator(MorphoSysM1(architecture), dma_policy=dma_policy).run(
-        program
+    report = simulate_program(
+        program, architecture, dma_policy=dma_policy, verify=True,
     )
-    return AblationResult(
+    result = AblationResult(
         workload=application.name,
         variant=variant,
         total_cycles=report.total_cycles,
@@ -96,9 +119,14 @@ def _run_cds(
         rf=schedule.rf,
         kept_items=len(schedule.keeps),
     )
+    if cache is not None:
+        cache.put(key, result)
+    return result
 
 
-def keep_policy_ablation(spec: ExperimentSpec) -> List[AblationResult]:
+def keep_policy_ablation(
+    spec: ExperimentSpec, *, cache=None
+) -> List[AblationResult]:
     """TF ranking vs. size-first vs. discovery-order retention."""
     application, clustering = spec.build()
     architecture = Architecture.m1(spec.fb)
@@ -108,13 +136,15 @@ def keep_policy_ablation(spec: ExperimentSpec) -> List[AblationResult]:
             _run_cds(
                 application, clustering, architecture,
                 ScheduleOptions(keep_policy=policy),
-                variant=f"keep={policy}",
+                variant=f"keep={policy}", cache=cache,
             )
         )
     return results
 
 
-def rf_policy_ablation(spec: ExperimentSpec) -> List[AblationResult]:
+def rf_policy_ablation(
+    spec: ExperimentSpec, *, cache=None
+) -> List[AblationResult]:
     """Paper's RF-first policy vs. joint (RF, keeps) exploration."""
     application, clustering = spec.build()
     architecture = Architecture.m1(spec.fb)
@@ -122,13 +152,15 @@ def rf_policy_ablation(spec: ExperimentSpec) -> List[AblationResult]:
         _run_cds(
             application, clustering, architecture,
             ScheduleOptions(rf_policy=policy),
-            variant=f"rf={policy}",
+            variant=f"rf={policy}", cache=cache,
         )
         for policy in ("max_then_keep", "joint")
     ]
 
 
-def dma_policy_ablation(spec: ExperimentSpec) -> List[AblationResult]:
+def dma_policy_ablation(
+    spec: ExperimentSpec, *, cache=None
+) -> List[AblationResult]:
     """Context-scheduler orderings inside overlap windows.
 
     The schedule is invariant across DMA policies (they differ only in
@@ -142,12 +174,15 @@ def dma_policy_ablation(spec: ExperimentSpec) -> List[AblationResult]:
         _run_cds(
             application, clustering, architecture, ScheduleOptions(),
             variant=f"dma={policy.value}", dma_policy=policy, memo=memo,
+            cache=cache,
         )
         for policy in DmaPolicy
     ]
 
 
-def cross_set_ablation(spec: ExperimentSpec) -> List[AblationResult]:
+def cross_set_ablation(
+    spec: ExperimentSpec, *, cache=None
+) -> List[AblationResult]:
     """The paper's future work: retention across frame-buffer sets.
 
     Runs the CDS on the experiment's workload twice — on the M1
@@ -162,10 +197,10 @@ def cross_set_ablation(spec: ExperimentSpec) -> List[AblationResult]:
     )
     return [
         _run_cds(application, clustering, m1, ScheduleOptions(),
-                 variant="retention=same-set"),
+                 variant="retention=same-set", cache=cache),
         _run_cds(application, clustering, extended,
                  ScheduleOptions(cross_set_retention=True),
-                 variant="retention=cross-set"),
+                 variant="retention=cross-set", cache=cache),
     ]
 
 

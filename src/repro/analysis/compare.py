@@ -113,16 +113,35 @@ def run_scheduler(
     *,
     trace: bool = True,
     dataflow=None,
+    cache=None,
 ) -> SchedulerOutcome:
     """Schedule, lower, simulate; package the outcome.
 
     ``trace=False`` skips recording the per-transfer DMA trace; the
     report's aggregate statistics are identical.
 
+    *cache* (a :class:`~repro.cache.CacheStore`) memoizes the whole
+    outcome — including infeasible verdicts — across processes and
+    runs, keyed by :func:`~repro.cache.keys.outcome_key`.  Cached and
+    freshly computed outcomes are byte-identical (equivalence-tested):
+    every pipeline input is digested into the key, so a hit can only
+    replay the exact same computation.
+
     Each pipeline stage reports into the observability metrics registry
     (scope ``pipeline.<scheduler>``) when collection is on — a no-op
     flag check otherwise.
     """
+    key = None
+    if cache is not None:
+        from repro.cache import outcome_key
+
+        key = outcome_key(
+            scheduler.name, application, clustering, architecture,
+            options=scheduler.options, trace=trace,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
     scope = f"pipeline.{scheduler.name}"
     try:
         with time_stage("schedule", scope=scope):
@@ -130,22 +149,28 @@ def run_scheduler(
                 application, clustering, dataflow=dataflow
             )
     except InfeasibleScheduleError as exc:
-        return SchedulerOutcome(
+        outcome = SchedulerOutcome(
             scheduler=scheduler.name,
             feasible=False,
             infeasible_reason=str(exc),
         )
+        if cache is not None:
+            cache.put(key, outcome)
+        return outcome
     with time_stage("codegen", scope=scope):
         program = generate_program(schedule)
     machine = MorphoSysM1(architecture)
     with time_stage("simulate", scope=scope):
         report = Simulator(machine, trace=trace).run(program)
-    return SchedulerOutcome(
+    outcome = SchedulerOutcome(
         scheduler=scheduler.name,
         feasible=True,
         schedule=schedule,
         report=report,
     )
+    if cache is not None:
+        cache.put(key, outcome)
+    return outcome
 
 
 def compare_workload(
@@ -156,20 +181,21 @@ def compare_workload(
     options: Optional[ScheduleOptions] = None,
     workload_name: Optional[str] = None,
     trace: bool = True,
+    cache=None,
 ) -> ComparisonRow:
     """Run Basic, DS and CDS on one workload and collect the row."""
     dataflow = analyze_dataflow(application, clustering)
     basic = run_scheduler(
         BasicScheduler(architecture, options), application, clustering,
-        architecture, trace=trace, dataflow=dataflow,
+        architecture, trace=trace, dataflow=dataflow, cache=cache,
     )
     ds = run_scheduler(
         DataScheduler(architecture, options), application, clustering,
-        architecture, trace=trace, dataflow=dataflow,
+        architecture, trace=trace, dataflow=dataflow, cache=cache,
     )
     cds = run_scheduler(
         CompleteDataScheduler(architecture, options), application, clustering,
-        architecture, trace=trace, dataflow=dataflow,
+        architecture, trace=trace, dataflow=dataflow, cache=cache,
     )
     return ComparisonRow(
         workload=workload_name or application.name,

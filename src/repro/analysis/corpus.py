@@ -75,25 +75,48 @@ def _seed_outcome(task):
     Top-level so :func:`parallel_map` can ship it to worker processes;
     the serial path runs the same function, so serial and parallel
     studies are identical by construction.
+
+    With a cache directory, the reduced aggregates are memoised per
+    ``(seed, fb, iterations)`` — a warm rerun skips the generator, the
+    schedulers and the simulator for every unchanged seed.  The full
+    per-scheduler outcomes are additionally cached under their own
+    content keys, so other drivers touching the same workloads hit too.
     """
-    seed, fb, iterations = task
+    seed, fb, iterations, cache_dir = task
     architecture = Architecture.m1(fb)
+    cache = seed_key = None
+    if cache_dir is not None:
+        from repro.cache import CacheStore, digest
+
+        cache = CacheStore(cache_dir)
+        seed_key = digest((
+            "corpus_seed", seed, architecture.fb_set_words, iterations,
+        ))
+        cached = cache.get(seed_key)
+        if cached is not None:
+            # Wrapped in a 1-tuple: ``None`` (infeasible seed) is a
+            # legitimate outcome but the store's miss sentinel.
+            return cached[0]
     application, clustering = random_application(
         seed, iterations=iterations
     )
     # The study consumes aggregates only, so the per-transfer DMA
     # trace is not recorded.
     row = compare_workload(
-        application, clustering, architecture, trace=False
+        application, clustering, architecture, trace=False, cache=cache
     )
     if not (row.basic.feasible and row.ds.feasible and row.cds.feasible):
-        return None
-    return (
-        bool(row.cds.schedule.keeps),
-        row.cds.total_cycles - row.ds.total_cycles,
-        row.ds_improvement_pct,
-        row.cds_improvement_pct,
-    )
+        outcome = None
+    else:
+        outcome = (
+            bool(row.cds.schedule.keeps),
+            row.cds.total_cycles - row.ds.total_cycles,
+            row.ds_improvement_pct,
+            row.cds_improvement_pct,
+        )
+    if cache is not None:
+        cache.put(seed_key, (outcome,))
+    return outcome
 
 
 def corpus_study(
@@ -102,17 +125,20 @@ def corpus_study(
     fb: SizeLike = "4K",
     iterations: int = 6,
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> CorpusStats:
     """Run the three-scheduler comparison over seeded random workloads.
 
     ``jobs`` fans the seeds out over worker processes (``None``/``1`` =
     serial, ``0`` = one per CPU); the resulting stats are identical
-    either way.
+    either way.  ``cache_dir`` enables the persistent pipeline cache:
+    reruns over unchanged seeds (and unchanged code) are served from
+    disk with byte-identical results.
     """
     stats = CorpusStats(seeds_total=len(seeds))
     outcomes = parallel_map(
         _seed_outcome,
-        [(seed, fb, iterations) for seed in seeds],
+        [(seed, fb, iterations, cache_dir) for seed in seeds],
         jobs=jobs,
     )
     for outcome in outcomes:

@@ -24,7 +24,6 @@ safe to use from drivers that shuffle or fan out their work.
 
 from __future__ import annotations
 
-import hashlib
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
@@ -136,40 +135,6 @@ def parallel_map(
 # -- content-hash schedule-plan memo -------------------------------------
 
 
-def _workload_fingerprint(
-    application: Application, clustering: Clustering
-) -> tuple:
-    """Canonical, identity-free description of a (app, clustering) pair."""
-    kernels = tuple(
-        (
-            kernel.name,
-            kernel.context_words,
-            kernel.cycles,
-            tuple(kernel.inputs),
-            tuple(kernel.outputs),
-        )
-        for kernel in application.kernels
-    )
-    objects = tuple(
-        sorted(
-            (obj.name, obj.size, obj.invariant)
-            for obj in application.objects.values()
-        )
-    )
-    clusters = tuple(
-        (cluster.index, tuple(cluster.kernel_names), cluster.fb_set)
-        for cluster in clustering
-    )
-    return (
-        application.name,
-        application.total_iterations,
-        kernels,
-        objects,
-        tuple(sorted(application.final_outputs)),
-        clusters,
-    )
-
-
 def plan_key(
     scheduler_name: str,
     application: Application,
@@ -182,33 +147,22 @@ def plan_key(
     Equal keys guarantee byte-identical schedules: every input the
     schedulers read — workload structure, architecture parameters,
     options — is digested; object identities and discovery order are
-    not.
+    not.  The canonical fingerprints live in :mod:`repro.cache.keys`,
+    shared with the persistent on-disk store.
     """
-    timing = architecture.timing
-    payload = repr((
+    from repro.cache.keys import (
+        arch_fingerprint,
+        digest,
+        options_fingerprint,
+        workload_fingerprint,
+    )
+
+    return digest((
         scheduler_name,
-        _workload_fingerprint(application, clustering),
-        (
-            architecture.fb_set_words,
-            architecture.rc_rows,
-            architecture.rc_cols,
-            architecture.fb_sets,
-            architecture.context_block_words,
-            architecture.context_blocks,
-            architecture.fb_cross_set_access,
-            timing.data_word_cycles,
-            timing.context_word_cycles,
-            timing.dma_setup_cycles,
-        ),
-        (
-            options.rf_cap,
-            options.keep_policy,
-            options.rf_policy,
-            options.cross_set_retention,
-            options.occupancy_engine,
-        ),
+        workload_fingerprint(application, clustering),
+        arch_fingerprint(architecture),
+        options_fingerprint(options),
     ))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 class PlanMemo:
@@ -274,7 +228,7 @@ def _ablation_worker(task) -> list:
     ``ExperimentSpec`` carries a builder callable, so tasks ship the
     experiment *id* and the worker re-resolves it.
     """
-    spec_id, kind = task
+    spec_id, kind, cache_dir = task
     from repro.analysis.ablation import (
         cross_set_ablation,
         dma_policy_ablation,
@@ -283,6 +237,11 @@ def _ablation_worker(task) -> list:
     )
     from repro.workloads.spec import paper_experiments
 
+    cache = None
+    if cache_dir is not None:
+        from repro.cache import CacheStore
+
+        cache = CacheStore(cache_dir)
     functions = {
         "keep": keep_policy_ablation,
         "rf": rf_policy_ablation,
@@ -291,19 +250,25 @@ def _ablation_worker(task) -> list:
     }
     for spec in paper_experiments():
         if spec.id == spec_id:
-            return functions[kind](spec)
+            return functions[kind](spec, cache=cache)
     raise ValueError(f"unknown experiment {spec_id!r}")
 
 
-def run_all_ablations(spec, *, jobs: Optional[int] = None) -> list:
+def run_all_ablations(
+    spec,
+    *,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
+) -> list:
     """All four design ablations of one experiment, optionally parallel.
 
     Result order is fixed (keep, rf, dma, cross-set — each family's
-    variants in its own order) independent of *jobs*.
+    variants in its own order) independent of *jobs*.  ``cache_dir``
+    enables the persistent pipeline cache in every worker.
     """
     groups = parallel_map(
         _ablation_worker,
-        [(spec.id, kind) for kind in _ABLATION_KINDS],
+        [(spec.id, kind, cache_dir) for kind in _ABLATION_KINDS],
         jobs=jobs,
     )
     return [result for group in groups for result in group]

@@ -57,9 +57,14 @@ def _row_to_point(row, words: int) -> SweepPoint:
 
 def _sweep_point(task) -> SweepPoint:
     """One (workload, FB size) sample (top-level: picklable)."""
-    application, clustering, words = task
+    application, clustering, words, cache_dir = task
+    cache = None
+    if cache_dir is not None:
+        from repro.cache import CacheStore
+
+        cache = CacheStore(cache_dir)
     row = compare_workload(
-        application, clustering, Architecture.m1(words)
+        application, clustering, Architecture.m1(words), cache=cache
     )
     return _row_to_point(row, words)
 
@@ -71,6 +76,7 @@ def sweep_fb_sizes(
     *,
     architecture_factory: Callable[[int], Architecture] = None,
     jobs: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> List[SweepPoint]:
     """Run the three-scheduler comparison at each frame-buffer size.
 
@@ -81,13 +87,17 @@ def sweep_fb_sizes(
     ``jobs`` fans the sizes out over worker processes (``None``/``1`` =
     serial, ``0`` = one per CPU) with identical results.  A custom
     ``architecture_factory`` (often a closure, not picklable) forces
-    the serial path.
+    the serial, uncached path.  ``cache_dir`` enables the persistent
+    pipeline cache for the standard-architecture path.
     """
     words_list = [parse_size(size) for size in fb_sizes]
     if architecture_factory is None:
         return parallel_map(
             _sweep_point,
-            [(application, clustering, words) for words in words_list],
+            [
+                (application, clustering, words, cache_dir)
+                for words in words_list
+            ],
             jobs=jobs,
         )
     points: List[SweepPoint] = []

@@ -1,0 +1,30 @@
+"""Persistent cross-run pipeline cache.
+
+Content-addressed keys (:mod:`repro.cache.keys`) plus an on-disk,
+generation-versioned store (:mod:`repro.cache.store`): together they
+memoize ``(workload, architecture, options) -> schedule + program +
+SimulationReport`` across processes and runs.  See
+``docs/performance.md`` for the keying and invalidation rules.
+"""
+
+from repro.cache.keys import (
+    arch_fingerprint,
+    case_key,
+    digest,
+    options_fingerprint,
+    outcome_key,
+    workload_fingerprint,
+)
+from repro.cache.store import CacheStore, code_fingerprint, default_cache_dir
+
+__all__ = [
+    "CacheStore",
+    "arch_fingerprint",
+    "case_key",
+    "code_fingerprint",
+    "default_cache_dir",
+    "digest",
+    "options_fingerprint",
+    "outcome_key",
+    "workload_fingerprint",
+]

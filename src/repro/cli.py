@@ -22,6 +22,8 @@ Commands:
 * ``fuzz``    — differential fuzzing: adversarial workload regimes
   cross-checked by the oracle stack, failures shrunk to minimal
   reproducers (exit 1 on any violation);
+* ``cache``   — inspect (``stats``) or wipe (``clear``) the persistent
+  cross-run pipeline cache used by ``--cache-dir``;
 * ``list``     — list the available experiments.
 """
 
@@ -199,7 +201,9 @@ def _cmd_ablation(args) -> None:
     from repro.analysis.parallel import run_all_ablations
 
     spec = _find_spec(args.experiment)
-    print(render_ablation(run_all_ablations(spec, jobs=args.jobs)))
+    print(render_ablation(run_all_ablations(
+        spec, jobs=args.jobs, cache_dir=args.cache_dir,
+    )))
 
 
 def _cmd_tinyrisc(args) -> None:
@@ -234,7 +238,10 @@ def _cmd_sweep(args) -> None:
     spec = _find_spec(args.experiment)
     application, clustering = spec.build()
     sizes = [kwords(k) for k in (0.5, 1, 1.5, 2, 3, 4, 6, 8, 12, 16)]
-    points = sweep_fb_sizes(application, clustering, sizes, jobs=args.jobs)
+    points = sweep_fb_sizes(
+        application, clustering, sizes, jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
     print(render_sweep(
         points, title=f"frame-buffer sweep of {spec.id} "
                       f"(paper point: FB={spec.fb})"
@@ -246,7 +253,7 @@ def _cmd_corpus(args) -> None:
 
     stats = corpus_study(
         range(args.seeds), fb=args.fb, iterations=args.iterations,
-        jobs=args.jobs,
+        jobs=args.jobs, cache_dir=args.cache_dir,
     )
     print(stats.summary())
 
@@ -277,11 +284,18 @@ def _cmd_alloc(args) -> None:
 
 def _cmd_bench(args) -> int:
     import json
+    import os
 
-    from repro.analysis.bench import compare_bench, render_bench, run_bench
+    from repro.analysis.bench import (
+        baseline_payload,
+        compare_bench,
+        load_baseline,
+        render_bench,
+        run_bench,
+    )
 
-    # Load the baseline up front: a bad --compare path should fail
-    # before the (expensive) measurement, not after.
+    # Load the comparison baseline up front: a bad --compare path
+    # should fail before the (expensive) measurement, not after.
     baseline = None
     if args.compare:
         try:
@@ -289,8 +303,32 @@ def _cmd_bench(args) -> int:
                 baseline = json.load(handle)
         except (OSError, json.JSONDecodeError) as exc:
             raise SystemExit(f"cannot read baseline {args.compare}: {exc}")
-    payload = run_bench(quick=args.quick)
+    # The speedup-column reference: a recorded baseline file when given
+    # (and present), else the embedded pre-overhaul literal.  With
+    # --update-baseline a missing file is expected — this run records
+    # it.
+    reference = None
+    reference_source = "pre-overhaul"
+    if args.baseline and os.path.exists(args.baseline):
+        try:
+            reference = load_baseline(args.baseline)
+            reference_source = args.baseline
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"cannot read baseline {args.baseline}: {exc}")
+    elif args.baseline and not args.update_baseline:
+        raise SystemExit(f"baseline file {args.baseline} does not exist "
+                         f"(record one with --update-baseline)")
+    payload = run_bench(
+        quick=args.quick, baseline=reference,
+        baseline_source=reference_source,
+    )
     print(render_bench(payload))
+    if args.update_baseline:
+        target = args.baseline or "BENCH_baseline.json"
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(baseline_payload(payload), handle, indent=2)
+            handle.write("\n")
+        print(f"\nrecorded baseline {target}")
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
@@ -374,12 +412,35 @@ def _cmd_fuzz(args) -> int:
         failures_dir=args.failures_dir,
         include_paper=not args.no_paper,
         functional=not args.no_functional,
+        cache_dir=args.cache_dir,
     )
     print(report.summary())
     if not report.ok and args.failures_dir:
         print(f"reproducers written to {args.failures_dir}/ — copy into "
               f"tests/corpus/ to pin them as regression tests")
     return 0 if report.ok else 1
+
+
+def _cmd_cache(args) -> int:
+    from repro.cache import CacheStore, default_cache_dir
+
+    root = args.cache_dir if args.cache_dir else default_cache_dir()
+    store = CacheStore(root)
+    if args.action == "stats":
+        stats = store.stats()
+        print(f"cache root:        {stats['root']}")
+        print(f"code fingerprint:  {stats['code_fingerprint']}")
+        print(f"generations:       {stats['generations']}")
+        print(f"entries (current): {stats['entries']}")
+        print(f"entries (stale):   {stats['stale_entries']}")
+        print(f"total size:        {stats['total_bytes']} bytes")
+        return 0
+    try:
+        removed = store.clear()
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    print(f"cleared {removed} entries from {store.root}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -426,6 +487,8 @@ def build_parser() -> argparse.ArgumentParser:
     ablation.add_argument("--jobs", type=_jobs_count, default=None,
                           help="worker processes (0 = one per CPU; "
                                "default serial)")
+    ablation.add_argument("--cache-dir", metavar="DIR", default=None,
+                          help="persistent pipeline cache directory")
     ablation.set_defaults(func=_cmd_ablation)
     alloc = sub.add_parser("alloc", help="FB allocation walkthrough")
     alloc.add_argument("experiment")
@@ -435,6 +498,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--jobs", type=_jobs_count, default=None,
                        help="worker processes (0 = one per CPU; "
                             "default serial)")
+    sweep.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="persistent pipeline cache directory")
     sweep.set_defaults(func=_cmd_sweep)
     corpus = sub.add_parser(
         "corpus", help="random-workload robustness study"
@@ -448,6 +513,8 @@ def build_parser() -> argparse.ArgumentParser:
     corpus.add_argument("--jobs", type=_jobs_count, default=None,
                         help="worker processes (0 = one per CPU; "
                              "default serial)")
+    corpus.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="persistent pipeline cache directory")
     corpus.set_defaults(func=_cmd_corpus)
     tinyrisc = sub.add_parser(
         "tinyrisc", help="emit the TinyRISC control program"
@@ -466,6 +533,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--compare", metavar="PATH", default=None,
                        help="baseline JSON to compare against "
                             "(exit 1 on regression)")
+    bench.add_argument("--baseline", metavar="PATH", default=None,
+                       help="recorded baseline file for the speedup "
+                            "column (default: the embedded pre-overhaul "
+                            "literal)")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="record this run as the --baseline file "
+                            "(default BENCH_baseline.json)")
     bench.add_argument("--max-regression", type=float, default=25.0,
                        metavar="PCT",
                        help="allowed regression vs --compare baseline "
@@ -518,7 +592,18 @@ def build_parser() -> argparse.ArgumentParser:
                       help="skip the Table-1 experiment anchor cases")
     fuzz.add_argument("--no-functional", action="store_true",
                       help="skip the functional-simulation oracle (faster)")
+    fuzz.add_argument("--cache-dir", metavar="DIR", default=None,
+                      help="persistent pipeline cache directory (warm "
+                           "reruns replay oracle verdicts from disk)")
     fuzz.set_defaults(func=_cmd_fuzz)
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the persistent pipeline cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="cache directory (default: $REPRO_CACHE_DIR "
+                            "or .repro-cache)")
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

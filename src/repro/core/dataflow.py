@@ -124,6 +124,25 @@ class DataflowInfo:
         self._inputs_memo: Dict[int, Tuple[str, ...]] = {}
         self._produced_memo: Dict[int, Tuple[str, ...]] = {}
 
+    def __eq__(self, other: object) -> bool:
+        # Structural equality: dataflow facts are a pure function of the
+        # (application, clustering) pair, so two analyses are equal when
+        # those inputs and the derived object table match.  Needed so
+        # schedules survive pickle round-trips (cache hits, worker
+        # processes) comparing equal to their in-process originals.
+        if not isinstance(other, DataflowInfo):
+            return NotImplemented
+        return (
+            self.application == other.application
+            and self.clustering == other.clustering
+            and self._info == other._info
+        )
+
+    def __hash__(self) -> int:
+        # Keep identity hashing: instances are mutated-free but hold
+        # dict state; identity is cheap and correct for memo keys.
+        return object.__hash__(self)
+
     def __getitem__(self, obj_name: str) -> ObjectInfo:
         try:
             return self._info[obj_name]

@@ -29,13 +29,23 @@ which compares two independent computations of the same fact:
     passes offline overlap verification and fits the set.
 ``verifier``
     The lowered program passes static verification.
+``simengine``
+    The vectorized timeline evaluator and the reference event-driven
+    engine produce byte-identical simulation reports (per-visit
+    timings included).
 ``functional``
     Functional simulation reproduces the application's reference
     outputs.
+
+With a :class:`~repro.cache.CacheStore`, the full verdict of one case
+is memoised under its content key (:func:`~repro.cache.keys.case_key`):
+warm fuzz-campaign reruns skip compile and simulation entirely for
+unchanged cases, and cached verdicts are byte-identical to fresh ones.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -52,6 +62,7 @@ from repro.schedule.base import ScheduleOptions
 from repro.schedule.basic import BasicScheduler
 from repro.schedule.complete import CompleteDataScheduler
 from repro.schedule.data_scheduler import DataScheduler
+from repro.sim.batch import simulate_program
 from repro.sim.engine import Simulator
 from repro.units import format_words_pair
 
@@ -72,6 +83,7 @@ ORACLE_NAMES: Tuple[str, ...] = (
     "trace",
     "freelist",
     "verifier",
+    "simengine",
     "functional",
 )
 
@@ -238,6 +250,7 @@ def run_oracles(
     *,
     oracles: Optional[Sequence[str]] = None,
     functional: bool = True,
+    cache=None,
 ) -> List[OracleFailure]:
     """All oracle verdicts on one case (never stops at the first).
 
@@ -245,6 +258,12 @@ def run_oracles(
         case: the case to check.
         oracles: restrict to a subset of :data:`ORACLE_NAMES`.
         functional: include the (slower) functional-simulation oracle.
+        cache: optional :class:`~repro.cache.CacheStore`; memoises the
+            full verdict under the case's content key, so reruns of an
+            unchanged case (under unchanged code) skip every pipeline
+            stage.  Verdicts are stored without the case *name* — a
+            renamed reproducer of the same workload hits the same
+            entry and the failures are rebuilt with the current name.
 
     Returns:
         One :class:`OracleFailure` per violation; empty when clean.
@@ -255,6 +274,29 @@ def run_oracles(
         raise ValueError(f"unknown oracles: {sorted(unknown)}")
     if not functional:
         enabled.discard("functional")
+    key = None
+    if cache is not None:
+        from repro.cache import case_key, digest
+
+        key = digest(("oracles", case_key(case), tuple(sorted(enabled))))
+        cached = cache.get(key)
+        if cached is not None:
+            return [
+                OracleFailure(oracle, case.name, message, scheduler)
+                for oracle, message, scheduler in cached
+            ]
+    failures = _run_oracles_uncached(case, enabled)
+    if cache is not None:
+        cache.put(key, tuple(
+            (failure.oracle, failure.message, failure.scheduler)
+            for failure in failures
+        ))
+    return failures
+
+
+def _run_oracles_uncached(
+    case: FuzzCase, enabled: set
+) -> List[OracleFailure]:
     failures: List[OracleFailure] = []
 
     try:
@@ -275,9 +317,9 @@ def run_oracles(
         if run.schedule is not None:
             try:
                 run.program = generate_program(run.schedule)
-                run.report = Simulator(
-                    MorphoSysM1(architecture), trace=False
-                ).run(run.program)
+                run.report = simulate_program(
+                    run.program, architecture, trace=False, verify=True,
+                )
             except ReproError as exc:
                 failures.append(OracleFailure(
                     "verifier", case.name,
@@ -303,6 +345,8 @@ def run_oracles(
         failures.extend(_check_freelist(case, runs, architecture))
     if "verifier" in enabled:
         failures.extend(_check_verifier(case, runs))
+    if "simengine" in enabled:
+        failures.extend(_check_simengine(case, runs, architecture))
     if "functional" in enabled:
         failures.extend(_check_functional(case, runs, architecture))
     return failures
@@ -499,6 +543,37 @@ def _check_verifier(case, runs) -> List[OracleFailure]:
         except ReproError as exc:
             failures.append(OracleFailure(
                 "verifier", case.name, str(exc), scheduler=run.scheduler,
+            ))
+    return failures
+
+
+def _check_simengine(case, runs, architecture) -> List[OracleFailure]:
+    """Vectorized and reference engines must agree byte-for-byte.
+
+    The pipeline reports above came from the vectorized fast path
+    (``trace=False``); re-simulating with ``engine="reference"`` must
+    reproduce the identical :class:`~repro.sim.report.SimulationReport`
+    — every aggregate and every per-visit timing.
+    """
+    failures = []
+    for run in runs.values():
+        if run.program is None or run.report is None:
+            continue
+        reference = simulate_program(
+            run.program, architecture, engine="reference",
+        )
+        if reference != run.report:
+            diverging = [
+                field.name
+                for field in dataclasses.fields(reference)
+                if getattr(reference, field.name)
+                != getattr(run.report, field.name)
+            ]
+            failures.append(OracleFailure(
+                "simengine", case.name,
+                f"vectorized and reference engines diverge on "
+                f"{diverging}",
+                scheduler=run.scheduler,
             ))
     return failures
 

@@ -75,9 +75,14 @@ class FuzzReport:
 
 def _fuzz_worker(task):
     """Generate one case and run the oracle stack (picklable worker)."""
-    regime, seed, functional = task
+    regime, seed, functional, cache_dir = task
     case = generate_case(regime, seed)
-    failures = run_oracles(case, functional=functional)
+    cache = None
+    if cache_dir is not None:
+        from repro.cache import CacheStore
+
+        cache = CacheStore(cache_dir)
+    failures = run_oracles(case, functional=functional, cache=cache)
     return case.to_dict(), [failure.to_dict() for failure in failures]
 
 
@@ -94,16 +99,17 @@ def _paper_cases() -> List[FuzzCase]:
 
 
 def _task_matrix(seeds: Sequence[int], regimes: Sequence[str],
-                 quick: bool, functional: bool) -> List[Tuple]:
+                 quick: bool, functional: bool,
+                 cache_dir: Optional[str]) -> List[Tuple]:
     if quick:
         # Round-robin: each seed exercises one regime, so a quick run
         # of N seeds costs N cases while still sweeping every regime.
         return [
-            (regimes[index % len(regimes)], seed, functional)
+            (regimes[index % len(regimes)], seed, functional, cache_dir)
             for index, seed in enumerate(seeds)
         ]
     return [
-        (regime, seed, functional)
+        (regime, seed, functional, cache_dir)
         for regime in regimes for seed in seeds
     ]
 
@@ -118,6 +124,7 @@ def run_fuzz(
     failures_dir: Optional[str] = None,
     include_paper: bool = True,
     functional: bool = True,
+    cache_dir: Optional[str] = None,
 ) -> FuzzReport:
     """Run one fuzz campaign.
 
@@ -134,6 +141,9 @@ def run_fuzz(
         include_paper: also run the Table-1 experiment workloads
             through the oracle stack.
         functional: include the functional-simulation oracle.
+        cache_dir: persistent pipeline-cache directory; oracle
+            verdicts of unchanged cases are replayed from disk on
+            warm reruns (byte-identical to a cold run).
 
     Returns:
         A :class:`FuzzReport`; ``report.ok`` is the pass/fail verdict.
@@ -142,7 +152,7 @@ def run_fuzz(
     unknown = set(chosen) - set(regime_names())
     if unknown:
         raise ValueError(f"unknown regimes: {sorted(unknown)}")
-    tasks = _task_matrix(list(seeds), chosen, quick, functional)
+    tasks = _task_matrix(list(seeds), chosen, quick, functional, cache_dir)
     outcomes = parallel_map(_fuzz_worker, tasks, jobs=jobs, chunksize=4)
 
     report = FuzzReport(regimes=chosen)
@@ -153,8 +163,16 @@ def run_fuzz(
             [OracleFailure(**failure) for failure in failure_dicts],
         ))
     if include_paper:
+        cache = None
+        if cache_dir is not None:
+            from repro.cache import CacheStore
+
+            cache = CacheStore(cache_dir)
         for case in _paper_cases():
-            raw.append((case, run_oracles(case, functional=functional)))
+            raw.append((
+                case,
+                run_oracles(case, functional=functional, cache=cache),
+            ))
 
     report.cases_run = len(raw)
     metrics.inc("cases", len(raw), scope="fuzz")

@@ -1,0 +1,78 @@
+"""Batch simulation helpers for analysis drivers.
+
+The ablation/sweep/corpus drivers and the fuzz runner all follow the
+same shape: lower a schedule, build a fresh machine, simulate, keep the
+:class:`~repro.sim.report.SimulationReport`.  :func:`simulate_program`
+captures that shape once — defaulting to the vectorized hot path
+(``trace=False``, ``verify=False``) — and :func:`simulate_many` maps it
+over a batch of programs so callers get one report per program without
+re-spelling the machine/simulator plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.arch.machine import MorphoSysM1
+from repro.arch.params import Architecture
+from repro.codegen.program import Program
+from repro.schedule.context_scheduler import DmaPolicy
+from repro.sim.engine import Simulator
+from repro.sim.report import SimulationReport
+
+__all__ = ["simulate_program", "simulate_many"]
+
+
+def simulate_program(
+    program: Program,
+    architecture: Architecture,
+    *,
+    machine: Optional[MorphoSysM1] = None,
+    dma_policy: DmaPolicy = DmaPolicy.CONTEXTS_FIRST,
+    trace: bool = False,
+    verify: bool = False,
+    engine: str = "auto",
+) -> SimulationReport:
+    """Simulate one lowered program on a fresh (or given) machine.
+
+    Defaults differ from :class:`Simulator` on purpose: batch drivers
+    consume aggregate reports, so the per-transfer trace and the
+    program re-verification are off unless explicitly requested.
+    """
+    if machine is None:
+        machine = MorphoSysM1(architecture)
+    simulator = Simulator(
+        machine,
+        dma_policy=dma_policy,
+        trace=trace,
+        verify=verify,
+        engine=engine,
+    )
+    return simulator.run(program)
+
+
+def simulate_many(
+    programs: Iterable[Program],
+    architecture: Architecture,
+    *,
+    dma_policy: DmaPolicy = DmaPolicy.CONTEXTS_FIRST,
+    trace: bool = False,
+    verify: bool = False,
+    engine: str = "auto",
+) -> List[SimulationReport]:
+    """Simulate a batch of programs, one fresh machine per program.
+
+    Each program gets its own machine so DMA statistics and memory
+    state never bleed between batch entries.
+    """
+    return [
+        simulate_program(
+            program,
+            architecture,
+            dma_policy=dma_policy,
+            trace=trace,
+            verify=verify,
+            engine=engine,
+        )
+        for program in programs
+    ]

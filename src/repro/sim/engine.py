@@ -21,6 +21,19 @@ Timing model (paper section 2's structural constraints):
 Functional mode additionally moves real values through the machine's
 external memory and checks every final output against the reference
 execution.
+
+Two engines resolve the timing recurrence:
+
+* the **vectorized** engine (:mod:`repro.sim.vectorized`) precomputes
+  per-visit transfer groups into NumPy arrays and resolves the
+  recurrence in one tight scalar loop — the default whenever the
+  per-transfer trace is off and functional mode is not requested;
+* the **reference** engine (this module's :meth:`Simulator._execute`)
+  walks every transfer through the DMA channel item by item — the only
+  engine that can record the trace or move functional values, and the
+  equivalence oracle for the vectorized one (the ``simengine`` fuzz
+  oracle and ``tests/sim/test_vectorized_equivalence.py`` assert the
+  two produce byte-identical :class:`VisitTiming` rows and reports).
 """
 
 from __future__ import annotations
@@ -46,8 +59,11 @@ from repro.sim.functional import (
     reference_outputs,
 )
 from repro.sim.report import SimulationReport, VisitTiming
+from repro.sim.vectorized import evaluate_timeline, tables_for
 
 __all__ = ["Simulator"]
+
+_ENGINES = ("auto", "vectorized", "reference")
 
 
 class Simulator:
@@ -61,6 +77,13 @@ class Simulator:
         trace: record the per-transfer DMA trace (and its labels) in
             the report.  Aggregate statistics are exact either way;
             bulk analysis drivers turn tracing off for speed.
+        engine: ``"auto"`` (default) resolves the timing recurrence
+            with the vectorized evaluator whenever the trace is off and
+            functional mode is not requested, falling back to the
+            reference engine otherwise; ``"vectorized"`` forces the
+            fast path (and rejects trace/functional runs, which need
+            per-item execution); ``"reference"`` forces the item-by-
+            item engine — the equivalence oracle.
     """
 
     def __init__(
@@ -70,11 +93,17 @@ class Simulator:
         dma_policy: DmaPolicy = DmaPolicy.CONTEXTS_FIRST,
         verify: bool = True,
         trace: bool = True,
+        engine: str = "auto",
     ):
+        if engine not in _ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {_ENGINES}"
+            )
         self.machine = machine
         self.context_scheduler = ContextScheduler(dma_policy)
         self.verify = verify
         self.trace = trace
+        self.engine = engine
 
     # -- public API --------------------------------------------------------
 
@@ -119,6 +148,7 @@ class Simulator:
         else:
             self._populate_accounting(application)
 
+        use_vectorized = self._wants_vectorized(functional)
         # The tracing mode is set only for the duration of this run and
         # restored afterwards: the DMA channel is shared machine state,
         # and a constructor side effect would let two simulators over
@@ -126,7 +156,10 @@ class Simulator:
         dma_record_trace = self.machine.dma.record_trace
         self.machine.dma.record_trace = self.trace
         try:
-            timings = self._execute(program, functional, impls)
+            if use_vectorized:
+                timings = self._execute_vectorized(program)
+            else:
+                timings = self._execute(program, functional, impls)
         finally:
             self.machine.dma.record_trace = dma_record_trace
 
@@ -158,7 +191,42 @@ class Simulator:
             functional_verified=verified,
         )
 
-    # -- engine -----------------------------------------------------------
+    # -- engine selection -------------------------------------------------
+
+    def _wants_vectorized(self, functional: bool) -> bool:
+        """Whether this run resolves timing via the vectorized path."""
+        if self.engine == "reference":
+            return False
+        incompatible = self.trace or functional
+        if self.engine == "vectorized":
+            if incompatible:
+                raise SimulationError(
+                    "engine='vectorized' resolves timing in bulk: it "
+                    "records no per-transfer trace and moves no "
+                    "functional values; use trace=False and "
+                    "functional=False (or engine='auto'/'reference')"
+                )
+            return True
+        return not incompatible
+
+    def _execute_vectorized(self, program: Program) -> List[VisitTiming]:
+        """Bulk timing resolution (see :mod:`repro.sim.vectorized`)."""
+        if not program.visits:
+            return []
+        dma = self.machine.dma
+        tables = tables_for(program, dma.timing)
+        timings, busy_until = evaluate_timeline(
+            program, tables, self.context_scheduler.policy, dma.busy_until
+        )
+        last = TransferKind.DATA_STORE
+        for kind, (words, count, cycles) in tables.totals.items():
+            dma.account(
+                kind, words=words, count=count, cycles=cycles,
+                busy_until=busy_until if kind is last else None,
+            )
+        return timings
+
+    # -- reference engine -------------------------------------------------
 
     def _execute(
         self,

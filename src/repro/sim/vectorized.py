@@ -1,0 +1,356 @@
+"""Vectorized timeline evaluator: the simulator's hot path.
+
+The event-driven engine in :mod:`repro.sim.engine` resolves the
+DMA-serialization / overlap-window recurrence by walking every visit's
+context loads, data loads and stores item by item.  The analysis
+drivers (corpus, sweep, ablations, fuzz) simulate thousands of programs
+per campaign with the per-transfer trace off, so the per-item Python
+work — attribute lookups, :meth:`DmaChannel.request` calls, dict
+updates — dominates the whole ``simulate`` stage.
+
+This module rebuilds that hot path in two phases:
+
+1. :class:`TimelineTables` — one pass over the program lowers every
+   visit's transfer groups into NumPy arrays: per-visit word counts,
+   operation counts, cycle costs (the timing model is linear, so a
+   group's duration is ``count * setup + words * per_word`` exactly),
+   compute cycles, FB-set assignment and the previous-same-set links.
+   The arrays are converted to plain Python lists at the end, because
+   the recurrence loop consumes scalars and ``np.int64`` boxing is
+   slower than native ints there.
+2. :func:`evaluate_timeline` — one tight loop over visits resolves the
+   serialisation recurrence with scalar arithmetic only: no per-item
+   iteration, no DMA-channel method calls, no dict writes.  Aggregate
+   DMA statistics fall out of vectorized sums at table-build time
+   (every transfer group is issued exactly once), so the loop only has
+   to track the timeline itself.
+
+The result is **byte-identical** to the reference engine's trace-off
+fast path: the same :class:`~repro.sim.report.VisitTiming` rows, the
+same DMA busy/traffic aggregates, the same makespan — equivalence- and
+property-tested against the reference engine across the fuzz generator
+matrix (``tests/sim/test_vectorized_equivalence.py``) and enforced by
+the fuzz campaign's ``simengine`` oracle, mirroring the
+``incremental ≡ naive`` occupancy-engine pattern.
+
+Tables are cached per program object (keyed by identity, evicted by
+weakref callback), so repeated simulations of one program — the DMA
+policy ablation's three runs, ``repro bench``'s best-of-N repeats, the
+``simulate_many`` batch API — build them once.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.arch.dma import TransferKind
+from repro.arch.params import TimingModel
+from repro.codegen.program import Program
+from repro.schedule.context_scheduler import (
+    DmaPolicy,
+    loads_may_precede_stores,
+)
+from repro.sim.report import VisitTiming
+
+__all__ = ["TimelineTables", "tables_for", "evaluate_timeline"]
+
+
+def _segment_sums(values: Iterable[int], counts: np.ndarray) -> np.ndarray:
+    """Sum a flat per-item sequence into per-visit segments.
+
+    ``counts[i]`` items of *values* belong to visit ``i``.  Implemented
+    with a cumulative sum differenced at the segment boundaries, which
+    (unlike ``np.add.reduceat``) is exact for empty segments.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(len(counts), dtype=np.int64)
+    flat = np.fromiter(values, dtype=np.int64, count=total)
+    running = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(flat)))
+    ends = np.cumsum(counts)
+    return running[ends] - running[ends - counts]
+
+
+class TimelineTables:
+    """Per-program arrays consumed by :func:`evaluate_timeline`.
+
+    Built once per ``(program, timing model)`` pair; independent of the
+    DMA policy and of any machine state, so one instance serves every
+    simulation of the program.
+    """
+
+    __slots__ = (
+        "count", "ident", "iter_len", "fb", "prev_same", "comp",
+        "ctx_words", "ctx_dur", "ctx_cnt",
+        "ld_words", "ld_dur", "ld_cnt",
+        "st_words", "st_dur", "st_cnt",
+        "totals", "__weakref__",
+    )
+
+    def __init__(self, program: Program, timing: TimingModel):
+        visits = program.visits
+        n = len(visits)
+        self.count = n
+        self.ident = [
+            (ops.visit.index, ops.visit.round_index,
+             ops.visit.cluster_index, ops.visit.fb_set)
+            for ops in visits
+        ]
+        self.iter_len = [len(ops.visit.iterations) for ops in visits]
+        fb = [ops.visit.fb_set for ops in visits]
+        self.fb = fb
+        # Previous visit on the same FB set (-1 if none): the set-drain
+        # dependency of the loads.
+        last_seen: Dict[int, int] = {}
+        prev_same = [-1] * n
+        for index, fb_set in enumerate(fb):
+            prev_same[index] = last_seen.get(fb_set, -1)
+            last_seen[fb_set] = index
+        self.prev_same = prev_same
+
+        ctx_cnt = np.fromiter(
+            (len(ops.context_loads) for ops in visits), np.int64, count=n
+        )
+        ld_cnt = np.fromiter(
+            (len(ops.data_loads) for ops in visits), np.int64, count=n
+        )
+        st_cnt = np.fromiter(
+            (len(ops.stores) for ops in visits), np.int64, count=n
+        )
+        run_cnt = np.fromiter(
+            (len(ops.compute) for ops in visits), np.int64, count=n
+        )
+        ctx_words = _segment_sums(
+            (load.words for ops in visits for load in ops.context_loads),
+            ctx_cnt,
+        )
+        ld_words = _segment_sums(
+            (load.words for ops in visits for load in ops.data_loads),
+            ld_cnt,
+        )
+        st_words = _segment_sums(
+            (store.words for ops in visits for store in ops.stores),
+            st_cnt,
+        )
+        comp = _segment_sums(
+            (run.cycles for ops in visits for run in ops.compute),
+            run_cnt,
+        )
+        # Linear timing model: every op moves > 0 words (validated at
+        # construction), so a group of k ops moving w words total costs
+        # exactly k bursts of setup plus w per-word cycles — the same
+        # value the reference engine accumulates item by item.
+        setup = timing.dma_setup_cycles
+        ctx_dur = ctx_cnt * setup + ctx_words * timing.context_word_cycles
+        ld_dur = ld_cnt * setup + ld_words * timing.data_word_cycles
+        st_dur = st_cnt * setup + st_words * timing.data_word_cycles
+
+        # Every group is issued exactly once per simulation, so the
+        # aggregate DMA statistics are plain sums, independent of the
+        # timeline interleaving.
+        self.totals = {
+            TransferKind.CONTEXT_LOAD: (
+                int(ctx_words.sum()), int(ctx_cnt.sum()), int(ctx_dur.sum())
+            ),
+            TransferKind.DATA_LOAD: (
+                int(ld_words.sum()), int(ld_cnt.sum()), int(ld_dur.sum())
+            ),
+            TransferKind.DATA_STORE: (
+                int(st_words.sum()), int(st_cnt.sum()), int(st_dur.sum())
+            ),
+        }
+
+        # The recurrence loop consumes scalars; native ints beat
+        # np.int64 boxing there.
+        self.comp = comp.tolist()
+        self.ctx_words = ctx_words.tolist()
+        self.ctx_dur = ctx_dur.tolist()
+        self.ctx_cnt = ctx_cnt.tolist()
+        self.ld_words = ld_words.tolist()
+        self.ld_dur = ld_dur.tolist()
+        self.ld_cnt = ld_cnt.tolist()
+        self.st_words = st_words.tolist()
+        self.st_dur = st_dur.tolist()
+        self.st_cnt = st_cnt.tolist()
+
+
+# Keyed by id(program); the weakref guards against id reuse after
+# collection and the callback evicts the entry when the program dies.
+_TABLE_CACHE: Dict[int, Tuple[weakref.ref, TimingModel, TimelineTables]] = {}
+
+
+def tables_for(program: Program, timing: TimingModel) -> TimelineTables:
+    """The (cached) :class:`TimelineTables` of one program."""
+    key = id(program)
+    entry = _TABLE_CACHE.get(key)
+    if entry is not None:
+        ref, cached_timing, tables = entry
+        if ref() is program and cached_timing == timing:
+            return tables
+    tables = TimelineTables(program, timing)
+
+    def _evict(_ref, _key=key):
+        _TABLE_CACHE.pop(_key, None)
+
+    _TABLE_CACHE[key] = (weakref.ref(program, _evict), timing, tables)
+    return tables
+
+
+def evaluate_timeline(
+    program: Program,
+    tables: TimelineTables,
+    policy: DmaPolicy,
+    busy_start: int,
+) -> Tuple[List[VisitTiming], int]:
+    """Resolve the DMA/overlap recurrence over precomputed tables.
+
+    Mirrors the reference engine's trace-off path exactly — the same
+    issue order, the same ``max(busy, earliest)`` block placement, the
+    same policy branches — with all per-item work hoisted into
+    *tables*.
+
+    Returns ``(visit timings, final DMA busy_until)``.  Aggregate
+    traffic statistics are in ``tables.totals``; the caller accounts
+    them into the DMA channel in one step.
+    """
+    n = tables.count
+    if n == 0:
+        return [], busy_start
+
+    ctx_words, ctx_dur, ctx_cnt = tables.ctx_words, tables.ctx_dur, tables.ctx_cnt
+    ld_words, ld_dur, ld_cnt = tables.ld_words, tables.ld_dur, tables.ld_cnt
+    st_words, st_dur, st_cnt = tables.st_words, tables.st_dur, tables.st_cnt
+    comp, fb, prev_same = tables.comp, tables.fb, tables.prev_same
+
+    loads_before_contexts = policy is DmaPolicy.LOADS_FIRST
+    adaptive = policy is DmaPolicy.ADAPTIVE
+    if adaptive:
+        # Per-window soundness of loads overtaking the previous visit's
+        # stores; depends only on cluster pairs, so memoised.
+        schedule = program.schedule
+        window_memo: Dict[Tuple[int, int, int], bool] = {}
+        ident = tables.ident
+        iter_len = tables.iter_len
+        adaptive_loads_first = [False] * n
+        for index in range(1, n - 1):
+            key = (
+                ident[index - 1][2], ident[index + 1][2],
+                iter_len[index - 1],
+            )
+            flag = window_memo.get(key)
+            if flag is None:
+                flag = loads_may_precede_stores(schedule, *key)
+                window_memo[key] = flag
+            adaptive_loads_first[index] = flag
+
+    busy = busy_start
+    prep = [0] * n
+    cstart = [0] * n
+    cend = [0] * n
+    stores_issued = [False] * n
+
+    def issue_prep(index: int, earliest: int) -> None:
+        nonlocal busy
+        prev = prev_same[index]
+        set_free = cend[prev] if prev >= 0 else 0
+
+        def issue_contexts() -> int:
+            nonlocal busy
+            if ctx_cnt[index] == 0:
+                return earliest
+            if ctx_words[index] == 0:
+                return busy if busy > earliest else earliest
+            start = busy if busy > earliest else earliest
+            busy = start + ctx_dur[index]
+            return busy
+
+        def issue_loads() -> int:
+            nonlocal busy
+            if ld_cnt[index] == 0:
+                return earliest
+            start_at = earliest if earliest > set_free else set_free
+            if ld_words[index] == 0:
+                return busy if busy > start_at else start_at
+            start = busy if busy > start_at else start_at
+            busy = start + ld_dur[index]
+            return busy
+
+        if loads_before_contexts:
+            finish = max(earliest, issue_loads(), issue_contexts())
+        else:
+            finish = max(earliest, issue_contexts(), issue_loads())
+        prep[index] = finish
+
+    def issue_stores(index: int) -> None:
+        nonlocal busy
+        if stores_issued[index]:
+            return
+        stores_issued[index] = True
+        if st_cnt[index] == 0 or st_words[index] == 0:
+            return
+        earliest = cend[index]
+        start = busy if busy > earliest else earliest
+        busy = start + st_dur[index]
+
+    pipelined = program.schedule.overlap_transfers
+    if pipelined:
+        issue_prep(0, 0)
+    for index in range(n):
+        previous_end = cend[index - 1] if index else 0
+        if not pipelined:
+            # Serial mode (Basic Scheduler): the previous visit's
+            # stores and this visit's preparation all happen after the
+            # previous computation, before this one.
+            if index > 0:
+                issue_stores(index - 1)
+            issue_prep(index, previous_end)
+        start = prep[index] if prep[index] > previous_end else previous_end
+        end = start + comp[index]
+        cstart[index] = start
+        cend[index] = end
+        if not pipelined:
+            continue
+        if index + 1 < n:
+            if policy is DmaPolicy.LOADS_FIRST:
+                loads_first = True
+            elif adaptive and index > 0:
+                loads_first = adaptive_loads_first[index]
+            else:
+                loads_first = False
+            if fb[index + 1] == fb[index]:
+                # The next visit reuses this set: its loads must follow
+                # this visit's compute and stores, whatever the policy.
+                if index > 0:
+                    issue_stores(index - 1)
+                issue_stores(index)
+                issue_prep(index + 1, end)
+            elif not loads_first:
+                if index > 0:
+                    issue_stores(index - 1)
+                issue_prep(index + 1, previous_end)
+            else:
+                issue_prep(index + 1, previous_end)
+                if index > 0:
+                    issue_stores(index - 1)
+        else:
+            if index > 0:
+                issue_stores(index - 1)
+    issue_stores(n - 1)
+
+    ident = tables.ident
+    timings = [
+        VisitTiming(
+            index=ident[i][0],
+            round_index=ident[i][1],
+            cluster_index=ident[i][2],
+            fb_set=ident[i][3],
+            prep_finish=prep[i],
+            compute_start=cstart[i],
+            compute_end=cend[i],
+        )
+        for i in range(n)
+    ]
+    return timings, busy

@@ -1,0 +1,178 @@
+"""Cached and uncached pipeline runs are byte-identical.
+
+The acceptance property of the persistent cache: a warm run must be a
+pure replay — equal schedules, equal :class:`~repro.sim.report.
+SimulationReport`\\ s, equal driver aggregates — never an
+approximation.  Exercised at the ``run_scheduler`` level (the unit the
+corpus/sweep drivers build on), the driver level, and the fuzz-oracle
+level.
+"""
+
+from repro.analysis.compare import compare_workload, run_scheduler
+from repro.analysis.corpus import corpus_study
+from repro.arch.params import Architecture
+from repro.cache import CacheStore
+from repro.fuzz.generator import generate_case
+from repro.fuzz.oracles import run_oracles
+from repro.schedule.complete import CompleteDataScheduler
+from repro.workloads.spec import paper_experiments
+
+
+def _spec(exp_id="MPEG"):
+    return next(
+        spec for spec in paper_experiments()
+        if spec.id.upper() == exp_id
+    )
+
+
+class TestRunSchedulerCache:
+    def test_cold_fill_then_warm_hit_byte_identical(self, tmp_path):
+        spec = _spec()
+        application, clustering = spec.build()
+        architecture = Architecture.m1(spec.fb)
+        store = CacheStore(tmp_path)
+
+        uncached = run_scheduler(
+            CompleteDataScheduler(architecture), application, clustering,
+            architecture, trace=False,
+        )
+        cold = run_scheduler(
+            CompleteDataScheduler(architecture), application, clustering,
+            architecture, trace=False, cache=store,
+        )
+        warm = run_scheduler(
+            CompleteDataScheduler(architecture), application, clustering,
+            architecture, trace=False, cache=store,
+        )
+        assert store.misses == 1 and store.hits == 1
+        for outcome in (cold, warm):
+            assert outcome.schedule == uncached.schedule
+            assert outcome.report == uncached.report
+            assert outcome.feasible == uncached.feasible
+
+    def test_warm_hit_across_store_instances(self, tmp_path):
+        """The disk round-trip (pickle) preserves equality, not just
+        the in-process object."""
+        spec = _spec()
+        application, clustering = spec.build()
+        architecture = Architecture.m1(spec.fb)
+        run_scheduler(
+            CompleteDataScheduler(architecture), application, clustering,
+            architecture, trace=False, cache=CacheStore(tmp_path),
+        )
+        fresh_store = CacheStore(tmp_path)
+        warm = run_scheduler(
+            CompleteDataScheduler(architecture), application, clustering,
+            architecture, trace=False, cache=fresh_store,
+        )
+        assert fresh_store.hits == 1
+        uncached = run_scheduler(
+            CompleteDataScheduler(architecture), application, clustering,
+            architecture, trace=False,
+        )
+        assert warm.schedule == uncached.schedule
+        assert warm.report == uncached.report
+
+    def test_infeasible_outcomes_cached_too(self, tmp_path):
+        spec = _spec()
+        application, clustering = spec.build()
+        tiny = Architecture.m1(64)
+        store = CacheStore(tmp_path)
+        cold = run_scheduler(
+            CompleteDataScheduler(tiny), application, clustering, tiny,
+            trace=False, cache=store,
+        )
+        warm = run_scheduler(
+            CompleteDataScheduler(tiny), application, clustering, tiny,
+            trace=False, cache=store,
+        )
+        assert not cold.feasible
+        assert store.hits == 1
+        assert warm == cold
+
+    def test_trace_flag_partitions_the_key(self, tmp_path):
+        spec = _spec()
+        application, clustering = spec.build()
+        architecture = Architecture.m1(spec.fb)
+        store = CacheStore(tmp_path)
+        run_scheduler(
+            CompleteDataScheduler(architecture), application, clustering,
+            architecture, trace=False, cache=store,
+        )
+        traced = run_scheduler(
+            CompleteDataScheduler(architecture), application, clustering,
+            architecture, trace=True, cache=store,
+        )
+        # Second call was a miss: traced reports carry the transfer
+        # trace and must not replay an untraced entry.
+        assert store.misses == 2
+        assert traced.report.transfers
+
+
+class TestDriverCache:
+    def test_compare_workload_round_trip(self, tmp_path):
+        spec = _spec()
+        application, clustering = spec.build()
+        architecture = Architecture.m1(spec.fb)
+        uncached = compare_workload(
+            application, clustering, architecture, trace=False
+        )
+        store = CacheStore(tmp_path)
+        compare_workload(
+            application, clustering, architecture, trace=False,
+            cache=store,
+        )
+        warm = compare_workload(
+            application, clustering, architecture, trace=False,
+            cache=store,
+        )
+        assert warm == uncached
+        assert store.hits == 3  # one per scheduler
+
+    def test_corpus_study_warm_equals_cold_equals_uncached(self, tmp_path):
+        seeds = range(6)
+        uncached = corpus_study(seeds, fb="2K", iterations=4)
+        cold = corpus_study(
+            seeds, fb="2K", iterations=4, cache_dir=str(tmp_path)
+        )
+        warm = corpus_study(
+            seeds, fb="2K", iterations=4, cache_dir=str(tmp_path)
+        )
+        assert cold.__dict__ == uncached.__dict__
+        assert warm.__dict__ == uncached.__dict__
+
+    def test_corpus_parallel_workers_share_the_cache(self, tmp_path):
+        seeds = range(4)
+        cold = corpus_study(
+            seeds, fb="2K", iterations=4, jobs=2,
+            cache_dir=str(tmp_path),
+        )
+        warm = corpus_study(
+            seeds, fb="2K", iterations=4, jobs=2,
+            cache_dir=str(tmp_path),
+        )
+        assert warm.__dict__ == cold.__dict__
+        assert CacheStore(tmp_path).stats()["entries"] > 0
+
+
+class TestOracleCache:
+    def test_verdicts_replay_byte_identical(self, tmp_path):
+        case = generate_case("baseline", 3)
+        store = CacheStore(tmp_path)
+        uncached = run_oracles(case, functional=False)
+        cold = run_oracles(case, functional=False, cache=store)
+        warm = run_oracles(case, functional=False, cache=store)
+        assert store.hits == 1
+        assert cold == uncached
+        assert warm == uncached
+
+    def test_renamed_case_hits_and_rebinds_name(self, tmp_path):
+        case = generate_case("tiny_fb", 5)
+        store = CacheStore(tmp_path)
+        cold = run_oracles(case, functional=False, cache=store)
+        renamed = generate_case("tiny_fb", 5)
+        renamed.name = "reproducer-under-test"
+        warm = run_oracles(renamed, functional=False, cache=store)
+        assert store.hits == 1
+        assert [f.oracle for f in warm] == [f.oracle for f in cold]
+        assert all(f.case == "reproducer-under-test" for f in warm)

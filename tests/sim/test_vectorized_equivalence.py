@@ -1,0 +1,192 @@
+"""Vectorized timeline evaluator ≡ reference event-driven engine.
+
+Mirrors the ``incremental ≡ naive`` occupancy-engine pattern: the
+vectorized fast path must produce byte-identical
+:class:`~repro.sim.report.SimulationReport`\\ s — every aggregate and
+every per-visit :class:`~repro.sim.report.VisitTiming` — across the
+fuzz generator matrix, the paper experiments, every DMA policy, and
+the serial (non-pipelined) Basic schedule shape.  On top, the timing
+invariants any correct report must satisfy are property-tested.
+"""
+
+import pytest
+
+from repro.arch.machine import MorphoSysM1
+from repro.arch.params import Architecture
+from repro.codegen.generator import generate_program
+from repro.errors import InfeasibleScheduleError, SimulationError
+from repro.fuzz.generator import generate_case, regime_names
+from repro.schedule.basic import BasicScheduler
+from repro.schedule.complete import CompleteDataScheduler
+from repro.schedule.context_scheduler import DmaPolicy
+from repro.schedule.data_scheduler import DataScheduler
+from repro.sim.engine import Simulator
+from repro.workloads.spec import paper_experiments
+
+SCHEDULERS = (BasicScheduler, DataScheduler, CompleteDataScheduler)
+
+
+def _programs(application, clustering, architecture):
+    """One lowered program per feasible scheduler."""
+    programs = []
+    for scheduler_cls in SCHEDULERS:
+        try:
+            schedule = scheduler_cls(architecture).schedule(
+                application, clustering
+            )
+        except InfeasibleScheduleError:
+            continue
+        programs.append((scheduler_cls.name, generate_program(schedule)))
+    return programs
+
+
+def _run(program, architecture, engine, policy=DmaPolicy.CONTEXTS_FIRST):
+    return Simulator(
+        MorphoSysM1(architecture), dma_policy=policy, trace=False,
+        verify=False, engine=engine,
+    ).run(program)
+
+
+def _assert_identical(reference, vectorized, label):
+    assert reference.visits == vectorized.visits, (
+        f"{label}: per-visit timings diverge"
+    )
+    assert reference == vectorized, f"{label}: reports diverge"
+
+
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("regime", regime_names())
+    @pytest.mark.parametrize("seed", [0, 3, 11, 42])
+    def test_fuzz_matrix(self, regime, seed):
+        case = generate_case(regime, seed)
+        try:
+            application, clustering = case.build()
+        except Exception:
+            pytest.skip("case does not build")
+        architecture = case.architecture()
+        for name, program in _programs(
+            application, clustering, architecture
+        ):
+            _assert_identical(
+                _run(program, architecture, "reference"),
+                _run(program, architecture, "vectorized"),
+                f"{regime}/{seed}/{name}",
+            )
+
+    @pytest.mark.parametrize(
+        "spec", paper_experiments(), ids=lambda spec: spec.id
+    )
+    def test_paper_experiments(self, spec):
+        application, clustering = spec.build()
+        architecture = Architecture.m1(spec.fb)
+        for name, program in _programs(
+            application, clustering, architecture
+        ):
+            _assert_identical(
+                _run(program, architecture, "reference"),
+                _run(program, architecture, "vectorized"),
+                f"{spec.id}/{name}",
+            )
+
+    @pytest.mark.parametrize("policy", list(DmaPolicy))
+    def test_every_dma_policy(self, policy):
+        spec = next(
+            s for s in paper_experiments() if s.id.upper() == "MPEG"
+        )
+        application, clustering = spec.build()
+        architecture = Architecture.m1(spec.fb)
+        for name, program in _programs(
+            application, clustering, architecture
+        ):
+            _assert_identical(
+                _run(program, architecture, "reference", policy),
+                _run(program, architecture, "vectorized", policy),
+                f"{policy.value}/{name}",
+            )
+
+
+class TestTimingInvariants:
+    """Properties any valid report must satisfy, on the fast path."""
+
+    def _reports(self):
+        for spec in paper_experiments():
+            application, clustering = spec.build()
+            architecture = Architecture.m1(spec.fb)
+            for name, program in _programs(
+                application, clustering, architecture
+            ):
+                yield (
+                    f"{spec.id}/{name}",
+                    architecture,
+                    _run(program, architecture, "auto"),
+                )
+
+    def test_total_at_least_compute(self):
+        for label, _, report in self._reports():
+            assert report.total_cycles >= report.compute_cycles, label
+
+    def test_dma_busy_matches_summed_transfer_costs(self):
+        """``dma_busy_cycles`` is exactly the linear timing model summed
+        over every transfer: one setup per transfer plus the per-word
+        cost of each kind."""
+        for label, architecture, report in self._reports():
+            timing = architecture.timing
+            count = (
+                report.data_load_count
+                + report.data_store_count
+                + report.context_load_count
+            )
+            expected = (
+                timing.dma_setup_cycles * count
+                + (report.data_load_words + report.data_store_words)
+                * timing.data_word_cycles
+                + report.context_words * timing.context_word_cycles
+            )
+            assert report.dma_busy_cycles == expected, label
+
+    def test_total_bounded_by_serial_sum(self):
+        """Overlap can only shorten a run: the makespan never exceeds
+        compute + all DMA traffic + stalls laid end to end."""
+        for label, _, report in self._reports():
+            assert (
+                report.total_cycles
+                <= report.compute_cycles
+                + report.dma_busy_cycles
+                + report.rc_stall_cycles
+            ), label
+
+
+class TestEngineSelection:
+    def _program(self):
+        spec = next(iter(paper_experiments()))
+        application, clustering = spec.build()
+        architecture = Architecture.m1(spec.fb)
+        schedule = CompleteDataScheduler(architecture).schedule(
+            application, clustering
+        )
+        return generate_program(schedule), architecture
+
+    def test_unknown_engine_rejected(self):
+        program, architecture = self._program()
+        with pytest.raises(ValueError, match="unknown engine"):
+            Simulator(MorphoSysM1(architecture), engine="warp")
+
+    def test_vectorized_engine_refuses_tracing(self):
+        program, architecture = self._program()
+        simulator = Simulator(
+            MorphoSysM1(architecture), trace=True, engine="vectorized"
+        )
+        with pytest.raises(SimulationError, match="vectorized"):
+            simulator.run(program)
+
+    def test_auto_with_trace_matches_reference(self):
+        """``auto`` falls back to the reference engine under tracing —
+        and the traced run's aggregates match the vectorized ones."""
+        program, architecture = self._program()
+        traced = Simulator(
+            MorphoSysM1(architecture), trace=True, engine="auto"
+        ).run(program)
+        fast = _run(program, architecture, "vectorized")
+        assert traced.visits == fast.visits
+        assert traced.total_cycles == fast.total_cycles
+        assert traced.dma_busy_cycles == fast.dma_busy_cycles

@@ -143,3 +143,43 @@ class TestTraceCommand:
     def test_unknown_format_rejected(self):
         with pytest.raises(SystemExit):
             main(["trace", "E1", "--format", "xml"])
+
+
+class TestCacheCli:
+    def test_stats_on_empty_dir(self, tmp_path, capsys):
+        assert main(["cache", "stats",
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "entries (current): 0" in out
+        assert "code fingerprint:" in out
+
+    def test_corpus_fills_then_stats_then_clear(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        assert main(["corpus", "--seeds", "2",
+                     "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries (current): 0" not in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared" in capsys.readouterr().out
+
+    def test_clear_refuses_foreign_directory(self, tmp_path):
+        foreign = tmp_path / "not-a-cache"
+        foreign.mkdir()
+        (foreign / "keep.txt").write_text("data")
+        with pytest.raises(SystemExit, match="refusing"):
+            main(["cache", "clear", "--cache-dir", str(foreign)])
+        assert (foreign / "keep.txt").exists()
+
+
+class TestBenchBaselineFlags:
+    def test_missing_baseline_file_rejected_before_measuring(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["bench", "--quick",
+                  "--baseline", str(tmp_path / "missing.json")])
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        with pytest.raises(SystemExit, match="cannot read baseline"):
+            main(["bench", "--quick", "--baseline", str(bad)])
