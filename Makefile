@@ -3,9 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint ruff mypy bench bench-quick trace-demo fuzz fuzz-quick cache-smoke
+.PHONY: check test lint analyze ruff mypy bench bench-quick trace-demo fuzz fuzz-quick cache-smoke
 
-check: test ruff mypy lint fuzz-quick cache-smoke
+check: test ruff mypy lint analyze fuzz-quick cache-smoke
 
 # Persistent-cache smoke: fill a throwaway cache directory, check the
 # stats/clear plumbing end to end.
@@ -25,6 +25,15 @@ lint:
 	$(PYTHON) -m repro.cli lint all --scheduler basic
 	$(PYTHON) -m repro.cli lint all --scheduler ds
 	$(PYTHON) -m repro.cli lint all --scheduler cds
+
+# Timing-aware hazard analysis: every experiment x scheduler under the
+# sound DMA orderings, plus the pinned fuzz reproducers, must be free
+# of HAZ findings.  The JSON reports are CI artifacts.
+analyze:
+	$(PYTHON) -m repro.cli analyze all --scheduler all --policy sound \
+		--output analyze-report.json
+	$(PYTHON) -m repro.cli analyze corpus --policy sound \
+		--output analyze-corpus-report.json
 
 # Differential fuzzing: adversarial workload regimes cross-checked by
 # the oracle stack.  `fuzz-quick` (CI) round-robins seeds across the

@@ -34,6 +34,15 @@ class CorpusStats:
     cds_regressions_vs_ds: int = 0
     ds_improvements_pct: List[float] = field(default_factory=list)
     cds_improvements_pct: List[float] = field(default_factory=list)
+    #: Workloads whose CDS program has error-severity hazard findings
+    #: under the default DMA policy (should stay 0).
+    hazard_flagged: int = 0
+    #: Summed DFA001 cost over the corpus: words moved by loads no
+    #: kernel ever reads (wasted traffic the scheduler left behind).
+    dead_transfer_words: int = 0
+    #: Summed DFA002 cost over the corpus: traffic savings claimed by
+    #: keep decisions whose retained values are never re-read.
+    retention_waste_words: int = 0
 
     @property
     def mean_cds_pct(self) -> Optional[float]:
@@ -66,6 +75,11 @@ class CorpusStats:
                 f", median {self.median_cds_pct:.1f}%, min "
                 f"{self.min_cds_pct:.1f}%"
             )
+        lines.append(
+            f"hazard analysis: {self.hazard_flagged} flagged, "
+            f"{self.dead_transfer_words}w dead transfers, "
+            f"{self.retention_waste_words}w unrealised retention savings"
+        )
         return "\n".join(lines)
 
 
@@ -108,11 +122,25 @@ def _seed_outcome(task):
     if not (row.basic.feasible and row.ds.feasible and row.cds.feasible):
         outcome = None
     else:
+        from repro.dataflow.analyzer import analyze_schedule
+
+        _, collector = analyze_schedule(row.cds.schedule)
+        dead_words = sum(
+            d.cost_words for d in collector.diagnostics
+            if d.code == "DFA001"
+        )
+        retention_words = sum(
+            d.cost_words for d in collector.diagnostics
+            if d.code == "DFA002"
+        )
         outcome = (
             bool(row.cds.schedule.keeps),
             row.cds.total_cycles - row.ds.total_cycles,
             row.ds_improvement_pct,
             row.cds_improvement_pct,
+            collector.has_errors,
+            dead_words,
+            retention_words,
         )
     if cache is not None:
         cache.put(seed_key, (outcome,))
@@ -145,7 +173,8 @@ def corpus_study(
         if outcome is None:
             stats.infeasible += 1
             continue
-        with_keeps, cds_minus_ds, ds_pct, cds_pct = outcome
+        (with_keeps, cds_minus_ds, ds_pct, cds_pct,
+         hazard_flagged, dead_words, retention_words) = outcome
         stats.feasible += 1
         if with_keeps:
             stats.with_keeps += 1
@@ -155,4 +184,8 @@ def corpus_study(
             stats.cds_regressions_vs_ds += 1
         stats.ds_improvements_pct.append(ds_pct)
         stats.cds_improvements_pct.append(cds_pct)
+        if hazard_flagged:
+            stats.hazard_flagged += 1
+        stats.dead_transfer_words += dead_words
+        stats.retention_waste_words += retention_words
     return stats

@@ -15,11 +15,15 @@ not just a byte-identical schedule.
 from __future__ import annotations
 
 import hashlib
+from typing import TYPE_CHECKING
 
 from repro.arch.params import Architecture
 from repro.core.application import Application
 from repro.core.cluster import Clustering
 from repro.schedule.base import ScheduleOptions
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.fuzz.case import FuzzCase
 
 __all__ = [
     "arch_fingerprint",
@@ -106,6 +110,7 @@ def options_fingerprint(options: ScheduleOptions) -> tuple:
         options.rf_policy,
         options.cross_set_retention,
         options.strict_lint,
+        options.strict_hazards,
         options.occupancy_engine,
         options.decision_trace,
     )
@@ -139,7 +144,7 @@ def outcome_key(
     ))
 
 
-def case_key(case) -> str:
+def case_key(case: "FuzzCase") -> str:
     """Content key for one fuzz case.
 
     Digests the workload and architecture payload of a

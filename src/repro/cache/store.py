@@ -31,7 +31,7 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Union
 
 from repro.obs import metrics
 
@@ -88,7 +88,9 @@ class CacheStore:
     while staying far beyond collision range for code revisions.
     """
 
-    def __init__(self, root: Optional[os.PathLike] = None):
+    def __init__(
+        self, root: Optional[Union[str, "os.PathLike[str]"]] = None
+    ) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
         self._generation = self.root / code_fingerprint()[:16]
         self.hits = 0

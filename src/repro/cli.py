@@ -19,6 +19,10 @@ Commands:
 * ``tinyrisc <exp>`` — emit the TinyRISC control-program listing;
 * ``lint <exp>`` — run the static-analysis lint passes over an
   experiment's full pipeline (exit 1 when errors are found);
+* ``analyze <target>`` — timing-aware hazard analysis (def-use IR +
+  happens-before graph) of generated programs: DMA/compute races,
+  live-range interference, dead transfers, retention liveness,
+  capacity over time (exit 1 on any error-severity finding);
 * ``fuzz``    — differential fuzzing: adversarial workload regimes
   cross-checked by the oracle stack, failures shrunk to minimal
   reproducers (exit 1 on any violation);
@@ -400,6 +404,51 @@ def _cmd_lint(args) -> int:
     return exit_code
 
 
+def _cmd_analyze(args) -> int:
+    import json
+
+    from repro.dataflow.analyzer import parse_policy
+    from repro.dataflow.runner import (
+        SCHEDULER_NAMES,
+        analyze_targets,
+        render_analysis_json,
+        render_analysis_text,
+    )
+
+    schedulers = (
+        list(SCHEDULER_NAMES) if args.scheduler == "all"
+        else [args.scheduler]
+    )
+    if args.policy == "sound":
+        policy_names = ["contexts_first", "stores_first"]
+    elif args.policy == "all":
+        policy_names = ["contexts_first", "stores_first", "loads_first",
+                        "adaptive"]
+    else:
+        policy_names = [args.policy]
+    policies = [parse_policy(name) for name in policy_names]
+
+    results = analyze_targets(
+        args.target,
+        schedulers=schedulers,
+        policies=policies,
+        corpus_dir=args.corpus_dir,
+    )
+    if args.json or args.output:
+        payload = render_analysis_json(results)
+        text = json.dumps(payload, indent=2)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+                handle.write("\n")
+            print(f"wrote {args.output}")
+        if args.json or not args.output:
+            print(text)
+    if not args.json:
+        print(render_analysis_text(results, verbose=args.verbose))
+    return 1 if any(result.has_errors for result in results) else 0
+
+
 def _cmd_fuzz(args) -> int:
     from repro.fuzz.runner import run_fuzz
 
@@ -568,6 +617,39 @@ def build_parser() -> argparse.ArgumentParser:
                       help="deliberately corrupt the schedule first "
                            "(framework self-test)")
     lint.set_defaults(func=_cmd_lint)
+    analyze = sub.add_parser(
+        "analyze",
+        help="timing-aware hazard analysis of generated programs",
+    )
+    analyze.add_argument(
+        "target",
+        help="experiment id, WAVELET, `all` (every bundled workload), "
+             "or `corpus` (pinned reproducers)",
+    )
+    analyze.add_argument("--scheduler",
+                         choices=("basic", "ds", "cds", "all"),
+                         default="cds", help="scheduler(s) to analyze")
+    analyze.add_argument("--policy",
+                         choices=("contexts_first", "stores_first",
+                                  "loads_first", "adaptive", "sound",
+                                  "all"),
+                         default="contexts_first",
+                         help="DMA serialization policy for the "
+                              "happens-before graph (`sound` = both "
+                              "always-sound policies, `all` = every "
+                              "policy incl. the loads_first ablation)")
+    analyze.add_argument("--json", action="store_true",
+                         help="machine-readable report on stdout")
+    analyze.add_argument("--output", metavar="PATH", default=None,
+                         help="write the JSON report to a file")
+    analyze.add_argument("--verbose", action="store_true",
+                         help="also print clean targets and rules "
+                              "checked")
+    analyze.add_argument("--corpus-dir", metavar="DIR",
+                         default="tests/corpus",
+                         help="reproducer directory for the `corpus` "
+                              "target (default tests/corpus)")
+    analyze.set_defaults(func=_cmd_analyze)
     fuzz = sub.add_parser(
         "fuzz",
         help="differential fuzzing with oracle cross-checks",

@@ -1,0 +1,134 @@
+"""Driving the hazard passes over programs and schedules.
+
+:func:`analyze_program` is the one-stop entry point: lower the program
+to the def-use IR, build the happens-before graph for the requested DMA
+policy, run all five hazard passes, and return the findings in a
+standard :class:`~repro.lint.diagnostics.DiagnosticCollector` so the
+lint reporters (text and JSON) render them unchanged.
+
+The lint imports happen lazily inside the functions: the lint package
+itself imports :mod:`repro.lint.hazard_passes`, which imports this
+package, and module-level imports in the other direction would cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
+
+from repro.codegen.program import Program
+from repro.dataflow.hazards import HappensBefore
+from repro.dataflow.ir import ProgramIR, lower_program
+from repro.dataflow.passes import HAZARD_RULES, run_hazard_passes
+from repro.schedule.context_scheduler import DmaPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.diagnostics import DiagnosticCollector
+    from repro.schedule.plan import Schedule
+
+__all__ = [
+    "analyze_program",
+    "analyze_schedule",
+    "build_ir",
+    "hazard_errors",
+    "parse_policy",
+]
+
+_POLICY_NAMES = {policy.name.lower(): policy for policy in DmaPolicy}
+
+
+def parse_policy(text: str) -> DmaPolicy:
+    """Parse a DMA policy name (case-insensitive)."""
+    try:
+        return _POLICY_NAMES[text.strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted(_POLICY_NAMES))
+        raise ValueError(
+            f"unknown DMA policy {text!r}; expected one of: {known}"
+        ) from None
+
+
+def analyze_program(
+    program: Program,
+    *,
+    allocations: Optional[Sequence[object]] = None,
+    policy: DmaPolicy = DmaPolicy.CONTEXTS_FIRST,
+    collector: Optional["DiagnosticCollector"] = None,
+) -> "DiagnosticCollector":
+    """Run the hazard passes over one compiled program.
+
+    Args:
+        program: the program to analyze.
+        allocations: ``(set0, set1)`` allocation maps; computed with the
+            default :class:`~repro.alloc.allocator.FrameBufferAllocator`
+            when omitted.
+        policy: the DMA serialization policy to build the happens-before
+            graph for.
+        collector: collector to accumulate into (fresh when omitted);
+            carries severity overrides and suppressions.
+    """
+    import repro.lint  # noqa: F401  (registers the HAZ/DFA rules)
+    from repro.lint.diagnostics import Diagnostic, DiagnosticCollector
+    from repro.lint.registry import RULES
+
+    if allocations is None:
+        from repro.alloc.allocator import FrameBufferAllocator
+
+        allocations = FrameBufferAllocator(program.schedule).allocate()
+    ir = lower_program(program, allocations=allocations)
+    hb = HappensBefore.build(ir, policy=policy)
+    if collector is None:
+        collector = DiagnosticCollector()
+    for code in HAZARD_RULES:
+        collector.mark_checked(code)
+
+    def emit(code: str, message: str, *, location: str = "",
+             cost_words: int = 0, **details: object):
+        rule = RULES[code]
+        return collector.add(Diagnostic(
+            code=code,
+            severity=rule.severity,
+            layer=rule.layer,
+            location=location,
+            message=message,
+            cost_words=cost_words,
+            details=details,
+        ))
+
+    run_hazard_passes(ir, hb, emit)
+    return collector
+
+
+def analyze_schedule(
+    schedule: "Schedule",
+    *,
+    policy: DmaPolicy = DmaPolicy.CONTEXTS_FIRST,
+    collector: Optional["DiagnosticCollector"] = None,
+) -> Tuple[Program, "DiagnosticCollector"]:
+    """Lower *schedule* and analyze the generated program."""
+    from repro.codegen.generator import generate_program
+
+    program = generate_program(schedule)
+    return program, analyze_program(
+        program, policy=policy, collector=collector
+    )
+
+
+def hazard_errors(collector: "DiagnosticCollector") -> Tuple[object, ...]:
+    """The error-severity HAZ findings in *collector* (the CI gate)."""
+    return tuple(
+        diagnostic for diagnostic in collector.errors
+        if diagnostic.code.startswith("HAZ")
+    )
+
+
+def build_ir(
+    program: Program,
+    *,
+    allocations: Optional[Sequence[object]] = None,
+) -> ProgramIR:
+    """Convenience wrapper: allocations + lowering in one call."""
+    if allocations is None:
+        from repro.alloc.allocator import FrameBufferAllocator
+
+        allocations = FrameBufferAllocator(program.schedule).allocate()
+    return lower_program(program, allocations=allocations)

@@ -29,6 +29,11 @@ which compares two independent computations of the same fact:
     passes offline overlap verification and fits the set.
 ``verifier``
     The lowered program passes static verification.
+``hazards``
+    The lowered program analyzes clean on the timing-aware hazard
+    passes (:mod:`repro.dataflow`) under both always-sound DMA
+    serialization policies — no DMA/compute races, no live-range
+    interference, no capacity-over-time violations.
 ``simengine``
     The vectorized timeline evaluator and the reference event-driven
     engine produce byte-identical simulation reports (per-visit
@@ -83,6 +88,7 @@ ORACLE_NAMES: Tuple[str, ...] = (
     "trace",
     "freelist",
     "verifier",
+    "hazards",
     "simengine",
     "functional",
 )
@@ -345,6 +351,8 @@ def _run_oracles_uncached(
         failures.extend(_check_freelist(case, runs, architecture))
     if "verifier" in enabled:
         failures.extend(_check_verifier(case, runs))
+    if "hazards" in enabled:
+        failures.extend(_check_hazards(case, runs))
     if "simengine" in enabled:
         failures.extend(_check_simengine(case, runs, architecture))
     if "functional" in enabled:
@@ -544,6 +552,42 @@ def _check_verifier(case, runs) -> List[OracleFailure]:
             failures.append(OracleFailure(
                 "verifier", case.name, str(exc), scheduler=run.scheduler,
             ))
+    return failures
+
+
+def _check_hazards(case, runs) -> List[OracleFailure]:
+    """Feasible programs must analyze clean under sound DMA policies.
+
+    ``loads_first`` is the documented-unsound ablation and ``adaptive``
+    is capacity-sound but not placement-sound, so only the two
+    always-sound policies are asserted clean here; the others remain
+    reachable through ``repro analyze --policy``.
+    """
+    from repro.dataflow.analyzer import analyze_program
+    from repro.schedule.context_scheduler import DmaPolicy
+
+    failures = []
+    for run in runs.values():
+        if run.program is None:
+            continue
+        for policy in (DmaPolicy.CONTEXTS_FIRST, DmaPolicy.STORES_FIRST):
+            try:
+                collector = analyze_program(run.program, policy=policy)
+            except ReproError as exc:
+                failures.append(OracleFailure(
+                    "hazards", case.name,
+                    f"analysis crashed under {policy.name.lower()}: {exc}",
+                    scheduler=run.scheduler,
+                ))
+                continue
+            if collector.has_errors:
+                first = collector.errors[0]
+                failures.append(OracleFailure(
+                    "hazards", case.name,
+                    f"{len(collector.errors)} error finding(s) under "
+                    f"{policy.name.lower()}; first: {first}",
+                    scheduler=run.scheduler,
+                ))
     return failures
 
 

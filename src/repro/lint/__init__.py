@@ -13,7 +13,8 @@ raising on the first problem:
   and adjacency (``ALLOC*``);
 * **program** — the symbolic replay of
   :mod:`repro.codegen.verifier`, collected instead of raised
-  (``PROG*``).
+  (``PROG*``), plus the timing-aware hazard passes of
+  :mod:`repro.dataflow` (``HAZ*``/``DFA*``).
 
 See ``docs/lint_rules.md`` for the full rule catalogue with the paper
 section each rule enforces.  The CLI front end is ``repro lint``.
@@ -37,6 +38,7 @@ from repro.lint.registry import (
 # Importing the pass modules registers their rules and passes.
 from repro.lint import alloc_passes as _alloc_passes  # noqa: F401
 from repro.lint import app_passes as _app_passes  # noqa: F401
+from repro.lint import hazard_passes as _hazard_passes  # noqa: F401
 from repro.lint import prog_passes as _prog_passes  # noqa: F401
 from repro.lint import sched_passes as _sched_passes  # noqa: F401
 

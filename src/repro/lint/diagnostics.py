@@ -206,7 +206,29 @@ class DiagnosticCollector:
         )
 
     def to_json(self) -> Dict[str, object]:
-        """JSON-safe summary + diagnostics."""
+        """JSON-safe summary + diagnostics.
+
+        Diagnostics are ordered by ``(code, location, message)`` — a
+        total, content-determined order, so two runs over the same
+        artifacts produce byte-identical reports regardless of pass
+        execution order.  (The text reporter keeps :meth:`sorted`'s
+        severity-first presentation.)  The summary carries both the
+        flat counts and a per-severity block mapping each severity to
+        its count and summed word cost.
+        """
+        per_severity = {
+            severity.value: {
+                "count": len(self.by_severity(severity)),
+                "cost_words": sum(
+                    d.cost_words for d in self.by_severity(severity)
+                ),
+            }
+            for severity in Severity
+        }
+        ordered = sorted(
+            self._diagnostics,
+            key=lambda d: (d.code, d.location, d.message),
+        )
         return {
             "summary": {
                 "errors": len(self.errors),
@@ -216,6 +238,7 @@ class DiagnosticCollector:
                 "suppressed": self._suppressed_count,
                 "cost_words": self.total_cost_words,
                 "rules_checked": list(self._rules_checked),
+                "by_severity": per_severity,
             },
-            "diagnostics": [d.to_json() for d in self.sorted()],
+            "diagnostics": [d.to_json() for d in ordered],
         }

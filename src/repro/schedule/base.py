@@ -65,6 +65,14 @@ class ScheduleOptions:
             error-severity diagnostic is found.  A self-check: the
             scheduler refuses to hand out a schedule its own static
             analysis rejects.
+        strict_hazards: after building the schedule, lower it all the
+            way to a program, run the timing-aware hazard analysis of
+            :mod:`repro.dataflow` under the default DMA policy, and
+            raise :class:`~repro.errors.LintError` if any
+            error-severity ``HAZ`` finding survives.  Stronger (and
+            costlier) than ``strict_lint``: it proves the generated
+            program free of DMA/compute races, live-range interference
+            and capacity violations, not just the schedule well-formed.
         decision_trace: record a structured
             :class:`~repro.obs.events.DecisionTrace` of every TF
             ranking, keep accept/reject (with the occupancy numbers
@@ -79,6 +87,7 @@ class ScheduleOptions:
     rf_policy: str = "max_then_keep"
     cross_set_retention: bool = False
     strict_lint: bool = False
+    strict_hazards: bool = False
     occupancy_engine: str = "incremental"
     decision_trace: bool = False
 
@@ -175,6 +184,8 @@ class DataSchedulerBase(abc.ABC):
             self._decisions = None
         if self.options.strict_lint:
             self._self_lint(schedule)
+        if self.options.strict_hazards:
+            self._self_analyze(schedule)
         return schedule
 
     def _record(self, kind: str, subject: str = "", **detail) -> None:
@@ -205,6 +216,22 @@ class DataSchedulerBase(abc.ABC):
                 f"strict lint: {len(collector.errors)} error(s) in the "
                 f"{self.name} schedule; first: {first}",
                 diagnostics=collector.errors,
+            )
+
+    def _self_analyze(self, schedule: Schedule) -> None:
+        """Run the hazard analyzer over the lowered program; raise on
+        any error-severity HAZ finding."""
+        from repro.dataflow.analyzer import analyze_schedule, hazard_errors
+        from repro.errors import LintError
+
+        _, collector = analyze_schedule(schedule)
+        findings = hazard_errors(collector)
+        if findings:
+            first = findings[0]
+            raise LintError(
+                f"strict hazards: {len(findings)} HAZ finding(s) in the "
+                f"{self.name} schedule's program; first: {first}",
+                diagnostics=findings,
             )
 
     # -- subclass hook --------------------------------------------------------

@@ -104,6 +104,16 @@ class Simulator:
         self.verify = verify
         self.trace = trace
         self.engine = engine
+        #: After a functional run: total words brought in by data loads,
+        #: and the subset never read by any kernel before eviction or
+        #: program end.  ``None`` until a functional run completes.
+        #: These are the dynamic counterparts of the static ``DFA001``
+        #: pass (``repro.dataflow``) — property-tested to agree.
+        self.functional_loaded_words: Optional[int] = None
+        self.functional_dead_words: Optional[int] = None
+        self._load_watch: Dict[tuple, int] = {}
+        self._dead_words = 0
+        self._loaded_words = 0
 
     # -- public API --------------------------------------------------------
 
@@ -155,6 +165,10 @@ class Simulator:
         # one machine silently flip each other's tracing.
         dma_record_trace = self.machine.dma.record_trace
         self.machine.dma.record_trace = self.trace
+        if functional:
+            self._load_watch = {}
+            self._dead_words = 0
+            self._loaded_words = 0
         try:
             if use_vectorized:
                 timings = self._execute_vectorized(program)
@@ -166,6 +180,11 @@ class Simulator:
         verified: Optional[bool] = None
         if functional:
             verified = self._check_outputs(application, golden)
+            # Loads still unread at program end were pure wasted traffic.
+            self.functional_loaded_words = self._loaded_words
+            self.functional_dead_words = (
+                self._dead_words + sum(self._load_watch.values())
+            )
 
         dma = self.machine.dma
         compute_cycles = sum(t.compute_end - t.compute_start for t in timings)
@@ -494,6 +513,11 @@ class Simulator:
                 f"memory holds no values"
             )
         fb_values[load.fb_set][(load.name, load.iteration)] = values
+        watch_key = (load.fb_set, load.name, load.iteration)
+        # A reload over an unread copy means the first copy was dead.
+        self._dead_words += self._load_watch.pop(watch_key, 0)
+        self._load_watch[watch_key] = load.words
+        self._loaded_words += load.words
 
     def _do_store(self, store, fb_values) -> None:
         key = (store.name, store.iteration)
@@ -520,6 +544,7 @@ class Simulator:
                 key = (in_name, instance)
                 if key in fb_values[run.fb_set]:
                     inputs[in_name] = fb_values[run.fb_set][key]
+                    self._load_watch.pop((run.fb_set, *key), None)
                     continue
                 keep = keeps_by_name.get(in_name)
                 if (
@@ -529,6 +554,7 @@ class Simulator:
                 ):
                     # Cross-set retention: read the operand in place.
                     inputs[in_name] = fb_values[keep.fb_set][key]
+                    self._load_watch.pop((keep.fb_set, *key), None)
                     continue
                 raise SimulationError(
                     f"kernel {run.kernel!r}#{run.iteration}: input "

@@ -90,7 +90,7 @@ class TimelineTables:
         "totals", "__weakref__",
     )
 
-    def __init__(self, program: Program, timing: TimingModel):
+    def __init__(self, program: Program, timing: TimingModel) -> None:
         visits = program.visits
         n = len(visits)
         self.count = n
@@ -192,7 +192,9 @@ def tables_for(program: Program, timing: TimingModel) -> TimelineTables:
             return tables
     tables = TimelineTables(program, timing)
 
-    def _evict(_ref, _key=key):
+    def _evict(
+        _ref: "weakref.ref[Program]", _key: int = key
+    ) -> None:
         _TABLE_CACHE.pop(_key, None)
 
     _TABLE_CACHE[key] = (weakref.ref(program, _evict), timing, tables)

@@ -1,0 +1,42 @@
+"""Shared builders for the hazard-analyzer tests."""
+
+import pytest
+
+from repro.arch.params import Architecture
+from repro.codegen.generator import generate_program
+from repro.lint.runner import resolve_target
+from repro.schedule.basic import BasicScheduler
+from repro.schedule.complete import CompleteDataScheduler
+from repro.schedule.data_scheduler import DataScheduler
+
+SCHEDULER_CLASSES = {
+    "basic": BasicScheduler,
+    "ds": DataScheduler,
+    "cds": CompleteDataScheduler,
+}
+
+
+def build_schedule(target_id, scheduler="cds"):
+    """Schedule one bundled lint target with one scheduler."""
+    entry = resolve_target(target_id)
+    application, clustering = entry.build()
+    architecture = Architecture.m1(entry.fb)
+    schedule = SCHEDULER_CLASSES[scheduler](architecture).schedule(
+        application, clustering
+    )
+    return schedule, architecture
+
+
+def build_program(target_id, scheduler="cds"):
+    schedule, architecture = build_schedule(target_id, scheduler)
+    return generate_program(schedule), architecture
+
+
+@pytest.fixture(scope="module")
+def e1_cds_program():
+    return build_program("E1", "cds")[0]
+
+
+@pytest.fixture(scope="module")
+def e1_ds_program():
+    return build_program("E1", "ds")[0]

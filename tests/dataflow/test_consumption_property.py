@@ -1,0 +1,111 @@
+"""Static dead-transfer analysis versus the functional simulator.
+
+The property: for any program the functional simulator can run,
+
+* the words the simulator observes entering the frame buffer equal the
+  program's static load total, and
+* the words the simulator observes arriving but never being read by any
+  kernel (transferred minus consumed) equal the summed ``DFA001`` cost
+  the static analyzer reports.
+
+So ``DFA001`` is not a heuristic — it is the exact static counterpart
+of a dynamic quantity.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.arch.machine import MorphoSysM1
+from repro.dataflow.analyzer import analyze_program
+from repro.fuzz.case import FuzzCase
+from repro.sim.engine import Simulator
+
+from tests.dataflow.conftest import build_program
+
+CORPUS = "tests/corpus/regression-rf-gallop-seed7.json"
+
+
+def _static_dead_words(program):
+    collector = analyze_program(program)
+    return sum(
+        diagnostic.cost_words
+        for diagnostic in collector.diagnostics
+        if diagnostic.code == "DFA001"
+    )
+
+
+def _dynamic_dead_words(program, architecture, verify=True):
+    simulator = Simulator(MorphoSysM1(architecture), verify=verify)
+    report = simulator.run(program, functional=True)
+    assert report.functional_verified or not verify
+    return (
+        simulator.functional_loaded_words,
+        simulator.functional_dead_words,
+    )
+
+
+@pytest.mark.parametrize("target", ["E1", "E2", "E3"])
+@pytest.mark.parametrize("scheduler", ["basic", "ds", "cds"])
+def test_paper_experiments_transfer_exactly_what_is_consumed(
+    target, scheduler
+):
+    program, architecture = build_program(target, scheduler)
+    loaded, dead = _dynamic_dead_words(program, architecture)
+    assert loaded == program.total_load_words
+    assert dead == 0
+    assert _static_dead_words(program) == 0
+
+
+def test_corpus_reproducer_agrees():
+    case = FuzzCase.load(CORPUS)
+    application, clustering = case.build()
+    architecture = case.architecture()
+    from repro.schedule.complete import CompleteDataScheduler
+
+    schedule = CompleteDataScheduler(architecture).schedule(
+        application, clustering
+    )
+    from repro.codegen.generator import generate_program
+
+    program = generate_program(schedule)
+    loaded, dead = _dynamic_dead_words(program, architecture)
+    assert loaded == program.total_load_words
+    assert dead == _static_dead_words(program)
+
+
+def test_injected_dead_load_counted_by_both_sides():
+    program, architecture = build_program("E1", "cds")
+    for index, ops in enumerate(program.visits):
+        if ops.data_loads:
+            dup = ops.data_loads[0]
+            mutated_ops = dataclasses.replace(
+                ops, data_loads=(dup,) + ops.data_loads
+            )
+            visits = (
+                program.visits[:index] + (mutated_ops,)
+                + program.visits[index + 1:]
+            )
+            break
+    mutated = dataclasses.replace(program, visits=visits)
+    static = _static_dead_words(mutated)
+    assert static == dup.words
+    loaded, dead = _dynamic_dead_words(
+        mutated, architecture, verify=False
+    )
+    assert dead == static
+    assert loaded == mutated.total_load_words
+
+
+def test_tracking_resets_between_runs():
+    program, architecture = build_program("E2", "cds")
+    simulator = Simulator(MorphoSysM1(architecture))
+    assert simulator.functional_loaded_words is None
+    assert simulator.functional_dead_words is None
+    simulator.run(program, functional=True)
+    first = simulator.functional_loaded_words
+    assert first == program.total_load_words
+    simulator.machine.reset()
+    simulator.run(program, functional=True)
+    assert simulator.functional_loaded_words == first
+    assert simulator.functional_dead_words == 0

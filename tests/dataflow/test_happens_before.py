@@ -1,0 +1,152 @@
+"""The happens-before graph versus a brute-force transitive closure.
+
+The O(1) queries in :class:`HappensBefore` are prefix-maxima shortcuts
+over a small set of direct ordering facts the engine guarantees:
+
+* the single DMA channel serialises transfers in issue order;
+* the single RC array serialises kernel runs in visit order;
+* a visit's compute starts only after its preparation transfers land;
+* a transfer starts only after its gating visit's compute ends.
+
+The differential test materialises exactly those edges, takes the
+transitive closure, and checks the O(1) answers agree on *every* pair
+of nodes, for every DMA policy.
+"""
+
+import pytest
+
+from repro.dataflow.analyzer import build_ir
+from repro.dataflow.hazards import HappensBefore
+from repro.schedule.context_scheduler import DmaPolicy
+
+from tests.dataflow.conftest import build_program
+
+
+def _closure(hb, node_count):
+    """Reachability over the direct ordering facts (see module doc)."""
+    adjacency = [set() for _ in range(node_count)]
+    by_pos = sorted(hb.channel_pos, key=lambda node: hb.channel_pos[node])
+    for first, second in zip(by_pos, by_pos[1:]):
+        adjacency[first].add(second)
+    by_seq = sorted(hb.compute_seq, key=lambda node: hb.compute_seq[node])
+    for first, second in zip(by_seq, by_seq[1:]):
+        adjacency[first].add(second)
+    first_compute = {}
+    last_compute = {}
+    for node in by_seq:
+        first_compute.setdefault(hb.compute_visit[node], node)
+        last_compute[hb.compute_visit[node]] = node
+    node_at = {hb.channel_pos[node]: node for node in hb.channel_pos}
+    for visit, pos in enumerate(hb.lastprep):
+        if pos >= 0 and visit in first_compute:
+            adjacency[node_at[pos]].add(first_compute[visit])
+    for pos, gate in enumerate(hb.rel):
+        if gate >= 0 and gate in last_compute:
+            adjacency[last_compute[gate]].add(node_at[pos])
+
+    # Kahn topological order, then reach sets in reverse topo order.
+    indegree = [0] * node_count
+    for node in range(node_count):
+        for succ in adjacency[node]:
+            indegree[succ] += 1
+    frontier = [node for node in range(node_count) if indegree[node] == 0]
+    topo = []
+    while frontier:
+        node = frontier.pop()
+        topo.append(node)
+        for succ in adjacency[node]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                frontier.append(succ)
+    assert len(topo) == node_count  # the graph is a DAG
+    reach = [set() for _ in range(node_count)]
+    for node in reversed(topo):
+        for succ in adjacency[node]:
+            reach[node].add(succ)
+            reach[node] |= reach[succ]
+    return reach
+
+
+@pytest.mark.parametrize("scheduler", ["basic", "ds", "cds"])
+@pytest.mark.parametrize("policy", list(DmaPolicy))
+def test_queries_match_transitive_closure(scheduler, policy):
+    program, _ = build_program("E2", scheduler)
+    ir = build_ir(program)
+    hb = HappensBefore.build(ir, policy)
+    reach = _closure(hb, len(ir.nodes))
+    nodes = sorted(set(hb.channel_pos) | set(hb.compute_seq))
+    mismatches = []
+    for a in nodes:
+        for b in nodes:
+            if a == b:
+                continue
+            if hb.happens_before(a, b) != (b in reach[a]):
+                mismatches.append((a, b))
+    assert not mismatches, (
+        f"{len(mismatches)} query/closure disagreements, first: "
+        f"{ir.describe(mismatches[0][0])} -> {ir.describe(mismatches[0][1])}"
+    )
+
+
+def test_relation_is_a_strict_partial_order(e1_ds_program):
+    ir = build_ir(e1_ds_program)
+    hb = HappensBefore.build(ir)
+    nodes = sorted(set(hb.channel_pos) | set(hb.compute_seq))
+    for a in nodes[:: max(1, len(nodes) // 60)]:
+        assert not hb.happens_before(a, a)
+        for b in nodes[:: max(1, len(nodes) // 60)]:
+            if a == b:
+                continue
+            assert not (
+                hb.happens_before(a, b) and hb.happens_before(b, a)
+            )
+
+
+def test_serial_schedule_orders_everything(e1_ds_program):
+    program, _ = build_program("E1", "basic")
+    ir = build_ir(program)
+    hb = HappensBefore.build(ir)
+    assert hb.serial
+    # In serial mode every pair of nodes is ordered: no overlap at all.
+    nodes = sorted(set(hb.channel_pos) | set(hb.compute_seq))
+    step = max(1, len(nodes) // 40)
+    for a in nodes[::step]:
+        for b in nodes[::step]:
+            if a != b:
+                assert hb.ordered(a, b)
+
+
+def test_pipelined_schedule_leaves_windows_unordered(e1_ds_program):
+    ir = build_ir(e1_ds_program)
+    hb = HappensBefore.build(ir)
+    assert not hb.serial
+    nodes = sorted(set(hb.channel_pos) | set(hb.compute_seq))
+    unordered = sum(
+        1
+        for a in nodes
+        for b in nodes
+        if a < b and not hb.ordered(a, b)
+    )
+    assert unordered > 0  # prefetch genuinely overlaps compute
+
+
+def test_loads_first_reorders_the_channel(e1_ds_program):
+    ir = build_ir(e1_ds_program)
+    default = HappensBefore.build(ir, DmaPolicy.CONTEXTS_FIRST)
+    loads_first = HappensBefore.build(ir, DmaPolicy.LOADS_FIRST)
+    assert loads_first.loads_first_windows
+    assert not default.loads_first_windows
+    assert default.channel_pos != loads_first.channel_pos
+
+
+def test_channel_positions_cover_all_transfers(e1_cds_program):
+    ir = build_ir(e1_cds_program)
+    hb = HappensBefore.build(ir)
+    transfer_nodes = {
+        node.node_id
+        for node in ir.nodes
+        if node.kind != "compute"
+    }
+    assert set(hb.channel_pos) == transfer_nodes
+    positions = sorted(hb.channel_pos.values())
+    assert positions == list(range(len(positions)))

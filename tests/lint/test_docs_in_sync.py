@@ -10,7 +10,9 @@ DOC = Path(__file__).resolve().parents[2] / "docs" / "lint_rules.md"
 
 def test_every_rule_is_documented():
     text = DOC.read_text()
-    documented = set(re.findall(r"\b(?:APP|SCHED|ALLOC|PROG)\d{3}\b", text))
+    documented = set(
+        re.findall(r"\b(?:APP|SCHED|ALLOC|PROG|HAZ|DFA)\d{3}\b", text)
+    )
     assert documented == set(RULES), (
         f"undocumented: {sorted(set(RULES) - documented)}; "
         f"stale: {sorted(documented - set(RULES))}"

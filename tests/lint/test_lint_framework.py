@@ -153,6 +153,48 @@ def test_render_json_is_serialisable():
     json.dumps(payload)  # must be JSON-safe
 
 
+def test_json_report_is_deterministically_ordered():
+    """to_json orders diagnostics by (code, location, message) — a
+    content-determined total order, independent of emission order."""
+    first = DiagnosticCollector()
+    second = DiagnosticCollector()
+    diags = [
+        Diagnostic(code="SCHED007", severity=Severity.WARNING,
+                   layer="schedule", location="cluster Cl2",
+                   message="b", cost_words=4),
+        Diagnostic(code="SCHED001", severity=Severity.ERROR,
+                   layer="schedule", location="cluster Cl9",
+                   message="a", cost_words=2),
+        Diagnostic(code="SCHED001", severity=Severity.ERROR,
+                   layer="schedule", location="cluster Cl1",
+                   message="c", cost_words=1),
+    ]
+    for diagnostic in diags:
+        first.add(diagnostic)
+    for diagnostic in reversed(diags):
+        second.add(diagnostic)
+    assert first.to_json() == second.to_json()
+    ordered = first.to_json()["diagnostics"]
+    assert [(d["code"], d["location"]) for d in ordered] == [
+        ("SCHED001", "cluster Cl1"),
+        ("SCHED001", "cluster Cl9"),
+        ("SCHED007", "cluster Cl2"),
+    ]
+
+
+def test_json_summary_per_severity_block():
+    collector = DiagnosticCollector()
+    collector.add(_diag("SCHED001", Severity.ERROR, cost=5))
+    collector.add(_diag("SCHED007", Severity.WARNING, cost=10))
+    collector.add(_diag("SCHED007", Severity.WARNING, cost=3))
+    summary = collector.to_json()["summary"]
+    assert summary["by_severity"] == {
+        "error": {"count": 1, "cost_words": 5},
+        "warning": {"count": 2, "cost_words": 13},
+        "info": {"count": 0, "cost_words": 0},
+    }
+
+
 def test_severity_overrides_from_args():
     overrides = severity_overrides_from_args(
         ["sched007=error", "ALLOC005 = warning"]

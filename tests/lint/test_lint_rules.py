@@ -549,6 +549,6 @@ def test_mini_app_pipeline_is_clean():
     collector = lint_full(cds_schedule())
     assert not collector.diagnostics
     assert len(collector.rules_checked) >= 10
-    # All four layers were exercised (APP/SCHED/ALLOC/PROG prefixes).
+    # All rule families were exercised.
     prefixes = {code.rstrip("0123456789") for code in collector.rules_checked}
-    assert prefixes == {"APP", "SCHED", "ALLOC", "PROG"}
+    assert prefixes == {"APP", "SCHED", "ALLOC", "PROG", "HAZ", "DFA"}
