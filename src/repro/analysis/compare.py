@@ -23,7 +23,16 @@ from repro.sim.engine import Simulator
 from repro.sim.report import SimulationReport
 from repro.workloads.spec import ExperimentSpec
 
-__all__ = ["SchedulerOutcome", "ComparisonRow", "compare_workload", "compare_experiment"]
+__all__ = [
+    "SchedulerOutcome",
+    "ComparisonRow",
+    "run_pipeline_batch",
+    "compare_workload",
+    "compare_workloads",
+    "compare_experiment",
+]
+
+_SCHEDULER_NAMES = ("basic", "ds", "cds")
 
 
 @dataclass(frozen=True)
@@ -173,6 +182,141 @@ def run_scheduler(
     return outcome
 
 
+def run_pipeline_batch(
+    items,
+    *,
+    trace: bool = True,
+    cache=None,
+    engine: str = "batch",
+) -> list:
+    """The batch front-end shared by the corpus/sweep/fuzz drivers.
+
+    *items* is a sequence of ``(scheduler_name, application, clustering,
+    architecture, options, dataflow)`` pipeline problems.  Cache hits
+    (same :func:`~repro.cache.keys.outcome_key` as
+    :func:`run_scheduler`) skip everything; the misses are compiled in
+    **one** :func:`repro.schedule.batch.compile_many` call under
+    *engine*, then lowered and simulated per case.  Outcomes — cached,
+    batch-compiled, or reference-compiled — are byte-identical to
+    :func:`run_scheduler`'s, so drivers can batch freely without
+    changing any result (equivalence-tested in
+    ``tests/schedule/test_batch_equivalence.py``).
+
+    Scheduling time lands in metrics scope ``batch`` (per-stage:
+    layout/rf/keeps/finalize); codegen and simulation keep the
+    per-scheduler ``pipeline.<name>`` scopes of the per-case path.
+    """
+    from repro.schedule.batch import CompileRequest, compile_many
+
+    outcomes: list = [None] * len(items)
+    keys: list = [None] * len(items)
+    misses: list = []
+    if cache is not None:
+        from repro.cache import outcome_key
+
+        for index, (name, application, clustering, architecture,
+                    options, dataflow) in enumerate(items):
+            keys[index] = outcome_key(
+                name, application, clustering, architecture,
+                options=options or ScheduleOptions(), trace=trace,
+            )
+            cached = cache.get(keys[index])
+            if cached is not None:
+                outcomes[index] = cached
+            else:
+                misses.append(index)
+    else:
+        misses = list(range(len(items)))
+
+    requests = [
+        CompileRequest(
+            scheduler=items[index][0],
+            application=items[index][1],
+            architecture=items[index][3],
+            clustering=items[index][2],
+            options=items[index][4],
+            dataflow=items[index][5],
+        )
+        for index in misses
+    ]
+    results = compile_many(requests, engine=engine)
+    for index, result in zip(misses, results):
+        name, _, _, architecture, _, _ = items[index]
+        if result.error is not None:
+            outcome = SchedulerOutcome(
+                scheduler=name,
+                feasible=False,
+                infeasible_reason=str(result.error),
+            )
+        else:
+            scope = f"pipeline.{name}"
+            with time_stage("codegen", scope=scope):
+                program = generate_program(result.schedule)
+            machine = MorphoSysM1(architecture)
+            with time_stage("simulate", scope=scope):
+                report = Simulator(machine, trace=trace).run(program)
+            outcome = SchedulerOutcome(
+                scheduler=name,
+                feasible=True,
+                schedule=result.schedule,
+                report=report,
+            )
+        if cache is not None:
+            cache.put(keys[index], outcome)
+        outcomes[index] = outcome
+    return outcomes
+
+
+def _assemble_row(workload_name, architecture, clustering, dataflow,
+                  basic, ds, cds) -> ComparisonRow:
+    return ComparisonRow(
+        workload=workload_name,
+        architecture=architecture.name,
+        fb_words=architecture.fb_set_words,
+        n_clusters=len(clustering),
+        max_kernels_per_cluster=max(clustering.sizes()),
+        total_data_words=total_data_size(dataflow),
+        basic=basic,
+        ds=ds,
+        cds=cds,
+    )
+
+
+def compare_workloads(
+    workloads,
+    *,
+    options: Optional[ScheduleOptions] = None,
+    trace: bool = True,
+    cache=None,
+    engine: str = "batch",
+) -> list:
+    """Batched :func:`compare_workload`: one row per ``(application,
+    clustering, architecture, name)`` entry, all scheduling problems
+    compiled in one batch."""
+    prepared = [
+        (application, clustering, architecture, name,
+         analyze_dataflow(application, clustering))
+        for application, clustering, architecture, name in workloads
+    ]
+    items = [
+        (scheduler, application, clustering, architecture, options, dataflow)
+        for application, clustering, architecture, _, dataflow in prepared
+        for scheduler in _SCHEDULER_NAMES
+    ]
+    outcomes = run_pipeline_batch(
+        items, trace=trace, cache=cache, engine=engine
+    )
+    rows = []
+    for index, (application, clustering, architecture, name,
+                dataflow) in enumerate(prepared):
+        basic, ds, cds = outcomes[3 * index: 3 * index + 3]
+        rows.append(_assemble_row(
+            name or application.name, architecture, clustering, dataflow,
+            basic, ds, cds,
+        ))
+    return rows
+
+
 def compare_workload(
     application: Application,
     clustering: Clustering,
@@ -182,8 +326,22 @@ def compare_workload(
     workload_name: Optional[str] = None,
     trace: bool = True,
     cache=None,
+    engine: str = "batch",
 ) -> ComparisonRow:
-    """Run Basic, DS and CDS on one workload and collect the row."""
+    """Run Basic, DS and CDS on one workload and collect the row.
+
+    ``engine='batch'`` (default) compiles the three scheduling problems
+    through the structure-of-arrays batch engine;
+    ``engine='reference'`` runs the historical per-case scheduler
+    path.  Both produce byte-identical rows.
+    """
+    if engine == "batch":
+        return compare_workloads(
+            [(application, clustering, architecture, workload_name)],
+            options=options, trace=trace, cache=cache, engine=engine,
+        )[0]
+    if engine != "reference":
+        raise ValueError(f"unknown engine {engine!r}")
     dataflow = analyze_dataflow(application, clustering)
     basic = run_scheduler(
         BasicScheduler(architecture, options), application, clustering,
@@ -197,16 +355,9 @@ def compare_workload(
         CompleteDataScheduler(architecture, options), application, clustering,
         architecture, trace=trace, dataflow=dataflow, cache=cache,
     )
-    return ComparisonRow(
-        workload=workload_name or application.name,
-        architecture=architecture.name,
-        fb_words=architecture.fb_set_words,
-        n_clusters=len(clustering),
-        max_kernels_per_cluster=max(clustering.sizes()),
-        total_data_words=total_data_size(dataflow),
-        basic=basic,
-        ds=ds,
-        cds=cds,
+    return _assemble_row(
+        workload_name or application.name, architecture, clustering,
+        dataflow, basic, ds, cds,
     )
 
 

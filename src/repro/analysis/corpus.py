@@ -13,8 +13,8 @@ import statistics
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.analysis.compare import compare_workload
-from repro.analysis.parallel import parallel_map
+from repro.analysis.compare import compare_workloads
+from repro.analysis.parallel import default_jobs, parallel_map
 from repro.arch.params import Architecture
 from repro.units import SizeLike
 from repro.workloads.random_gen import random_application
@@ -83,68 +83,89 @@ class CorpusStats:
         return "\n".join(lines)
 
 
-def _seed_outcome(task):
-    """One seed's comparison, reduced to picklable aggregates.
+def _row_outcome(row):
+    """Reduce one comparison row to the study's picklable aggregates."""
+    if not (row.basic.feasible and row.ds.feasible and row.cds.feasible):
+        return None
+    from repro.dataflow.analyzer import analyze_schedule
+
+    _, collector = analyze_schedule(row.cds.schedule)
+    dead_words = sum(
+        d.cost_words for d in collector.diagnostics
+        if d.code == "DFA001"
+    )
+    retention_words = sum(
+        d.cost_words for d in collector.diagnostics
+        if d.code == "DFA002"
+    )
+    return (
+        bool(row.cds.schedule.keeps),
+        row.cds.total_cycles - row.ds.total_cycles,
+        row.ds_improvement_pct,
+        row.cds_improvement_pct,
+        collector.has_errors,
+        dead_words,
+        retention_words,
+    )
+
+
+def _seed_chunk(task):
+    """One worker's share of seeds, reduced to picklable aggregates.
 
     Top-level so :func:`parallel_map` can ship it to worker processes;
-    the serial path runs the same function, so serial and parallel
-    studies are identical by construction.
+    the serial path runs the same function over one chunk holding every
+    seed, so serial and parallel studies are identical by construction.
 
     With a cache directory, the reduced aggregates are memoised per
     ``(seed, fb, iterations)`` — a warm rerun skips the generator, the
-    schedulers and the simulator for every unchanged seed.  The full
+    schedulers and the simulator for every unchanged seed.  Cache
+    *misses* are compiled together through the batch front-end
+    (:func:`~repro.analysis.compare.compare_workloads`); their
     per-scheduler outcomes are additionally cached under their own
     content keys, so other drivers touching the same workloads hit too.
     """
-    seed, fb, iterations, cache_dir = task
+    seeds, fb, iterations, cache_dir, engine = task
     architecture = Architecture.m1(fb)
-    cache = seed_key = None
+    cache = None
     if cache_dir is not None:
         from repro.cache import CacheStore, digest
 
         cache = CacheStore(cache_dir)
-        seed_key = digest((
-            "corpus_seed", seed, architecture.fb_set_words, iterations,
-        ))
-        cached = cache.get(seed_key)
-        if cached is not None:
-            # Wrapped in a 1-tuple: ``None`` (infeasible seed) is a
-            # legitimate outcome but the store's miss sentinel.
-            return cached[0]
-    application, clustering = random_application(
-        seed, iterations=iterations
-    )
-    # The study consumes aggregates only, so the per-transfer DMA
-    # trace is not recorded.
-    row = compare_workload(
-        application, clustering, architecture, trace=False, cache=cache
-    )
-    if not (row.basic.feasible and row.ds.feasible and row.cds.feasible):
-        outcome = None
-    else:
-        from repro.dataflow.analyzer import analyze_schedule
+    outcomes: dict = {}
+    pending = []
+    seed_keys = {}
+    for seed in seeds:
+        if cache is not None:
+            seed_keys[seed] = digest((
+                "corpus_seed", seed, architecture.fb_set_words, iterations,
+            ))
+            cached = cache.get(seed_keys[seed])
+            if cached is not None:
+                # Wrapped in a 1-tuple: ``None`` (infeasible seed) is a
+                # legitimate outcome but the store's miss sentinel.
+                outcomes[seed] = cached[0]
+                continue
+        application, clustering = random_application(
+            seed, iterations=iterations
+        )
+        pending.append((seed, application, clustering))
 
-        _, collector = analyze_schedule(row.cds.schedule)
-        dead_words = sum(
-            d.cost_words for d in collector.diagnostics
-            if d.code == "DFA001"
+    if pending:
+        # The study consumes aggregates only, so the per-transfer DMA
+        # trace is not recorded.
+        rows = compare_workloads(
+            [
+                (application, clustering, architecture, None)
+                for _, application, clustering in pending
+            ],
+            trace=False, cache=cache, engine=engine,
         )
-        retention_words = sum(
-            d.cost_words for d in collector.diagnostics
-            if d.code == "DFA002"
-        )
-        outcome = (
-            bool(row.cds.schedule.keeps),
-            row.cds.total_cycles - row.ds.total_cycles,
-            row.ds_improvement_pct,
-            row.cds_improvement_pct,
-            collector.has_errors,
-            dead_words,
-            retention_words,
-        )
-    if cache is not None:
-        cache.put(seed_key, (outcome,))
-    return outcome
+        for (seed, _, _), row in zip(pending, rows):
+            outcome = _row_outcome(row)
+            if cache is not None:
+                cache.put(seed_keys[seed], (outcome,))
+            outcomes[seed] = outcome
+    return [outcomes[seed] for seed in seeds]
 
 
 def corpus_study(
@@ -154,22 +175,34 @@ def corpus_study(
     iterations: int = 6,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    engine: str = "batch",
 ) -> CorpusStats:
     """Run the three-scheduler comparison over seeded random workloads.
 
-    ``jobs`` fans the seeds out over worker processes (``None``/``1`` =
-    serial, ``0`` = one per CPU); the resulting stats are identical
-    either way.  ``cache_dir`` enables the persistent pipeline cache:
-    reruns over unchanged seeds (and unchanged code) are served from
-    disk with byte-identical results.
+    ``jobs`` partitions the seeds over worker processes (``None``/``1``
+    = serial, ``0`` = one per CPU); the resulting stats are identical
+    either way.  Each worker batch-compiles its whole share of cache
+    misses in one :mod:`repro.schedule.batch` pass (``engine='batch'``;
+    ``'reference'`` keeps the per-case scheduler).  ``cache_dir``
+    enables the persistent pipeline cache: reruns over unchanged seeds
+    (and unchanged code) are served from disk with byte-identical
+    results.
     """
     stats = CorpusStats(seeds_total=len(seeds))
-    outcomes = parallel_map(
-        _seed_outcome,
-        [(seed, fb, iterations, cache_dir) for seed in seeds],
+    seeds = list(seeds)
+    workers = 1 if jobs in (None, 1) else (jobs if jobs > 0 else default_jobs())
+    n_chunks = max(1, min(workers, len(seeds)))
+    chunks = [seeds[i::n_chunks] for i in range(n_chunks)]
+    chunk_outcomes = parallel_map(
+        _seed_chunk,
+        [(chunk, fb, iterations, cache_dir, engine) for chunk in chunks],
         jobs=jobs,
     )
-    for outcome in outcomes:
+    by_seed = {}
+    for chunk, results in zip(chunks, chunk_outcomes):
+        by_seed.update(zip(chunk, results))
+    for seed in seeds:
+        outcome = by_seed[seed]
         if outcome is None:
             stats.infeasible += 1
             continue

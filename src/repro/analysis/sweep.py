@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.analysis.compare import compare_workload
-from repro.analysis.parallel import parallel_map
+from repro.analysis.compare import compare_workload, compare_workloads
+from repro.analysis.parallel import default_jobs, parallel_map
 from repro.arch.params import Architecture
 from repro.core.application import Application
 from repro.core.cluster import Clustering
@@ -55,18 +55,30 @@ def _row_to_point(row, words: int) -> SweepPoint:
     )
 
 
-def _sweep_point(task) -> SweepPoint:
-    """One (workload, FB size) sample (top-level: picklable)."""
-    application, clustering, words, cache_dir = task
+def _sweep_chunk(task) -> List[SweepPoint]:
+    """One worker's share of FB sizes (top-level: picklable).
+
+    The chunk's scheduling problems — three schedulers at every size —
+    compile in one batch; sizes may differ per request because the
+    batch tables carry a per-case capacity.
+    """
+    application, clustering, words_list, cache_dir, engine = task
     cache = None
     if cache_dir is not None:
         from repro.cache import CacheStore
 
         cache = CacheStore(cache_dir)
-    row = compare_workload(
-        application, clustering, Architecture.m1(words), cache=cache
+    rows = compare_workloads(
+        [
+            (application, clustering, Architecture.m1(words), None)
+            for words in words_list
+        ],
+        cache=cache, engine=engine,
     )
-    return _row_to_point(row, words)
+    return [
+        _row_to_point(row, words)
+        for row, words in zip(rows, words_list)
+    ]
 
 
 def sweep_fb_sizes(
@@ -77,6 +89,7 @@ def sweep_fb_sizes(
     architecture_factory: Callable[[int], Architecture] = None,
     jobs: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    engine: str = "batch",
 ) -> List[SweepPoint]:
     """Run the three-scheduler comparison at each frame-buffer size.
 
@@ -84,26 +97,39 @@ def sweep_fb_sizes(
     feasibility flags cleared) rather than raising, so the caller can
     plot the feasibility frontier.
 
-    ``jobs`` fans the sizes out over worker processes (``None``/``1`` =
-    serial, ``0`` = one per CPU) with identical results.  A custom
+    ``jobs`` partitions the sizes over worker processes (``None``/``1``
+    = serial, ``0`` = one per CPU) with identical results; each
+    worker's share compiles in one :mod:`repro.schedule.batch` pass
+    (``engine='reference'`` keeps the per-case scheduler).  A custom
     ``architecture_factory`` (often a closure, not picklable) forces
     the serial, uncached path.  ``cache_dir`` enables the persistent
     pipeline cache for the standard-architecture path.
     """
     words_list = [parse_size(size) for size in fb_sizes]
     if architecture_factory is None:
-        return parallel_map(
-            _sweep_point,
+        workers = (
+            1 if jobs in (None, 1)
+            else (jobs if jobs > 0 else default_jobs())
+        )
+        n_chunks = max(1, min(workers, len(words_list)))
+        chunks = [words_list[i::n_chunks] for i in range(n_chunks)]
+        chunk_points = parallel_map(
+            _sweep_chunk,
             [
-                (application, clustering, words, cache_dir)
-                for words in words_list
+                (application, clustering, chunk, cache_dir, engine)
+                for chunk in chunks
             ],
             jobs=jobs,
         )
+        by_words = {}
+        for chunk, points in zip(chunks, chunk_points):
+            by_words.update(zip(chunk, points))
+        return [by_words[words] for words in words_list]
     points: List[SweepPoint] = []
     for words in words_list:
         row = compare_workload(
-            application, clustering, architecture_factory(words)
+            application, clustering, architecture_factory(words),
+            engine=engine,
         )
         points.append(_row_to_point(row, words))
     return points

@@ -43,6 +43,7 @@ from repro.analysis.figure6 import render_figure6
 from repro.analysis.table1 import build_table1, render_table1
 from repro.alloc.allocator import FrameBufferAllocator
 from repro.fuzz.generator import regime_names
+from repro.fuzz.oracles import ORACLE_NAMES
 from repro.workloads.spec import ExperimentSpec, paper_experiments
 
 __all__ = ["main"]
@@ -244,7 +245,7 @@ def _cmd_sweep(args) -> None:
     sizes = [kwords(k) for k in (0.5, 1, 1.5, 2, 3, 4, 6, 8, 12, 16)]
     points = sweep_fb_sizes(
         application, clustering, sizes, jobs=args.jobs,
-        cache_dir=args.cache_dir,
+        cache_dir=args.cache_dir, engine=args.engine,
     )
     print(render_sweep(
         points, title=f"frame-buffer sweep of {spec.id} "
@@ -257,7 +258,7 @@ def _cmd_corpus(args) -> None:
 
     stats = corpus_study(
         range(args.seeds), fb=args.fb, iterations=args.iterations,
-        jobs=args.jobs, cache_dir=args.cache_dir,
+        jobs=args.jobs, cache_dir=args.cache_dir, engine=args.engine,
     )
     print(stats.summary())
 
@@ -462,6 +463,7 @@ def _cmd_fuzz(args) -> int:
         include_paper=not args.no_paper,
         functional=not args.no_functional,
         cache_dir=args.cache_dir,
+        oracles=args.oracle or None,
     )
     print(report.summary())
     if not report.ok and args.failures_dir:
@@ -549,6 +551,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "default serial)")
     sweep.add_argument("--cache-dir", metavar="DIR", default=None,
                        help="persistent pipeline cache directory")
+    sweep.add_argument("--engine", choices=("batch", "reference"),
+                       default="batch",
+                       help="compile engine for cold points (default "
+                            "batch; reference = per-case scheduler)")
     sweep.set_defaults(func=_cmd_sweep)
     corpus = sub.add_parser(
         "corpus", help="random-workload robustness study"
@@ -564,6 +570,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "default serial)")
     corpus.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="persistent pipeline cache directory")
+    corpus.add_argument("--engine", choices=("batch", "reference"),
+                        default="batch",
+                        help="compile engine for cold seeds (default "
+                             "batch; reference = per-case scheduler)")
     corpus.set_defaults(func=_cmd_corpus)
     tinyrisc = sub.add_parser(
         "tinyrisc", help="emit the TinyRISC control program"
@@ -677,6 +687,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--cache-dir", metavar="DIR", default=None,
                       help="persistent pipeline cache directory (warm "
                            "reruns replay oracle verdicts from disk)")
+    fuzz.add_argument("--oracle", action="append", metavar="NAME",
+                      choices=ORACLE_NAMES,
+                      help="restrict to one oracle (repeatable; default "
+                           "the full stack) — e.g. --oracle batchcompile "
+                           "for a wide batch-vs-reference compile sweep")
     fuzz.set_defaults(func=_cmd_fuzz)
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent pipeline cache"

@@ -75,14 +75,16 @@ class FuzzReport:
 
 def _fuzz_worker(task):
     """Generate one case and run the oracle stack (picklable worker)."""
-    regime, seed, functional, cache_dir = task
+    regime, seed, functional, cache_dir, oracles = task
     case = generate_case(regime, seed)
     cache = None
     if cache_dir is not None:
         from repro.cache import CacheStore
 
         cache = CacheStore(cache_dir)
-    failures = run_oracles(case, functional=functional, cache=cache)
+    failures = run_oracles(
+        case, oracles=oracles, functional=functional, cache=cache
+    )
     return case.to_dict(), [failure.to_dict() for failure in failures]
 
 
@@ -100,16 +102,18 @@ def _paper_cases() -> List[FuzzCase]:
 
 def _task_matrix(seeds: Sequence[int], regimes: Sequence[str],
                  quick: bool, functional: bool,
-                 cache_dir: Optional[str]) -> List[Tuple]:
+                 cache_dir: Optional[str],
+                 oracles: Optional[Tuple[str, ...]]) -> List[Tuple]:
     if quick:
         # Round-robin: each seed exercises one regime, so a quick run
         # of N seeds costs N cases while still sweeping every regime.
         return [
-            (regimes[index % len(regimes)], seed, functional, cache_dir)
+            (regimes[index % len(regimes)], seed, functional, cache_dir,
+             oracles)
             for index, seed in enumerate(seeds)
         ]
     return [
-        (regime, seed, functional, cache_dir)
+        (regime, seed, functional, cache_dir, oracles)
         for regime in regimes for seed in seeds
     ]
 
@@ -125,6 +129,7 @@ def run_fuzz(
     include_paper: bool = True,
     functional: bool = True,
     cache_dir: Optional[str] = None,
+    oracles: Optional[Sequence[str]] = None,
 ) -> FuzzReport:
     """Run one fuzz campaign.
 
@@ -144,6 +149,11 @@ def run_fuzz(
         cache_dir: persistent pipeline-cache directory; oracle
             verdicts of unchanged cases are replayed from disk on
             warm reruns (byte-identical to a cold run).
+        oracles: restrict the campaign to a subset of
+            :data:`~repro.fuzz.oracles.ORACLE_NAMES` — e.g.
+            ``("batchcompile",)`` runs the wide batch-vs-reference
+            compile sweep without simulation, cheap enough for a
+            10k-case CI pass.
 
     Returns:
         A :class:`FuzzReport`; ``report.ok`` is the pass/fail verdict.
@@ -152,7 +162,10 @@ def run_fuzz(
     unknown = set(chosen) - set(regime_names())
     if unknown:
         raise ValueError(f"unknown regimes: {sorted(unknown)}")
-    tasks = _task_matrix(list(seeds), chosen, quick, functional, cache_dir)
+    oracle_subset = tuple(oracles) if oracles is not None else None
+    tasks = _task_matrix(
+        list(seeds), chosen, quick, functional, cache_dir, oracle_subset
+    )
     outcomes = parallel_map(_fuzz_worker, tasks, jobs=jobs, chunksize=4)
 
     report = FuzzReport(regimes=chosen)
@@ -171,7 +184,10 @@ def run_fuzz(
         for case in _paper_cases():
             raw.append((
                 case,
-                run_oracles(case, functional=functional, cache=cache),
+                run_oracles(
+                    case, oracles=oracle_subset, functional=functional,
+                    cache=cache,
+                ),
             ))
 
     report.cases_run = len(raw)

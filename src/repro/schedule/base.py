@@ -29,7 +29,13 @@ from repro.schedule.occupancy import OccupancyEngine
 from repro.schedule.plan import ClusterPlan, Schedule
 from repro.units import format_words_pair
 
-__all__ = ["ScheduleOptions", "DataSchedulerBase"]
+__all__ = [
+    "ScheduleOptions",
+    "DataSchedulerBase",
+    "derive_cluster_plans",
+    "derive_plan_skeleton",
+    "assemble_schedule",
+]
 
 
 @dataclass(frozen=True)
@@ -331,7 +337,6 @@ class DataSchedulerBase(abc.ABC):
         overlap_transfers: bool = True,
     ) -> Schedule:
         """Derive cluster plans from (RF, keeps) and assemble a Schedule."""
-        clustering = dataflow.clustering
         if basic_occupancy:
             occupancy = self._require_cluster_fit(
                 dataflow, rf, keeps,
@@ -348,90 +353,174 @@ class DataSchedulerBase(abc.ABC):
                 dataflow, rf, keeps,
                 lambda index: cluster_data_size_naive(dataflow, index, rf, keeps),
             )
-
-        kept_data: List[SharedData] = [
-            keep for keep in keeps if isinstance(keep, SharedData)
-        ]
-        kept_results: List[SharedResult] = [
-            keep for keep in keeps if isinstance(keep, SharedResult)
-        ]
-
-        plans: List[ClusterPlan] = []
-        for cluster in clustering:
-            loads: List[str] = []
-            kept_inputs: List[str] = []
-            for obj_name in dataflow.inputs_of_cluster(cluster.index):
-                keep = self._keep_serving(
-                    obj_name, cluster, kept_data, kept_results
-                )
-                if keep is None:
-                    loads.append(obj_name)
-                elif isinstance(keep, SharedData) and cluster.index == keep.clusters[0]:
-                    # The first consuming cluster performs the one load.
-                    loads.append(obj_name)
-                else:
-                    kept_inputs.append(obj_name)
-
-            stores: List[str] = []
-            retained: List[str] = []
-            for obj_name in dataflow.produced_by_cluster(cluster.index):
-                info = dataflow[obj_name]
-                keep = next(
-                    (k for k in kept_results
-                     if k.name == obj_name
-                     and k.producer_cluster == cluster.index),
-                    None,
-                )
-                if keep is not None:
-                    retained.append(obj_name)
-                later = [c for c in info.consumer_clusters if c > cluster.index]
-                served = set(keep.consumer_clusters) if keep else set()
-                unserved = [c for c in later if c not in served]
-                needs_store = info.is_final or bool(unserved)
-                if needs_store:
-                    stores.append(obj_name)
-
-            plans.append(
-                ClusterPlan(
-                    cluster_index=cluster.index,
-                    fb_set=cluster.fb_set,
-                    loads=tuple(loads),
-                    kept_inputs=tuple(kept_inputs),
-                    stores=tuple(stores),
-                    retained_outputs=tuple(retained),
-                    peak_occupancy=occupancy[cluster.index],
-                )
-            )
-
-        return Schedule(
-            scheduler=self.name,
-            application=dataflow.application,
-            clustering=clustering,
-            dataflow=dataflow,
+        return assemble_schedule(
+            self.name,
+            dataflow,
             rf=rf,
-            keeps=tuple(keeps),
-            cluster_plans=tuple(plans),
+            keeps=keeps,
+            occupancy=occupancy,
             contexts_per_iteration=contexts_per_iteration,
             fb_set_words=self.architecture.fb_set_words,
             context_block_words=self.architecture.context_block_words,
             overlap_transfers=overlap_transfers,
         )
 
-    @staticmethod
-    def _keep_serving(
-        obj_name: str,
-        cluster,
-        kept_data: Sequence[SharedData],
-        kept_results: Sequence[SharedResult],
-    ) -> Optional[KeepDecision]:
-        """The keep decision (if any) covering *obj_name* as an input of
-        *cluster*.  Candidate construction guarantees consumers are
-        reachable (same set on M1, any set on cross-set architectures),
-        so membership in the consumer list is the whole check."""
-        for keep in kept_data:
-            if keep.name == obj_name and cluster.index in keep.clusters:
-                return keep
-        for keep in kept_results:
-            if keep.name == obj_name and cluster.index in keep.consumer_clusters:
-                return keep
-        return None
+
+def derive_cluster_plans(
+    dataflow: DataflowInfo,
+    keeps: Sequence[KeepDecision],
+    occupancy: Dict[int, int],
+    *,
+    skeleton: Optional[Tuple[Tuple, ...]] = None,
+) -> Tuple[ClusterPlan, ...]:
+    """Derive per-cluster load/keep/store/retain lists from a decision.
+
+    Shared by the per-case schedulers (via :meth:`DataSchedulerBase.
+    _build_schedule`) and the batch compiler's finalizer
+    (:mod:`repro.schedule.batch`): both must emit byte-identical plans
+    for one ``(keeps, occupancy)`` decision, so there is exactly one
+    implementation of the derivation.  ``skeleton`` (from
+    :func:`derive_plan_skeleton` on the *same* ``(dataflow, keeps)``)
+    skips re-walking the object graph — the batch compiler shares one
+    no-keep skeleton across the Basic and DS requests of a workload.
+    """
+    if skeleton is None:
+        skeleton = derive_plan_skeleton(dataflow, keeps)
+    return tuple(
+        ClusterPlan(
+            cluster_index=index,
+            fb_set=fb_set,
+            loads=loads,
+            kept_inputs=kept_inputs,
+            stores=stores,
+            retained_outputs=retained,
+            peak_occupancy=occupancy[index],
+        )
+        for index, fb_set, loads, kept_inputs, stores, retained in skeleton
+    )
+
+
+def derive_plan_skeleton(
+    dataflow: DataflowInfo,
+    keeps: Sequence[KeepDecision],
+) -> Tuple[Tuple, ...]:
+    """The occupancy-independent part of every cluster plan.
+
+    Returns one ``(index, fb_set, loads, kept_inputs, stores,
+    retained_outputs)`` tuple per cluster — everything
+    :class:`ClusterPlan` holds except ``peak_occupancy``, which is the
+    only field that differs between schedulers sharing a ``(dataflow,
+    keeps)`` decision.
+    """
+    kept_data: List[SharedData] = [
+        keep for keep in keeps if isinstance(keep, SharedData)
+    ]
+    kept_results: List[SharedResult] = [
+        keep for keep in keeps if isinstance(keep, SharedResult)
+    ]
+    no_keeps = not keeps
+    kept_result_of = {
+        (keep.name, keep.producer_cluster): keep for keep in kept_results
+    }
+    get = dataflow.__getitem__
+
+    rows: List[Tuple] = []
+    for cluster in dataflow.clustering:
+        index = cluster.index
+        loads: List[str] = []
+        kept_inputs: List[str] = []
+        if no_keeps:
+            # Basic/DS common case: every input is loaded.
+            loads.extend(dataflow.inputs_of_cluster(index))
+        else:
+            for obj_name in dataflow.inputs_of_cluster(index):
+                keep = _keep_serving(obj_name, cluster, kept_data, kept_results)
+                if keep is None:
+                    loads.append(obj_name)
+                elif isinstance(keep, SharedData) and index == keep.clusters[0]:
+                    # The first consuming cluster performs the one load.
+                    loads.append(obj_name)
+                else:
+                    kept_inputs.append(obj_name)
+
+        stores: List[str] = []
+        retained: List[str] = []
+        for obj_name in dataflow.produced_by_cluster(index):
+            info = get(obj_name)
+            consumer_clusters = info.consumer_clusters
+            keep = None if no_keeps else kept_result_of.get((obj_name, index))
+            if keep is not None:
+                retained.append(obj_name)
+                served = set(keep.consumer_clusters)
+                unserved = any(
+                    c > index and c not in served
+                    for c in consumer_clusters
+                )
+            else:
+                # consumer_clusters is sorted ascending, so "consumed
+                # by a later cluster" is a last-element check.
+                unserved = (
+                    bool(consumer_clusters) and consumer_clusters[-1] > index
+                )
+            if info.is_final or unserved:
+                stores.append(obj_name)
+
+        rows.append((
+            index,
+            cluster.fb_set,
+            tuple(loads),
+            tuple(kept_inputs),
+            tuple(stores),
+            tuple(retained),
+        ))
+    return tuple(rows)
+
+
+def assemble_schedule(
+    scheduler_name: str,
+    dataflow: DataflowInfo,
+    *,
+    rf: int,
+    keeps: Sequence[KeepDecision],
+    occupancy: Dict[int, int],
+    contexts_per_iteration: bool,
+    fb_set_words: int,
+    context_block_words: int,
+    overlap_transfers: bool = True,
+    skeleton: Optional[Tuple[Tuple, ...]] = None,
+) -> Schedule:
+    """Assemble the final :class:`Schedule` from a validated decision."""
+    return Schedule(
+        scheduler=scheduler_name,
+        application=dataflow.application,
+        clustering=dataflow.clustering,
+        dataflow=dataflow,
+        rf=rf,
+        keeps=tuple(keeps),
+        cluster_plans=derive_cluster_plans(
+            dataflow, keeps, occupancy, skeleton=skeleton
+        ),
+        contexts_per_iteration=contexts_per_iteration,
+        fb_set_words=fb_set_words,
+        context_block_words=context_block_words,
+        overlap_transfers=overlap_transfers,
+    )
+
+
+def _keep_serving(
+    obj_name: str,
+    cluster,
+    kept_data: Sequence[SharedData],
+    kept_results: Sequence[SharedResult],
+) -> Optional[KeepDecision]:
+    """The keep decision (if any) covering *obj_name* as an input of
+    *cluster*.  Candidate construction guarantees consumers are
+    reachable (same set on M1, any set on cross-set architectures),
+    so membership in the consumer list is the whole check."""
+    for keep in kept_data:
+        if keep.name == obj_name and cluster.index in keep.clusters:
+            return keep
+    for keep in kept_results:
+        if keep.name == obj_name and cluster.index in keep.consumer_clusters:
+            return keep
+    return None

@@ -1,0 +1,236 @@
+"""Lockstep batch evaluation: DS sweeps, RF bisection, keep acceptance.
+
+Every operation here is exact integer arithmetic over the padded
+:class:`~repro.schedule.batch.tables.BatchTables` arrays; verdicts and
+occupancies equal the reference scheduler's bit for bit (the
+equivalence is property-tested in
+``tests/schedule/test_batch_equivalence.py``).
+
+The common-RF search is a *lockstep bisection*: instead of the
+reference's gallop + bisect per case, all cases probe their midpoints
+in the same vectorized sweep until every interval collapses.  Probe
+order differs from the reference but the result — the largest feasible
+RF — is the same integer, and the fast path never records decision
+traces (``decision_trace=True`` falls back to the reference), so no
+observable difference remains.
+
+Keep acceptance advances rank-by-rank across the batch: at step ``t``
+every case still holding a ``t``-th ranked candidate applies that
+candidate's sparse delta to a trial copy of its row, all trial rows are
+evaluated in one sweep, and accepting rows commit their trial.  The
+reference engine's "set already unfit" rejection can never fire on this
+path: RF was chosen so every cluster fits with no keeps, and commits
+preserve that invariant, so checking the candidate's whole FB set is
+equivalent to the reference's affected-clusters check.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.schedule.batch.tables import BatchTables, KeepDelta
+from repro.schedule.tf import candidate_id
+
+__all__ = [
+    "batch_occupancies",
+    "batch_fits",
+    "batch_max_common_rf",
+    "batch_select_keeps",
+    "rank_candidates_batch",
+]
+
+
+def _peaks(out, rel, invw, var_in, inv_in, res_var, res_inv,
+           kmask, cmask, rf):
+    """``DS(C_c)`` for every (case, cluster); padding clusters read 0.
+
+    Vectorization of :func:`repro.core.metrics.cluster_sweep_peak`:
+    with ``d_k = out_k - rel_k`` the occupancy entering kernel ``k`` is
+    ``base + sum_{j<k} (rf * d_j - invw_j)`` and the per-kernel peak
+    candidate adds ``out_k + max(0, (rf-1) * d_k)``; the cluster peak
+    is the max over ``base`` and all candidates, plus the resident
+    keep term ``res_inv + rf * res_var``.
+    """
+    r = rf[:, None, None]
+    d = out - rel
+    step = r * d - invw
+    pre = np.cumsum(step, axis=2) - step  # exclusive prefix sum
+    base = inv_in + rf[:, None] * var_in  # (N, C)
+    cand = base[:, :, None] + pre + out + np.maximum(0, (r - 1) * d)
+    cand = np.where(kmask, cand, 0)
+    peak = np.maximum(base, cand.max(axis=2, initial=0))
+    occ = res_inv + rf[:, None] * res_var + peak
+    return np.where(cmask, occ, 0)
+
+
+def batch_occupancies(bt: BatchTables, rf: np.ndarray) -> np.ndarray:
+    """Per-cluster occupancy of every case at per-case ``rf``."""
+    return _peaks(
+        bt.out, bt.rel, bt.invw, bt.var_in, bt.inv_in,
+        bt.res_var, bt.res_inv, bt.kmask, bt.cmask, rf,
+    )
+
+
+def batch_fits(bt: BatchTables, rf: np.ndarray) -> np.ndarray:
+    """Per-case verdict: every real cluster fits one FB set at ``rf``."""
+    occ = batch_occupancies(bt, rf)
+    return np.all((occ <= bt.fbs[:, None]) | ~bt.cmask, axis=1)
+
+
+def batch_max_common_rf(bt: BatchTables) -> np.ndarray:
+    """Largest feasible RF per case (0 = infeasible even at RF 1).
+
+    Same contract as :meth:`repro.schedule.occupancy.OccupancyEngine.
+    max_common_rf`; occupancy is monotonically non-decreasing in RF, so
+    a lockstep bisection over ``[1, cap]`` finds the same maximum the
+    reference's gallop + bisect does.
+    """
+    n = len(bt.fbs)
+    rf = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return rf
+    cap = bt.cap
+    one = np.ones(n, dtype=np.int64)
+    ok1 = batch_fits(bt, one) & (cap >= 1)
+    okcap = batch_fits(bt, np.maximum(cap, one)) & ok1
+    rf[okcap] = cap[okcap]
+    active = ok1 & ~okcap
+    # Invariant per active case: fits(lo) and not fits(hi).
+    lo = one.copy()
+    hi = np.maximum(cap, one)
+    while True:
+        gap = active & (hi - lo > 1)
+        if not gap.any():
+            break
+        mid = np.where(gap, (lo + hi) // 2, 1)
+        okm = batch_fits(bt, mid)
+        lo = np.where(gap & okm, mid, lo)
+        hi = np.where(gap & ~okm, mid, hi)
+    rf[active] = lo[active]
+    return rf
+
+
+def rank_candidates_batch(
+    case_candidates: List[List],
+    policy: str,
+) -> List[List[int]]:
+    """Rank every case's retention candidates in one batched sort.
+
+    Returns, per case, candidate positions (into that case's input
+    list) in acceptance order.  Ordering matches the reference
+    (:meth:`repro.schedule.complete.CompleteDataScheduler.
+    _ranked_candidates`) exactly: ``"tf"`` sorts by ``(-words_avoided,
+    -size, candidate_id)``, ``"size"`` by ``(-size, name)``, ``"fifo"``
+    keeps discovery order.  The non-numeric tie-breaks are encoded as
+    per-case integer ranks so one ``np.lexsort`` orders the whole
+    batch.
+    """
+    if policy == "fifo":
+        return [list(range(len(cands))) for cands in case_candidates]
+
+    case_ids: List[int] = []
+    words: List[int] = []
+    sizes: List[int] = []
+    tie: List[int] = []
+    positions: List[int] = []
+    for case_idx, cands in enumerate(case_candidates):
+        if not cands:
+            continue
+        if policy == "tf":
+            keys = [candidate_id(c) for c in cands]
+        else:  # "size": tie-break on name
+            keys = [c.name for c in cands]
+        order = sorted(range(len(cands)), key=keys.__getitem__)
+        rank = [0] * len(cands)
+        for j, pos in enumerate(order):
+            rank[pos] = j
+        for pos, cand in enumerate(cands):
+            case_ids.append(case_idx)
+            words.append(cand.words_avoided)
+            sizes.append(cand.size)
+            tie.append(rank[pos])
+            positions.append(pos)
+
+    ranked: List[List[int]] = [[] for _ in case_candidates]
+    if not case_ids:
+        return ranked
+    case_arr = np.asarray(case_ids, dtype=np.int64)
+    size_arr = np.asarray(sizes, dtype=np.int64)
+    tie_arr = np.asarray(tie, dtype=np.int64)
+    pos_arr = np.asarray(positions, dtype=np.int64)
+    if policy == "tf":
+        words_arr = np.asarray(words, dtype=np.int64)
+        order = np.lexsort((tie_arr, -size_arr, -words_arr, case_arr))
+    else:
+        order = np.lexsort((tie_arr, -size_arr, case_arr))
+    for flat in order:
+        ranked[int(case_arr[flat])].append(int(pos_arr[flat]))
+    return ranked
+
+
+def _apply_delta(arrays, row: int, delta: KeepDelta) -> None:
+    """Subtract/add one candidate's sparse updates on one row in place."""
+    out, rel, invw, var_in, inv_in, res_var, res_inv = arrays
+    for c, k, words in delta.d_out:
+        out[row, c, k] -= words
+    for c, k, words in delta.d_rel:
+        rel[row, c, k] -= words
+    for c, k, words in delta.d_invw:
+        invw[row, c, k] -= words
+    for c, words in delta.d_var_in:
+        var_in[row, c] -= words
+    for c, words in delta.d_inv_in:
+        inv_in[row, c] -= words
+    for c, words in delta.d_res_var:
+        res_var[row, c] += words
+    for c, words in delta.d_res_inv:
+        res_inv[row, c] += words
+
+
+def batch_select_keeps(
+    bt: BatchTables,
+    rf: np.ndarray,
+    ranked_deltas: Sequence[Sequence[KeepDelta]],
+) -> List[List[int]]:
+    """Greedy TF-ordered acceptance, lockstep across the batch.
+
+    ``ranked_deltas[i]`` holds case *i*'s candidates in acceptance
+    order; the return value lists, per case, the accepted rank steps in
+    order.  Mutates ``bt``'s coefficient arrays in place: after the
+    call they describe every case *with* its accepted keeps, so one
+    more :func:`batch_occupancies` sweep yields the final per-cluster
+    occupancies.
+    """
+    n = len(bt.fbs)
+    accepted: List[List[int]] = [[] for _ in range(n)]
+    if n == 0:
+        return accepted
+    state = (bt.out, bt.rel, bt.invw, bt.var_in, bt.inv_in,
+             bt.res_var, bt.res_inv)
+    max_steps = max((len(d) for d in ranked_deltas), default=0)
+    for step in range(max_steps):
+        rows = [i for i in range(n) if len(ranked_deltas[i]) > step]
+        if not rows:
+            break
+        idx = np.asarray(rows, dtype=np.int64)
+        trial = tuple(arr[idx].copy() for arr in state)
+        cand_sets = np.empty(len(rows), dtype=np.int64)
+        for j, i in enumerate(rows):
+            delta = ranked_deltas[i][step]
+            cand_sets[j] = delta.fb_set
+            _apply_delta(trial, j, delta)
+        occ = _peaks(*trial, bt.kmask[idx], bt.cmask[idx], rf[idx])
+        # Accept iff every real cluster of the candidate's FB set fits.
+        # Clusters of the other set are untouched by the delta, and all
+        # clusters fit before the trial (RF selection + prior commits),
+        # so this is the reference's acceptance verdict exactly.
+        in_set = (bt.fb_set[idx] == cand_sets[:, None]) & bt.cmask[idx]
+        ok = np.all((occ <= bt.fbs[idx][:, None]) | ~in_set, axis=1)
+        for j, i in enumerate(rows):
+            if ok[j]:
+                for arr, trial_arr in zip(state, trial):
+                    arr[i] = trial_arr[j]
+                accepted[i].append(step)
+    return accepted

@@ -1,0 +1,304 @@
+"""Structure-of-arrays occupancy tables for batch scheduling.
+
+:func:`repro.core.metrics.cluster_sweep_peak` evaluates ``DS(C_c)`` in
+``O(kernels)`` because the occupancy trace is affine in the iteration
+index within each kernel's ``RF`` consecutive executions.  The whole
+sweep therefore reduces to four integer coefficients per kernel slot
+and two per cluster::
+
+    out[c, k]   words of (non-kept) outputs kernel k allocates
+    rel[c, k]   words released after kernel k's peak check (dead
+                non-invariant inputs + intermediates dying here)
+    invw[c, k]  invariant-input words released on the final iteration
+    var_in[c]   non-kept, non-invariant input words (scale with RF)
+    inv_in[c]   non-kept invariant input words (one copy)
+
+With exclusive prefix sums ``P_k = sum_{j<k} (out_j - rel_j)`` and
+``I_k = sum_{j<k} invw_j`` the occupancy entering kernel ``k`` is
+``inv_in - I_k + rf * (var_in + P_k)`` and the per-kernel peak
+candidate adds ``out_k + max(0, (rf-1) * (out_k - rel_k))`` — all of
+which vectorizes over (case, cluster, kernel) once the per-case tables
+are padded to a common shape (:class:`BatchTables`).  Keep decisions
+become sparse integer *deltas* against these coefficients plus a
+resident term ``res_inv + rf * res_var``, so trial acceptance never
+re-walks the object graph.
+
+Everything is int64: occupancies are exact word counts and must match
+the reference scheduler bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.dataflow import DataflowInfo, ObjectClass
+
+__all__ = ["CaseTables", "BatchTables", "KeepDelta"]
+
+
+class CaseTables:
+    """Occupancy coefficients of one analyzed (application, clustering).
+
+    Arrays are shaped ``(n_clusters, max_kernels_per_cluster)`` /
+    ``(n_clusters,)``; kernel slots beyond a cluster's length are zero
+    (and masked out by ``kmask``).  The auxiliary position maps are
+    kept so :class:`KeepDelta` construction can translate a retention
+    candidate into coefficient updates without re-deriving liveness.
+    """
+
+    def __init__(self, dataflow: DataflowInfo):
+        self.dataflow = dataflow
+        clustering = dataflow.clustering
+        n_clusters = len(clustering)
+        widths = [len(cluster.kernel_names) for cluster in clustering]
+        max_k = max(widths) if widths else 1
+
+        self.n_clusters = n_clusters
+        self.max_kernels = max_k
+        #: Per cluster: kernel name -> slot index.
+        self.position: List[Dict[str, int]] = []
+        #: Per cluster: input object name -> slot of its last local use.
+        self.last_use_pos: List[Dict[str, int]] = []
+        #: Per cluster: produced object name -> slot of its producer.
+        self.producer_pos: List[Dict[str, int]] = []
+
+        # Rows are accumulated as plain Python lists (scalar indexing
+        # into ndarrays dominates construction otherwise) and converted
+        # to int64 arrays once at the end.
+        out_rows: List[List[int]] = []
+        rel_rows: List[List[int]] = []
+        invw_rows: List[List[int]] = []
+        var_in_row: List[int] = []
+        inv_in_row: List[int] = []
+        foot_row: List[int] = []
+        set_row: List[int] = []
+
+        get = dataflow.__getitem__
+        kernel_of = dataflow.application.kernel
+        intermediate = ObjectClass.INTERMEDIATE_RESULT
+        for cluster in clustering:
+            kernel_names = cluster.kernel_names
+            position = {name: idx for idx, name in enumerate(kernel_names)}
+            self.position.append(position)
+            set_row.append(cluster.fb_set)
+
+            var_in = inv_in = footprint = 0
+            out_row = [0] * max_k
+            rel_row = [0] * max_k
+            invw_row = [0] * max_k
+
+            # One pass over the cluster's kernels in execution order:
+            # producers precede consumers, so an operand not yet
+            # produced locally is an external input, and overwriting
+            # its slot leaves the *last* local use.
+            producer_pos: Dict[str, int] = {}
+            last_use: Dict[str, int] = {}
+            last_local: Dict[str, int] = {}
+            for k_idx, kernel_name in enumerate(kernel_names):
+                kernel = kernel_of(kernel_name)
+                for in_name in kernel.inputs:
+                    if in_name in producer_pos:
+                        last_local[in_name] = k_idx
+                    else:
+                        last_use[in_name] = k_idx
+                for out_name in kernel.outputs:
+                    producer_pos[out_name] = k_idx
+            self.last_use_pos.append(last_use)
+            self.producer_pos.append(producer_pos)
+
+            for obj_name, last_pos in last_use.items():
+                info = get(obj_name)
+                size = info.size
+                footprint += size
+                if info.invariant:
+                    inv_in += size
+                    invw_row[last_pos] += size
+                else:
+                    var_in += size
+                    rel_row[last_pos] += size
+
+            for out_name, k_idx in producer_pos.items():
+                info = get(out_name)
+                size = info.size
+                footprint += size
+                out_row[k_idx] += size
+                if info.object_class is intermediate:
+                    rel_row[last_local[out_name]] += size
+
+            out_rows.append(out_row)
+            rel_rows.append(rel_row)
+            invw_rows.append(invw_row)
+            var_in_row.append(var_in)
+            inv_in_row.append(inv_in)
+            foot_row.append(footprint)
+
+        self.out = np.asarray(out_rows, dtype=np.int64)
+        self.rel = np.asarray(rel_rows, dtype=np.int64)
+        self.invw = np.asarray(invw_rows, dtype=np.int64)
+        self.var_in = np.asarray(var_in_row, dtype=np.int64)
+        self.inv_in = np.asarray(inv_in_row, dtype=np.int64)
+        self.footprint = np.asarray(foot_row, dtype=np.int64)
+        self.fb_set = np.asarray(set_row, dtype=np.int64)
+        self.kmask = np.zeros((n_clusters, max_k), dtype=bool)
+        for index, width in enumerate(widths):
+            self.kmask[index, :width] = True
+
+
+@dataclass(frozen=True)
+class KeepDelta:
+    """One retention candidate as sparse coefficient updates.
+
+    Applying the delta (subtracting the per-kernel entries, adjusting
+    input bases, adding the resident term) turns the no-keep tables of
+    the affected clusters into the tables *with* this item kept.
+    Deltas of distinct accepted candidates commute and never overlap —
+    two keeps can never cover the same (object, cluster) pair — so the
+    committed state equals the reference's set-based ``local_kept``
+    bookkeeping exactly.
+    """
+
+    fb_set: int
+    #: ``(cluster, kernel, words)`` subtracted from ``out``.
+    d_out: Tuple[Tuple[int, int, int], ...] = ()
+    #: ``(cluster, kernel, words)`` subtracted from ``rel``.
+    d_rel: Tuple[Tuple[int, int, int], ...] = ()
+    #: ``(cluster, kernel, words)`` subtracted from ``invw``.
+    d_invw: Tuple[Tuple[int, int, int], ...] = ()
+    #: ``(cluster, words)`` subtracted from ``var_in``.
+    d_var_in: Tuple[Tuple[int, int], ...] = ()
+    #: ``(cluster, words)`` subtracted from ``inv_in``.
+    d_inv_in: Tuple[Tuple[int, int], ...] = ()
+    #: ``(cluster, words)`` added to the RF-scaled resident term.
+    d_res_var: Tuple[Tuple[int, int], ...] = ()
+    #: ``(cluster, words)`` added to the constant resident term.
+    d_res_inv: Tuple[Tuple[int, int], ...] = ()
+
+
+def build_keep_delta(tables: CaseTables, candidate) -> KeepDelta:
+    """Translate one retention candidate into a :class:`KeepDelta`.
+
+    Mirrors :func:`repro.core.metrics._resident_keep_words` plus the
+    ``local_kept`` exclusions inside ``cluster_sweep_peak``: consumers
+    drop the object from their input base and its release slot, a
+    shared-result producer drops it from the producing kernel's output
+    words, and every same-set cluster inside the residency span gains
+    the resident words (``size`` if invariant else ``rf * size``).
+    Only same-set candidates are supported — cross-set retention takes
+    the reference fallback path.
+    """
+    dataflow = tables.dataflow
+    size = candidate.size
+    invariant = bool(getattr(candidate, "invariant", False))
+    fb_set = candidate.fb_set
+
+    d_out: List[Tuple[int, int, int]] = []
+    d_rel: List[Tuple[int, int, int]] = []
+    d_invw: List[Tuple[int, int, int]] = []
+    d_var_in: List[Tuple[int, int]] = []
+    d_inv_in: List[Tuple[int, int]] = []
+    d_res_var: List[Tuple[int, int]] = []
+    d_res_inv: List[Tuple[int, int]] = []
+
+    consumers = getattr(candidate, "clusters", None)
+    if consumers is None:
+        consumers = candidate.consumer_clusters
+        producer = candidate.producer_cluster
+        prod_pos = tables.producer_pos[producer][candidate.name]
+        d_out.append((producer, prod_pos, size))
+    for cluster_index in consumers:
+        last_pos = tables.last_use_pos[cluster_index][candidate.name]
+        if invariant:
+            d_inv_in.append((cluster_index, size))
+            d_invw.append((cluster_index, last_pos, size))
+        else:
+            d_var_in.append((cluster_index, size))
+            d_rel.append((cluster_index, last_pos, size))
+
+    first, last = candidate.span
+    for cluster_index in range(first, last + 1):
+        if tables.fb_set[cluster_index] != fb_set:
+            continue
+        if invariant:
+            d_res_inv.append((cluster_index, size))
+        else:
+            d_res_var.append((cluster_index, size))
+
+    return KeepDelta(
+        fb_set=fb_set,
+        d_out=tuple(d_out),
+        d_rel=tuple(d_rel),
+        d_invw=tuple(d_invw),
+        d_var_in=tuple(d_var_in),
+        d_inv_in=tuple(d_inv_in),
+        d_res_var=tuple(d_res_var),
+        d_res_inv=tuple(d_res_inv),
+    )
+
+
+@dataclass
+class BatchTables:
+    """Per-case tables stacked and padded to one batch shape.
+
+    Row *i* holds case *i*'s coefficients in the leading
+    ``(n_clusters, n_kernels)`` corner; ``cmask``/``kmask`` mark the
+    real slots.  ``fbs`` and ``cap`` carry each case's frame-buffer-set
+    capacity and RF search cap, so one batch can mix architectures
+    (the FB-size sweep driver does exactly that).
+    """
+
+    out: np.ndarray          # (N, C, K) int64
+    rel: np.ndarray          # (N, C, K) int64
+    invw: np.ndarray         # (N, C, K) int64
+    var_in: np.ndarray       # (N, C) int64
+    inv_in: np.ndarray       # (N, C) int64
+    res_var: np.ndarray      # (N, C) int64
+    res_inv: np.ndarray      # (N, C) int64
+    fb_set: np.ndarray       # (N, C) int64 (padding rows: -1)
+    kmask: np.ndarray        # (N, C, K) bool
+    cmask: np.ndarray        # (N, C) bool
+    fbs: np.ndarray          # (N,) int64
+    cap: np.ndarray          # (N,) int64
+    cases: List[CaseTables] = field(default_factory=list)
+
+    @classmethod
+    def stack(
+        cls,
+        rows: List[Tuple[CaseTables, int, int]],
+    ) -> "BatchTables":
+        """Stack ``(tables, fb_set_words, rf_cap)`` rows into one batch."""
+        n = len(rows)
+        max_c = max(case.n_clusters for case, _, _ in rows)
+        max_k = max(case.max_kernels for case, _, _ in rows)
+        shape3 = (n, max_c, max_k)
+        shape2 = (n, max_c)
+        batch = cls(
+            out=np.zeros(shape3, dtype=np.int64),
+            rel=np.zeros(shape3, dtype=np.int64),
+            invw=np.zeros(shape3, dtype=np.int64),
+            var_in=np.zeros(shape2, dtype=np.int64),
+            inv_in=np.zeros(shape2, dtype=np.int64),
+            res_var=np.zeros(shape2, dtype=np.int64),
+            res_inv=np.zeros(shape2, dtype=np.int64),
+            fb_set=np.full(shape2, -1, dtype=np.int64),
+            kmask=np.zeros(shape3, dtype=bool),
+            cmask=np.zeros(shape2, dtype=bool),
+            fbs=np.zeros(n, dtype=np.int64),
+            cap=np.zeros(n, dtype=np.int64),
+            cases=[case for case, _, _ in rows],
+        )
+        for i, (case, fbs, cap) in enumerate(rows):
+            c, k = case.n_clusters, case.max_kernels
+            batch.out[i, :c, :k] = case.out
+            batch.rel[i, :c, :k] = case.rel
+            batch.invw[i, :c, :k] = case.invw
+            batch.var_in[i, :c] = case.var_in
+            batch.inv_in[i, :c] = case.inv_in
+            batch.fb_set[i, :c] = case.fb_set
+            batch.kmask[i, :c, :k] = case.kmask
+            batch.cmask[i, :c] = True
+            batch.fbs[i] = fbs
+            batch.cap[i] = cap
+        return batch

@@ -59,6 +59,15 @@ class OccupancyEngine:
         self.recorder = None
         self._clusters = list(dataflow.clustering)
         self._sweep_memo: Dict[Tuple[int, int, FrozenSet[str]], int] = {}
+        # RF feasibility verdicts per (keep-set fingerprint, rf): the
+        # gallop/bisection hand-offs and repeated searches over the same
+        # keep set never re-run a full fits() sweep.  One keep per
+        # object name, so the name set identifies the keep set.
+        self._probe_memo: Dict[Tuple[FrozenSet[str], int], bool] = {}
+        #: Full fits() sweeps actually evaluated by :meth:`max_common_rf`
+        #: (memo misses).  Tests assert this never exceeds the number of
+        #: distinct ``(keep set, rf)`` probes.
+        self.probe_evaluations = 0
         # Keep-selection session state (begin_keep_selection resets it).
         self._rf = 0
         self._accepted: List[KeepDecision] = []
@@ -102,11 +111,26 @@ class OccupancyEngine:
                       max_rf: int = 0) -> int:
         """Highest common reuse factor — the same gallop + bisection as
         :func:`repro.schedule.rf.max_common_rf`, with every cluster
-        sweep served from the memo."""
+        sweep served from the memo.
+
+        Probe verdicts are memoised per ``(keep set, rf)``: a repeated
+        search over the same keep set (the joint-RF sweep re-enters
+        here per candidate level) never re-evaluates a bound the gallop
+        or an earlier search already proved.  Memo hits record no
+        ``rf.probe`` event — the trace lists each actual evaluation
+        once, which is what the ``probes`` fuzz oracle asserts.
+        """
+        fingerprint = frozenset(keep.name for keep in keeps)
+
         def check(rf: int) -> bool:
-            ok = self.fits(rf, keeps)
-            if self.recorder is not None:
-                self.recorder.record("rf.probe", rf=rf, fits=ok)
+            key = (fingerprint, rf)
+            ok = self._probe_memo.get(key)
+            if ok is None:
+                ok = self.fits(rf, keeps)
+                self._probe_memo[key] = ok
+                self.probe_evaluations += 1
+                if self.recorder is not None:
+                    self.recorder.record("rf.probe", rf=rf, fits=ok)
             return ok
 
         cap = (

@@ -216,8 +216,8 @@ def test_mirrored_free_list_mirrors_exceptions():
 def test_oracle_names_are_stable():
     assert set(ORACLE_NAMES) == {
         "probes", "diagnostics", "feasibility", "traffic", "engine",
-        "trace", "freelist", "verifier", "hazards", "simengine",
-        "functional",
+        "trace", "batchcompile", "freelist", "verifier", "hazards",
+        "simengine", "functional",
     }
     failure = OracleFailure("traffic", "case", "msg", scheduler="cds")
     assert failure.to_dict() == {

@@ -14,7 +14,7 @@ from repro.obs import metrics
 def test_quick_matrix_round_robins_regimes():
     tasks = _task_matrix(
         list(range(6)), ("a", "b", "c"), quick=True, functional=False,
-        cache_dir=None,
+        cache_dir=None, oracles=None,
     )
     assert len(tasks) == 6
     assert [t[0] for t in tasks] == ["a", "b", "c", "a", "b", "c"]
@@ -23,7 +23,7 @@ def test_quick_matrix_round_robins_regimes():
 def test_full_matrix_is_cross_product():
     tasks = _task_matrix(
         list(range(4)), ("a", "b"), quick=False, functional=True,
-        cache_dir=None,
+        cache_dir=None, oracles=None,
     )
     assert len(tasks) == 8
     assert {t[0] for t in tasks} == {"a", "b"}

@@ -146,11 +146,39 @@ class TestPipelineIntegration:
         finally:
             set_metrics_active(False)
         timers = get_registry().timers
+        # Scheduling runs through the batch front-end (scope "batch");
+        # codegen and simulation stay per-scheduler pipeline stages.
+        for stage in ("layout", "rf", "keeps", "finalize"):
+            key = f"batch/{stage}"
+            assert key in timers, key
         for scheduler in ("basic", "ds", "cds"):
-            for stage in ("schedule", "codegen", "simulate"):
+            for stage in ("codegen", "simulate"):
                 key = f"pipeline.{scheduler}/{stage}"
                 assert key in timers, key
                 assert timers[key]["count"] == 1
+
+    def test_run_scheduler_times_schedule_stage(self):
+        from repro.analysis.compare import run_scheduler
+        from repro.arch.params import Architecture
+        from repro.schedule.complete import CompleteDataScheduler
+        from repro.workloads.spec import paper_experiments
+
+        spec = next(s for s in paper_experiments() if s.id == "E1")
+        application, clustering = spec.build()
+        architecture = Architecture.m1(spec.fb)
+        set_metrics_active(True)
+        try:
+            run_scheduler(
+                CompleteDataScheduler(architecture), application,
+                clustering, architecture,
+            )
+        finally:
+            set_metrics_active(False)
+        timers = get_registry().timers
+        for stage in ("schedule", "codegen", "simulate"):
+            key = f"pipeline.cds/{stage}"
+            assert key in timers, key
+            assert timers[key]["count"] == 1
 
     def test_pipeline_records_nothing_by_default(self):
         from repro.analysis.compare import compare_experiment

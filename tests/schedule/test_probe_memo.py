@@ -1,0 +1,95 @@
+"""Probe memoisation in :meth:`OccupancyEngine.max_common_rf`.
+
+The RF search memoises ``fits(rf, keeps)`` verdicts per ``(keep-set
+fingerprint, rf)``: within one search the gallop/bisection hand-off
+never re-probes a proven bound, and a repeated search over the same
+keep set (the joint-RF sweep re-enters per candidate level) runs zero
+new sweeps.  ``probe_evaluations`` counts actual evaluations, so the
+tests assert *counter* equality — not just result equality — which is
+what catches a silently re-introduced duplicate sweep.  Extends the
+``probes`` fuzz oracle (no duplicate ``rf.probe`` trace events) with
+the engine-level guarantee behind it.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.params import Architecture
+from repro.core.dataflow import analyze_dataflow
+from repro.obs.events import DecisionTrace
+from repro.schedule.occupancy import OccupancyEngine
+from repro.schedule.rf import max_common_rf as naive_max_common_rf
+from repro.core.metrics import cluster_data_size_naive
+from repro.schedule.tf import retention_candidates
+from repro.workloads.random_gen import random_application
+
+
+def _engine(seed, fb="2K", iterations=16):
+    application, clustering = random_application(seed, iterations=iterations)
+    dataflow = analyze_dataflow(application, clustering)
+    architecture = Architecture.m1(fb)
+    return OccupancyEngine(dataflow, architecture.fb_set_words), dataflow
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=5000), st.sampled_from(["1K", "2K", "4K"]))
+def test_no_duplicate_probe_evaluations(seed, fb):
+    engine, dataflow = _engine(seed, fb)
+    rf = engine.max_common_rf()
+    # Every evaluation landed on a distinct (keep set, rf) key.
+    assert engine.probe_evaluations == len(engine._probe_memo)
+    # Result matches the from-scratch search.
+    assert rf == naive_max_common_rf(
+        dataflow, engine.fb_set_words,
+        occupancy_fn=cluster_data_size_naive,
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=5000))
+def test_repeat_search_runs_zero_new_sweeps(seed):
+    engine, _ = _engine(seed)
+    first = engine.max_common_rf()
+    evaluated = engine.probe_evaluations
+    assert engine.max_common_rf() == first
+    assert engine.probe_evaluations == evaluated
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=5000))
+def test_keep_set_fingerprints_are_separate(seed):
+    engine, dataflow = _engine(seed)
+    candidates = retention_candidates(dataflow)
+    if not candidates:
+        return
+    keeps = (candidates[0],)
+    bare = engine.max_common_rf()
+    evaluated = engine.probe_evaluations
+    with_keep = engine.max_common_rf(keeps=keeps)
+    # A different keep set is a different fingerprint: it must probe
+    # for itself, not reuse the bare verdicts...
+    assert engine.probe_evaluations > evaluated
+    assert engine.probe_evaluations == len(engine._probe_memo)
+    # ...and repeating either search evaluates nothing further.
+    evaluated = engine.probe_evaluations
+    assert engine.max_common_rf() == bare
+    assert engine.max_common_rf(keeps=keeps) == with_keep
+    assert engine.probe_evaluations == evaluated
+    assert with_keep == naive_max_common_rf(
+        dataflow, engine.fb_set_words, keeps=keeps,
+        occupancy_fn=cluster_data_size_naive,
+    )
+
+
+def test_trace_records_each_evaluation_once():
+    engine, _ = _engine(7, fb="2K")
+    engine.recorder = DecisionTrace()
+    engine.max_common_rf()
+    probed = [
+        event.detail["rf"]
+        for event in engine.recorder.of_kind("rf.probe")
+    ]
+    assert len(probed) == engine.probe_evaluations
+    assert len(probed) == len(set(probed))
+    # Memo hits stay silent: a repeat search adds no events.
+    engine.max_common_rf()
+    assert len(list(engine.recorder.of_kind("rf.probe"))) == len(probed)
