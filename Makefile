@@ -3,9 +3,28 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint analyze ruff mypy bench bench-quick trace-demo fuzz fuzz-quick batch-check cache-smoke
+.PHONY: check test lint analyze ruff mypy bench bench-quick trace-demo fuzz fuzz-quick batch-check cache-smoke serve-smoke
 
-check: test ruff mypy lint analyze fuzz-quick batch-check cache-smoke
+check: test ruff mypy lint analyze fuzz-quick batch-check cache-smoke serve-smoke
+
+# Scheduler-service smoke: boot `repro serve` as a real subprocess,
+# fire a concurrent zipf-skewed loadgen burst at it, and gate on
+# healthz + zero errors + cache hit-rate (the --check assertions,
+# which include at least one cached replay).
+serve-smoke:
+	rm -rf .serve-smoke-cache
+	@set -e; \
+	$(PYTHON) -m repro.cli serve --port 8799 \
+		--cache-dir .serve-smoke-cache --mode thread --jobs 4 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do \
+		if $(PYTHON) -c "import socket; socket.create_connection(('127.0.0.1', 8799), 0.5).close()" 2>/dev/null; then break; fi; \
+		sleep 0.2; \
+	done; \
+	$(PYTHON) -m repro.cli loadgen --host 127.0.0.1 --port 8799 \
+		--clients 100 --requests 3 --distinct 8 --check
+	rm -rf .serve-smoke-cache
 
 # Persistent-cache smoke: fill a throwaway cache directory, check the
 # stats/clear plumbing end to end.
@@ -65,11 +84,13 @@ batch-check:
 # --update-baseline` when re-anchoring the trajectory).
 bench:
 	$(PYTHON) -m repro.cli bench --output BENCH_pipeline.json \
+		--service-output BENCH_service.json \
 		--baseline BENCH_baseline.json
 
 # CI's quick-mode benchmark, gated against the committed baseline.
 bench-quick:
 	$(PYTHON) -m repro.cli bench --quick --output BENCH_quick.json \
+		--service-output BENCH_service_quick.json \
 		--baseline BENCH_baseline.json \
 		--compare BENCH_pipeline.json --max-regression 25
 

@@ -23,7 +23,12 @@ cases:
 * ``corpus_cold_batch``: the end-to-end corpus study with
   ``engine='batch'`` — schedulers plus codegen, simulation and hazard
   analysis, so the ratio over ``corpus`` shows what batch compile buys
-  the whole driver rather than the scheduling stage alone.
+  the whole driver rather than the scheduling stage alone;
+* ``service_p50`` / ``service_p99``: request-latency percentiles of a
+  self-hosted scheduler-service loadgen campaign
+  (:func:`repro.service.bench.run_service_bench`) — the full payload
+  is embedded under ``"service"`` and exported as
+  ``BENCH_service.json`` via ``repro bench --service-output``.
 
 The ``simulate`` stage times the analysis drivers' hot path — the
 vectorized timeline evaluator with tracing and re-verification off;
@@ -298,6 +303,17 @@ def run_bench(
             )
         scalability["corpus_cached"] = corpus_warm
         stages = _stage_totals(stage_repeats)
+        # Scheduler-as-a-service campaign (self-hosted, cold temp
+        # cache, zipf-skewed fleet — see repro.service.bench).  The
+        # request-latency percentiles join the scalability section so
+        # the existing --compare gate covers them; the full loadgen
+        # payload is embedded under "service" and written out as
+        # BENCH_service.json by ``repro bench --service-output``.
+        from repro.service.bench import run_service_bench
+
+        service = run_service_bench(quick=quick)
+        scalability["service_p50"] = service["latency"]["p50_s"]
+        scalability["service_p99"] = service["latency"]["p99_s"]
     finally:
         set_metrics_active(metrics_were_active)
 
@@ -327,6 +343,7 @@ def run_bench(
                 if batch_seconds > 0 else None
             ),
         },
+        "service": service,
         "baseline": baseline,
         "baseline_source": baseline_source,
         "speedup_vs_baseline": speedups,
@@ -410,6 +427,26 @@ def render_bench(payload: Dict[str, object]) -> str:
         lines.append(
             f"  reference       "
             f"{batch['schedule_reference'] * 1000.0:9.3f} ms{extra}"
+        )
+    service = payload.get("service")
+    if service:
+        latency = service.get("latency", {})
+        lines.append(
+            f"service ({service.get('clients')} clients x "
+            f"{service.get('requests_per_client')} requests, "
+            f"{service.get('distinct_workloads')} distinct workloads):"
+        )
+        lines.append(
+            f"  p50 latency     {latency.get('p50_s', 0.0) * 1000.0:9.3f} ms"
+        )
+        lines.append(
+            f"  p99 latency     {latency.get('p99_s', 0.0) * 1000.0:9.3f} ms"
+        )
+        lines.append(
+            f"  throughput      "
+            f"{service.get('throughput_rps', 0.0):9.1f} req/s  "
+            f"(errors={service.get('errors')}, "
+            f"hit_rate={service.get('hit_rate', 0.0):.2f})"
         )
     metrics_snapshot = payload.get("metrics")
     if metrics_snapshot and (

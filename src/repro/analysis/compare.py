@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.arch.machine import MorphoSysM1
@@ -39,7 +39,13 @@ _SCHEDULER_NAMES = ("basic", "ds", "cds")
 class SchedulerOutcome:
     """One scheduler's result on one workload.
 
-    ``schedule``/``report`` are ``None`` when infeasible.
+    ``schedule``/``report`` are ``None`` when infeasible;
+    ``error`` then carries the structured
+    :class:`~repro.errors.InfeasibleScheduleError` (cluster name,
+    required/available word counts) behind the rendered
+    ``infeasible_reason`` — the service layer serves those numbers to
+    clients, and the exception pickles with its fields intact so
+    cached and worker-shipped outcomes keep them.
     """
 
     scheduler: str
@@ -47,6 +53,12 @@ class SchedulerOutcome:
     schedule: Optional[Schedule] = None
     report: Optional[SimulationReport] = None
     infeasible_reason: str = ""
+    # compare=False: exceptions compare by identity, which would break
+    # outcome equality (serial vs parallel, cached vs fresh); the
+    # rendered reason string participates instead.
+    error: Optional[InfeasibleScheduleError] = field(
+        default=None, compare=False
+    )
 
     @property
     def rf(self) -> Optional[int]:
@@ -162,6 +174,7 @@ def run_scheduler(
             scheduler=scheduler.name,
             feasible=False,
             infeasible_reason=str(exc),
+            error=exc,
         )
         if cache is not None:
             cache.put(key, outcome)
@@ -247,6 +260,7 @@ def run_pipeline_batch(
                 scheduler=name,
                 feasible=False,
                 infeasible_reason=str(result.error),
+                error=result.error,
             )
         else:
             scope = f"pipeline.{name}"

@@ -25,7 +25,12 @@ safe to use from drivers that shuffle or fan out their work.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.arch.params import Architecture
@@ -39,6 +44,7 @@ __all__ = [
     "plan_key",
     "PlanMemo",
     "run_all_ablations",
+    "WorkerPool",
 ]
 
 _T = TypeVar("_T")
@@ -122,14 +128,118 @@ def parallel_map(
         return [fn(item) for item in items]
     if collect:
         metrics.inc("parallel.fanouts", scope="driver")
-    with ProcessPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        if not collect:
-            return list(pool.map(fn, items, chunksize=chunksize))
-        pairs = list(pool.map(_MetricsWorker(fn), items, chunksize=chunksize))
-    registry = metrics.get_registry()
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(items)))
+    pairs = _drain_pool(
+        pool, _MetricsWorker(fn) if collect else fn, items, chunksize
+    )
+    if not collect:
+        return pairs
+    registry = metrics.recording_registry() or metrics.get_registry()
     for _, snapshot in pairs:
         registry.merge(snapshot)
     return [result for result, _ in pairs]
+
+
+def _drain_pool(
+    pool: Executor, fn: Callable, items: Sequence, chunksize: int
+) -> list:
+    """``list(pool.map(...))`` with deterministic pool teardown.
+
+    The historical ``with ProcessPoolExecutor(...)`` form had a
+    concurrency bug in long-lived callers: when a worker raised (or the
+    driver took a ``KeyboardInterrupt``) mid-map, ``__exit__`` ran
+    ``shutdown(wait=True)`` *without cancelling the queued items*, so
+    the pool kept executing the entire remaining workload — and kept
+    its worker processes alive for that long — behind an exception the
+    caller thought had aborted the run.  Here any error cancels the
+    queued futures first, so workers are reaped as soon as their
+    in-flight item finishes.
+    """
+    try:
+        results = list(pool.map(fn, items, chunksize=chunksize))
+    except BaseException:
+        pool.shutdown(wait=True, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return results
+
+
+class WorkerPool:
+    """A persistent :func:`parallel_map`-style worker pool.
+
+    ``parallel_map`` spins an executor up and down per call — right for
+    batch drivers, wasteful for a long-lived caller dispatching many
+    small units.  The scheduler service keeps one ``WorkerPool`` for
+    its whole lifetime and fans requests out over it; ``close()`` (or
+    the context manager) reaps the workers, cancelling anything still
+    queued.
+
+    Args:
+        jobs: worker count (``0``/``None`` = one per CPU).
+        mode: ``"process"`` (default) — true parallelism, work and
+            results must pickle; ``"thread"`` — in-process workers, no
+            pickling, suitable for I/O-bound or cache-hit-dominated
+            loads and for tests.
+    """
+
+    def __init__(
+        self, *, jobs: Optional[int] = None, mode: str = "process"
+    ) -> None:
+        if jobs is not None and jobs < 0:
+            raise ValueError(
+                f"jobs must be >= 0 (0 = one worker per CPU), got {jobs}"
+            )
+        self.jobs = jobs if jobs else default_jobs()
+        self.mode = mode
+        if mode == "process":
+            self._executor: Executor = ProcessPoolExecutor(
+                max_workers=self.jobs
+            )
+        elif mode == "thread":
+            self._executor = ThreadPoolExecutor(max_workers=self.jobs)
+        else:
+            raise ValueError(
+                f"unknown mode {mode!r}; expected 'process' or 'thread'"
+            )
+
+    @property
+    def executor(self) -> Executor:
+        """The underlying executor (for ``loop.run_in_executor``)."""
+        return self._executor
+
+    def submit(self, fn: Callable[..., _R], *args) -> "Future[_R]":
+        """Schedule one call; returns its ``concurrent.futures.Future``."""
+        return self._executor.submit(fn, *args)
+
+    def map(
+        self,
+        fn: Callable[[_T], _R],
+        items: Iterable[_T],
+        *,
+        chunksize: int = 1,
+    ) -> List[_R]:
+        """:func:`parallel_map` over this pool's persistent workers.
+
+        Unlike :func:`parallel_map` the pool survives the call; an
+        error still cancels this map's queued items (the result
+        iterator cancels its remaining futures when the exception
+        unwinds), so a failed map cannot keep the shared workers busy
+        behind later callers.
+        """
+        items = list(items)
+        if not items:
+            return []
+        return list(self._executor.map(fn, items, chunksize=chunksize))
+
+    def close(self) -> None:
+        """Reap the workers; queued-but-unstarted work is cancelled."""
+        self._executor.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
 
 # -- content-hash schedule-plan memo -------------------------------------

@@ -15,10 +15,15 @@ Three properties keep it safe:
   stale generations are inert bytes until ``repro cache clear``.
 * **Atomic writes.**  Values are pickled to a temporary file and
   :func:`os.replace`\\ d into place, so concurrent workers and killed
-  runs can never publish a torn entry.
+  runs can never publish a torn entry.  The tag file is published the
+  same way, and directory creation retries around a concurrent
+  ``clear()`` — two processes ``put()``-ing the same key, or a put
+  racing a clear, can never corrupt each other (stress-tested in
+  ``tests/cache/test_store_concurrency.py``).
 * **Corruption tolerance.**  Unreadable or truncated entries read as
-  misses and are deleted; the cache is a pure accelerator and must
-  never be able to fail a run.
+  misses and are deleted (only if the entry on disk is still the bytes
+  that failed to load — a concurrent rewrite is left alone); the cache
+  is a pure accelerator and must never be able to fail a run.
 
 Hits and misses are counted on the :class:`~repro.obs.metrics.
 MetricsRegistry` (scope ``cache``) when metrics are active.
@@ -108,17 +113,25 @@ class CacheStore:
         never are ``None`` (wrap in a tuple if one ever must be).
         """
         path = self._path(key)
+        stat = None
         try:
             with open(path, "rb") as handle:
+                stat = os.fstat(handle.fileno())
                 value = pickle.load(handle)
         except FileNotFoundError:
             self.misses += 1
             metrics.inc("cache.miss", scope="cache")
             return None
         except Exception:
-            # Torn or stale-format entry: drop it and treat as a miss.
+            # Unreadable (stale-format) entry: drop it and treat as a
+            # miss — but only while the path still holds the bytes we
+            # failed to read.  A concurrent put() may have atomically
+            # replaced the entry between our open and this cleanup;
+            # deleting blindly would vaporise a good fresh entry out
+            # from under other readers.
             try:
-                os.remove(path)
+                if stat is not None and os.stat(path).st_ino == stat.st_ino:
+                    os.remove(path)
             except OSError:
                 pass
             self.misses += 1
@@ -129,26 +142,69 @@ class CacheStore:
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Store *value* under *key* (atomic; last writer wins)."""
+        """Store *value* under *key* (atomic; last writer wins).
+
+        Safe against a concurrent :meth:`clear`: the generation and
+        fan-out directories may vanish between ``mkdir`` and the
+        rename, so the write retries (re-creating them) a few times
+        and then gives up silently — the cache is an accelerator, a
+        lost entry under a clear storm is a miss, never an error.
+        """
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tag = self.root / TAG_FILE
-        if not tag.exists():
-            tag.write_text(TAG_CONTENT)
-        fd, tmp = tempfile.mkstemp(
-            dir=str(path.parent), suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._ensure_tag()
+        for _ in range(3):
             try:
-                os.remove(tmp)
-            except OSError:
-                pass
+                path.parent.mkdir(parents=True, exist_ok=True)
+            except (FileExistsError, FileNotFoundError):
+                # Even with exist_ok=True a racing clear() can slip
+                # between the EEXIST and pathlib's is_dir() re-check
+                # (or remove a freshly made parent); retry.
+                continue
+            try:
+                fd, tmp = tempfile.mkstemp(
+                    dir=str(path.parent), suffix=".tmp"
+                )
+            except FileNotFoundError:
+                # clear() removed the directory between mkdir and
+                # mkstemp; re-create and retry.
+                continue
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except FileNotFoundError:
+                # The directory vanished under the rename; retry.
+                self._remove_quietly(tmp)
+                continue
+            except BaseException:
+                self._remove_quietly(tmp)
+                raise
+            metrics.inc("cache.put", scope="cache")
+            return
+        metrics.inc("cache.put_dropped", scope="cache")
+
+    def _ensure_tag(self) -> None:
+        """Publish the tag marker atomically (racing writers are fine)."""
+        tag = self.root / TAG_FILE
+        if tag.exists():
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tag.tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(TAG_CONTENT)
+            os.replace(tmp, tag)
+        except BaseException:
+            self._remove_quietly(tmp)
             raise
-        metrics.inc("cache.put", scope="cache")
+
+    @staticmethod
+    def _remove_quietly(path: Union[str, Path]) -> None:
+        try:
+            os.remove(path)
+        except OSError:
+            pass
 
     # -- maintenance ------------------------------------------------------
 
@@ -186,6 +242,15 @@ class CacheStore:
         Refuses to touch a directory that exists but does not carry the
         :data:`TAG_FILE` marker — ``clear()`` must never be able to
         recursively delete a directory this store did not populate.
+
+        Safe against concurrent writers and readers: entries that
+        vanish mid-walk (a racing reader's corrupt-entry cleanup, or a
+        second clear) are skipped, and a directory re-populated by a
+        racing :meth:`put` after we emptied it is left standing rather
+        than crashing the walk with ``ENOTEMPTY``.  Published entries
+        are only ever whole files (writers rename complete temp files
+        into place), so a clear can never expose a half-written entry
+        to a reader — it either removes a complete file or nothing.
         """
         if not self.root.exists():
             return 0
@@ -195,17 +260,27 @@ class CacheStore:
                 f"(missing {TAG_FILE}); refusing to clear it"
             )
         removed = 0
-        for child in sorted(self.root.iterdir()):
+        try:
+            children = sorted(self.root.iterdir())
+        except FileNotFoundError:
+            return 0
+        for child in children:
             if not child.is_dir():
                 continue
-            for entry in sorted(
-                child.rglob("*"), key=lambda p: len(p.parts), reverse=True
+            for dirpath, dirnames, filenames in os.walk(
+                child, topdown=False
             ):
-                if entry.is_dir():
-                    entry.rmdir()
-                else:
-                    if entry.suffix == ".pkl":
+                for name in filenames:
+                    try:
+                        os.remove(os.path.join(dirpath, name))
+                    except OSError:
+                        continue
+                    if name.endswith(".pkl"):
                         removed += 1
-                    entry.unlink()
-            child.rmdir()
+                try:
+                    os.rmdir(dirpath)
+                except OSError:
+                    # Re-populated by a concurrent put (ENOTEMPTY) or
+                    # already gone (ENOENT); either way, leave it.
+                    pass
         return removed

@@ -28,6 +28,13 @@ Commands:
   reproducers (exit 1 on any violation);
 * ``cache``   — inspect (``stats``) or wipe (``clear``) the persistent
   cross-run pipeline cache used by ``--cache-dir``;
+* ``serve``   — run the scheduler service: an asyncio HTTP/JSON server
+  exposing the pipeline (``POST /v1/schedule``, ``POST /v1/batch``,
+  ``GET /v1/metrics``, ``GET /v1/healthz``) over a worker pool with
+  single-flight dedup and a shared pipeline cache;
+* ``loadgen`` — drive a zipf-skewed concurrent load campaign against a
+  running service (or a self-hosted one) and report latency
+  percentiles, throughput and cache effectiveness;
 * ``list``     — list the available experiments.
 """
 
@@ -339,6 +346,11 @@ def _cmd_bench(args) -> int:
             json.dump(payload, handle, indent=2)
             handle.write("\n")
         print(f"\nwrote {args.output}")
+    if args.service_output:
+        with open(args.service_output, "w", encoding="utf-8") as handle:
+            json.dump(payload.get("service", {}), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.service_output}")
     if baseline is not None:
         problems = compare_bench(
             payload, baseline, max_regression_pct=args.max_regression
@@ -472,6 +484,71 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.server import run_server
+
+    def announce(service) -> None:
+        print(
+            f"repro service listening on "
+            f"http://{service.host}:{service.port} "
+            f"({service.cache_dir or 'no'} cache, "
+            f"{args.mode} workers)",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(run_server(
+            host=args.host, port=args.port, cache_dir=args.cache_dir,
+            jobs=args.jobs, mode=args.mode, ready=announce,
+        ))
+    except KeyboardInterrupt:
+        print("service stopped")
+    return 0
+
+
+def _cmd_loadgen(args) -> int:
+    import json
+
+    from repro.service.loadgen import (
+        check_loadgen,
+        render_loadgen,
+        run_loadgen,
+    )
+
+    payload = run_loadgen(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        distinct=args.distinct,
+        skew=args.skew,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        scheduler=args.scheduler,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        mode=args.mode,
+    )
+    print(render_loadgen(payload))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.check:
+        findings = check_loadgen(payload, min_hit_rate=args.min_hit_rate)
+        if findings:
+            print("\nLOADGEN CHECK FAILED:")
+            for finding in findings:
+                print(f"  {finding}")
+            return 1
+        print(f"\nloadgen check passed (hit_rate "
+              f"{payload['hit_rate']:.3f} > {args.min_hit_rate:.2f}, "
+              f"0 errors)")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.cache import CacheStore, default_cache_dir
 
@@ -603,6 +680,9 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PCT",
                        help="allowed regression vs --compare baseline "
                             "(default 25%%)")
+    bench.add_argument("--service-output", metavar="PATH", default=None,
+                       help="write the service loadgen payload "
+                            "(BENCH_service.json)")
     bench.set_defaults(func=_cmd_bench)
     lint = sub.add_parser(
         "lint",
@@ -701,6 +781,64 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cache directory (default: $REPRO_CACHE_DIR "
                             "or .repro-cache)")
     cache.set_defaults(func=_cmd_cache)
+    serve = sub.add_parser(
+        "serve", help="run the scheduler service (HTTP/JSON)"
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8753,
+                       help="bind port (default 8753; 0 = ephemeral)")
+    serve.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="shared cross-request pipeline cache "
+                            "directory (default: no persistent cache)")
+    serve.add_argument("--jobs", type=_jobs_count, default=None,
+                       help="worker-pool size (0 = one per CPU)")
+    serve.add_argument("--mode", choices=("process", "thread"),
+                       default="process",
+                       help="worker pool kind (default process)")
+    serve.set_defaults(func=_cmd_serve)
+    loadgen = sub.add_parser(
+        "loadgen", help="zipf-skewed load campaign against the service"
+    )
+    loadgen.add_argument("--clients", type=int, default=1000,
+                         help="concurrent keep-alive clients "
+                              "(default 1000)")
+    loadgen.add_argument("--requests", type=int, default=3,
+                         help="requests per client (default 3)")
+    loadgen.add_argument("--distinct", type=int, default=32,
+                         help="distinct generated workloads (default 32)")
+    loadgen.add_argument("--skew", type=float, default=1.1,
+                         help="zipf skew exponent (default 1.1)")
+    loadgen.add_argument("--seed", type=int, default=0,
+                         help="campaign seed (default 0)")
+    loadgen.add_argument("--host", default=None,
+                         help="target host (default: self-host a "
+                              "service for the run)")
+    loadgen.add_argument("--port", type=int, default=None,
+                         help="target port (required with --host)")
+    loadgen.add_argument("--scheduler", choices=("basic", "ds", "cds"),
+                         default="cds", help="scheduler to request")
+    loadgen.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="cache directory for the self-hosted "
+                              "service (ignored with --host)")
+    loadgen.add_argument("--jobs", type=_jobs_count, default=None,
+                         help="self-hosted worker-pool size")
+    loadgen.add_argument("--mode", choices=("process", "thread"),
+                         default="thread",
+                         help="self-hosted worker pool kind "
+                              "(default thread)")
+    loadgen.add_argument("--output", metavar="PATH", default=None,
+                         help="write the JSON payload "
+                              "(BENCH_service.json)")
+    loadgen.add_argument("--check", action="store_true",
+                         help="exit 1 unless the smoke gate passes "
+                              "(healthz ok, zero errors, cache "
+                              "hit-rate above --min-hit-rate)")
+    loadgen.add_argument("--min-hit-rate", type=float, default=0.5,
+                         metavar="FRACTION",
+                         help="required hit rate for --check "
+                              "(default 0.5)")
+    loadgen.set_defaults(func=_cmd_loadgen)
     return parser
 
 

@@ -69,6 +69,21 @@ class InfeasibleScheduleError(ReproError):
         self.required = required
         self.available = available
 
+    def __reduce__(self):
+        # The default Exception reduction rebuilds from ``self.args``
+        # alone, silently dropping the keyword-only diagnostic fields.
+        # These errors cross process boundaries (worker pools, the
+        # persistent outcome cache), so preserve them explicitly.
+        return (
+            self.__class__,
+            (self.args[0] if self.args else "",),
+            {
+                "cluster": self.cluster,
+                "required": self.required,
+                "available": self.available,
+            },
+        )
+
 
 class AllocationError(ReproError):
     """The frame-buffer allocator could not place an object."""
@@ -99,6 +114,15 @@ class LintError(ReproError):
     def __init__(self, message: str, diagnostics: tuple = ()):
         super().__init__(message)
         self.diagnostics = tuple(diagnostics)
+
+    def __reduce__(self):
+        # Preserve the diagnostics payload across pickling (the default
+        # Exception reduction only keeps ``args``); the service layer
+        # ships these errors back from worker processes.
+        return (
+            self.__class__,
+            (self.args[0] if self.args else "", self.diagnostics),
+        )
 
 
 class SimulationError(ReproError):

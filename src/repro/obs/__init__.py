@@ -27,6 +27,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     get_registry,
     metrics_active,
+    recording_registry,
+    request_scope,
     set_metrics_active,
     time_stage,
 )
@@ -43,6 +45,8 @@ __all__ = [
     "MetricsRegistry",
     "get_registry",
     "metrics_active",
+    "recording_registry",
+    "request_scope",
     "set_metrics_active",
     "time_stage",
     "chrome_trace",

@@ -1,0 +1,49 @@
+"""Service benchmark: a seeded loadgen campaign with a fresh cache.
+
+:func:`run_service_bench` self-hosts a service on a temporary cache
+directory, fires a zipf-skewed loadgen burst at it, and returns the
+loadgen payload plus the knobs used — the content of
+``BENCH_service.json``.  The headline numbers (``service_p50`` /
+``service_p99`` request latency) are folded into the ``scalability``
+section of :func:`repro.analysis.bench.run_bench`'s payload, which
+puts them under the existing ``repro bench --compare`` regression
+gate with no new gating machinery.
+
+Quick mode shrinks the client fleet for CI smoke; the full
+configuration is the acceptance run (>= 1000 concurrent clients).
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Any, Dict
+
+from repro.service.loadgen import run_loadgen
+
+__all__ = ["run_service_bench"]
+
+#: Acceptance-run fleet size; quick mode divides it down for CI smoke.
+FULL_CLIENTS = 1000
+QUICK_CLIENTS = 200
+
+
+def run_service_bench(
+    *, quick: bool = False, seed: int = 0, jobs: int = 4
+) -> Dict[str, Any]:
+    """One reproducible service campaign against a cold cache."""
+    clients = QUICK_CLIENTS if quick else FULL_CLIENTS
+    requests_per_client = 2 if quick else 3
+    distinct = 16 if quick else 32
+    with tempfile.TemporaryDirectory(prefix="repro-service-bench-") as tmp:
+        payload = run_loadgen(
+            clients=clients,
+            requests_per_client=requests_per_client,
+            distinct=distinct,
+            seed=seed,
+            cache_dir=tmp,
+            jobs=jobs,
+            mode="thread",
+        )
+    payload["quick"] = quick
+    payload["workers"] = {"mode": "thread", "jobs": jobs}
+    return payload

@@ -1,0 +1,438 @@
+"""Load generator for the scheduler service.
+
+Drives thousands of concurrent keep-alive HTTP clients against a
+:class:`~repro.service.server.SchedulerService` — a running one
+(``--url``-style host/port) or a self-hosted
+:class:`~repro.service.server.ServerThread` spun up for the run.
+
+The request mix models a real compile-service population: a corpus of
+``distinct`` generated workloads (seeded
+:func:`~repro.workloads.random_gen.random_application`, serialised
+through :class:`~repro.fuzz.case.FuzzCase`) sampled with a
+**zipf-skewed** repeat distribution — a few hot workloads dominate,
+a long tail appears once or twice — which is exactly the shape that
+makes the shared cache and single-flight dedup earn their keep.
+Everything is seeded: the same ``(clients, requests_per_client,
+distinct, skew, seed)`` tuple replays the same request schedule.
+
+The run's verdict comes from the service's own metrics (fetched over
+``/v1/metrics`` before and after): cache hits/misses, single-flight
+leader/follower counts, and a derived ``hit_rate`` — the fraction of
+requests served without compiling (cache hits plus coalesced
+followers).  :func:`check_loadgen` turns the payload into pass/fail
+findings for ``repro loadgen --check`` and the ``make serve-smoke``
+gate.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import itertools
+import json
+import random
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.service.protocol import encode_json, percentile
+
+__all__ = [
+    "build_corpus",
+    "zipf_indices",
+    "run_loadgen",
+    "check_loadgen",
+    "render_loadgen",
+]
+
+
+# -- request corpus ------------------------------------------------------
+
+
+def build_corpus(
+    distinct: int,
+    *,
+    seed: int = 0,
+    fb_words: int = 4096,
+    scheduler: str = "cds",
+) -> List[Dict[str, Any]]:
+    """*distinct* schedule-request bodies over generated workloads.
+
+    Traces are off: the loadgen measures scheduling throughput, and the
+    per-transfer DMA trace only bloats response payloads.
+    """
+    from repro.fuzz.case import FuzzCase
+    from repro.workloads.random_gen import random_application
+
+    bodies = []
+    for index in range(distinct):
+        application, clustering = random_application(seed + index)
+        case = FuzzCase.from_workload(
+            application, clustering, fb_words,
+            name=f"loadgen-{seed + index}",
+        )
+        bodies.append(
+            {
+                "workload": case.to_dict(),
+                "scheduler": scheduler,
+                "trace": False,
+            }
+        )
+    return bodies
+
+
+def zipf_indices(
+    count: int, n_items: int, *, skew: float = 1.1, seed: int = 0
+) -> List[int]:
+    """*count* draws from ``{0..n_items-1}`` with zipf weight
+    ``1/rank^skew`` (rank 0 hottest); deterministic per *seed*."""
+    if n_items <= 0:
+        raise ValueError("n_items must be positive")
+    weights = [1.0 / (rank ** skew) for rank in range(1, n_items + 1)]
+    cumulative = list(itertools.accumulate(weights))
+    total = cumulative[-1]
+    rng = random.Random(seed)
+    return [
+        min(
+            n_items - 1,
+            bisect.bisect_left(cumulative, rng.random() * total),
+        )
+        for _ in range(count)
+    ]
+
+
+def _raise_fd_limit(wanted: int) -> None:
+    """Best-effort bump of the open-files rlimit (thousands of client
+    sockets plus their server-side peers live in this process)."""
+    try:
+        import resource
+
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft < wanted:
+            resource.setrlimit(
+                resource.RLIMIT_NOFILE,
+                (min(wanted, hard) if hard > 0 else wanted, hard),
+            )
+    except (ImportError, ValueError, OSError):
+        pass
+
+
+# -- minimal HTTP client -------------------------------------------------
+
+
+def _post_bytes(path: str, body: bytes) -> bytes:
+    return (
+        (
+            f"POST {path} HTTP/1.1\r\n"
+            f"Host: loadgen\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: keep-alive\r\n"
+            f"\r\n"
+        ).encode("latin-1")
+        + body
+    )
+
+
+async def _read_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, bytes]:
+    line = await reader.readline()
+    if not line:
+        raise ConnectionError("server closed connection")
+    parts = line.decode("latin-1").split(maxsplit=2)
+    if len(parts) < 2 or not parts[1].isdigit():
+        raise ConnectionError(f"malformed status line: {line!r}")
+    status = int(parts[1])
+    length = 0
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n"):
+            break
+        if not header:
+            raise ConnectionError("connection closed inside headers")
+        name, _, value = header.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+async def _fetch(
+    host: str, port: int, path: str, *, method: str = "GET",
+    body: bytes = b"",
+) -> Tuple[int, Dict[str, Any]]:
+    """One-shot request on its own connection (healthz/metrics)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        if method == "GET":
+            writer.write(
+                (
+                    f"GET {path} HTTP/1.1\r\nHost: loadgen\r\n"
+                    f"Connection: close\r\n\r\n"
+                ).encode("latin-1")
+            )
+        else:
+            writer.write(_post_bytes(path, body))
+        await writer.drain()
+        status, payload = await _read_response(reader)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    return status, json.loads(payload.decode("utf-8"))
+
+
+async def _client(
+    host: str,
+    port: int,
+    requests: List[bytes],
+    latencies: List[float],
+    errors: List[str],
+    start_gate: "asyncio.Event",
+) -> None:
+    """One keep-alive client working through its request schedule."""
+    await start_gate.wait()
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError as exc:
+        errors.append(f"connect: {exc!r}")
+        return
+    try:
+        for request in requests:
+            started = time.perf_counter()
+            writer.write(request)
+            await writer.drain()
+            status, body = await _read_response(reader)
+            latencies.append(time.perf_counter() - started)
+            if status != 200:
+                errors.append(f"status {status}: {body[:120]!r}")
+            else:
+                payload = json.loads(body.decode("utf-8"))
+                if payload.get("ok") is not True:
+                    errors.append(f"not ok: {body[:120]!r}")
+    except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+        errors.append(f"io: {exc!r}")
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+# -- drivers -------------------------------------------------------------
+
+
+def _counters_from_metrics(payload: Dict[str, Any]) -> Dict[str, int]:
+    return dict(payload.get("metrics", {}).get("counters", {}))
+
+
+def _counter_delta(
+    after: Dict[str, int], before: Dict[str, int], key: str
+) -> int:
+    return after.get(key, 0) - before.get(key, 0)
+
+
+async def _drive(
+    host: str,
+    port: int,
+    schedules: List[List[bytes]],
+) -> Tuple[List[float], List[str], float, Dict, Dict, bool]:
+    _, before_metrics = await _fetch(host, port, "/v1/metrics")
+    latencies: List[float] = []
+    errors: List[str] = []
+    start_gate = asyncio.Event()
+    tasks = [
+        asyncio.ensure_future(
+            _client(host, port, requests, latencies, errors, start_gate)
+        )
+        for requests in schedules
+    ]
+    # Release every client at once so concurrency really is the client
+    # count, not a ramp shaped by task-creation order.
+    await asyncio.sleep(0)
+    started = time.perf_counter()
+    start_gate.set()
+    await asyncio.gather(*tasks)
+    elapsed = time.perf_counter() - started
+    healthz_status, healthz = await _fetch(host, port, "/v1/healthz")
+    _, after_metrics = await _fetch(host, port, "/v1/metrics")
+    healthz_ok = healthz_status == 200 and healthz.get("ok") is True
+    return (
+        latencies, errors, elapsed, before_metrics, after_metrics,
+        healthz_ok,
+    )
+
+
+def run_loadgen(
+    *,
+    clients: int = 1000,
+    requests_per_client: int = 3,
+    distinct: int = 32,
+    skew: float = 1.1,
+    seed: int = 0,
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    scheduler: str = "cds",
+    fb_words: int = 4096,
+    cache_dir: Optional[str] = None,
+    jobs: Optional[int] = None,
+    mode: str = "thread",
+) -> Dict[str, Any]:
+    """Run one load campaign; returns the measured payload.
+
+    With *host*/*port* unset the service is self-hosted for the run
+    (worker *mode*/*jobs*, shared cache at *cache_dir*) and torn down
+    after; otherwise the campaign targets the running server and the
+    cache/pool arguments are ignored.
+    """
+    if clients <= 0 or requests_per_client <= 0:
+        raise ValueError("clients and requests_per_client must be positive")
+    bodies = build_corpus(
+        distinct, seed=seed, fb_words=fb_words, scheduler=scheduler
+    )
+    encoded = [_post_bytes("/v1/schedule", encode_json(body))
+               for body in bodies]
+    total_requests = clients * requests_per_client
+    draws = zipf_indices(total_requests, distinct, skew=skew, seed=seed)
+    schedules = [
+        [
+            encoded[draws[client * requests_per_client + position]]
+            for position in range(requests_per_client)
+        ]
+        for client in range(clients)
+    ]
+    _raise_fd_limit(2 * clients + 256)
+
+    server_thread = None
+    if host is None:
+        from repro.service.server import ServerThread
+
+        server_thread = ServerThread(
+            cache_dir=cache_dir, jobs=jobs, mode=mode
+        )
+        host, port = server_thread.start()
+    elif port is None:
+        raise ValueError("port is required when host is given")
+
+    try:
+        (latencies, errors, elapsed, before, after, healthz_ok) = (
+            asyncio.run(_drive(host, port, schedules))
+        )
+    finally:
+        if server_thread is not None:
+            server_thread.stop()
+
+    before_counters = _counters_from_metrics(before)
+    after_counters = _counters_from_metrics(after)
+    hits = _counter_delta(after_counters, before_counters, "cache/cache.hit")
+    misses = _counter_delta(
+        after_counters, before_counters, "cache/cache.miss"
+    )
+    puts = _counter_delta(after_counters, before_counters, "cache/cache.put")
+    leaders = _counter_delta(
+        after_counters, before_counters, "service/singleflight.leader"
+    )
+    followers = _counter_delta(
+        after_counters, before_counters, "service/singleflight.follower"
+    )
+    return {
+        "schema": 1,
+        "clients": clients,
+        "requests_per_client": requests_per_client,
+        "requests": total_requests,
+        "completed": len(latencies),
+        "distinct_workloads": distinct,
+        "zipf_skew": skew,
+        "seed": seed,
+        "scheduler": scheduler,
+        "errors": len(errors),
+        "error_samples": errors[:5],
+        "elapsed_s": elapsed,
+        "throughput_rps": (
+            len(latencies) / elapsed if elapsed > 0 else 0.0
+        ),
+        "latency": {
+            "count": len(latencies),
+            "mean_s": (
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            "p50_s": percentile(latencies, 0.50),
+            "p99_s": percentile(latencies, 0.99),
+            "max_s": max(latencies) if latencies else 0.0,
+        },
+        "cache": {"hits": hits, "misses": misses, "puts": puts},
+        "singleflight": {"leaders": leaders, "followers": followers},
+        "hit_rate": (
+            (hits + followers) / total_requests if total_requests else 0.0
+        ),
+        "healthz_ok": healthz_ok,
+    }
+
+
+def check_loadgen(
+    payload: Dict[str, Any],
+    *,
+    min_hit_rate: float = 0.5,
+) -> List[str]:
+    """Findings that fail the smoke gate (empty = pass)."""
+    findings = []
+    if not payload.get("healthz_ok"):
+        findings.append("healthz did not answer ok")
+    if payload.get("errors"):
+        samples = "; ".join(payload.get("error_samples", []))
+        findings.append(
+            f"{payload['errors']} request error(s): {samples}"
+        )
+    if payload.get("completed") != payload.get("requests"):
+        findings.append(
+            f"only {payload.get('completed')} of "
+            f"{payload.get('requests')} requests completed"
+        )
+    hit_rate = payload.get("hit_rate", 0.0)
+    if hit_rate <= min_hit_rate:
+        findings.append(
+            f"hit_rate {hit_rate:.3f} <= required {min_hit_rate:.3f}"
+        )
+    if payload.get("cache", {}).get("hits", 0) < 1:
+        findings.append("no cached replay was observed")
+    return findings
+
+
+def render_loadgen(payload: Dict[str, Any]) -> str:
+    """Human-readable summary of one loadgen payload."""
+    latency = payload.get("latency", {})
+    cache = payload.get("cache", {})
+    flight = payload.get("singleflight", {})
+    return "\n".join(
+        [
+            (
+                f"loadgen: {payload['clients']} clients x "
+                f"{payload['requests_per_client']} requests "
+                f"({payload['distinct_workloads']} distinct workloads, "
+                f"zipf skew {payload['zipf_skew']}, seed "
+                f"{payload['seed']})"
+            ),
+            (
+                f"  completed {payload['completed']}/"
+                f"{payload['requests']} with {payload['errors']} "
+                f"error(s) in {payload['elapsed_s']:.3f}s "
+                f"({payload['throughput_rps']:.1f} req/s)"
+            ),
+            (
+                f"  latency p50 {latency.get('p50_s', 0.0) * 1000:.3f} ms, "
+                f"p99 {latency.get('p99_s', 0.0) * 1000:.3f} ms, "
+                f"max {latency.get('max_s', 0.0) * 1000:.3f} ms"
+            ),
+            (
+                f"  cache hits {cache.get('hits', 0)} / misses "
+                f"{cache.get('misses', 0)}; single-flight leaders "
+                f"{flight.get('leaders', 0)} / followers "
+                f"{flight.get('followers', 0)}; hit_rate "
+                f"{payload.get('hit_rate', 0.0):.3f}"
+            ),
+            f"  healthz ok: {payload.get('healthz_ok')}",
+        ]
+    )

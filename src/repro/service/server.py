@@ -1,0 +1,402 @@
+"""Asyncio HTTP/JSON front-end of the scheduler service.
+
+A deliberately small, dependency-free HTTP/1.1 server (the container
+has no web framework): one :func:`asyncio.start_server` accept loop,
+keep-alive request framing via ``Content-Length``, and four routes:
+
+* ``POST /v1/schedule`` — one workload through one scheduler.
+* ``POST /v1/batch``    — many cases through
+  :func:`~repro.analysis.compare.run_pipeline_batch` /
+  ``schedule.batch.compile_many``.
+* ``GET  /v1/metrics``  — the service's merged metrics registry plus
+  latency percentiles and single-flight counters.
+* ``GET  /v1/healthz``  — liveness.
+
+Compute never runs on the event loop: parsed requests are dispatched
+into a :class:`~repro.analysis.parallel.WorkerPool` (thread or process
+mode) running :func:`~repro.service.protocol.execute_request`, and the
+per-request metrics snapshot each worker returns is merged into the
+service-global registry.
+
+**Single-flight.**  Concurrent identical requests (same endpoint +
+canonical body, :func:`~repro.service.protocol.request_key`) coalesce
+onto one in-flight computation: the first becomes the *leader* and
+executes; the rest are *followers* that await the leader's future and
+share its response payload.  Combined with the shared
+:class:`~repro.cache.CacheStore` (content-fingerprint keys, so hits
+survive across requests, processes and restarts), N concurrent
+identical requests compile exactly once — asserted down to the metrics
+counters in ``tests/service/test_service.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.parallel import WorkerPool
+from repro.obs.metrics import MetricsRegistry
+from repro.service.protocol import (
+    encode_json,
+    error_payload,
+    execute_request,
+    percentile,
+    request_key,
+)
+
+__all__ = ["SchedulerService", "ServerThread"]
+
+_MAX_BODY_BYTES = 32 * 1024 * 1024
+_MAX_RECORDED_LATENCIES = 200_000
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+}
+
+
+class _ProtocolError(Exception):
+    """Unparseable HTTP framing; the connection is dropped."""
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    """One framed request, or ``None`` on a clean EOF between requests."""
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise _ProtocolError(f"malformed request line: {line!r}")
+    method, path, _version = parts
+    headers: Dict[str, str] = {}
+    while True:
+        header = await reader.readline()
+        if header in (b"\r\n", b"\n"):
+            break
+        if not header:
+            raise _ProtocolError("connection closed inside headers")
+        name, separator, value = header.decode("latin-1").partition(":")
+        if not separator:
+            raise _ProtocolError(f"malformed header: {header!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise _ProtocolError("malformed Content-Length") from None
+    if length < 0 or length > _MAX_BODY_BYTES:
+        raise _ProtocolError(f"unacceptable Content-Length {length}")
+    body = await reader.readexactly(length) if length else b""
+    return method, path, headers, body
+
+
+def _response_bytes(status: int, body: bytes, *, keep_alive: bool) -> bytes:
+    reason = _REASONS.get(status, "Unknown")
+    connection = "keep-alive" if keep_alive else "close"
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {connection}\r\n"
+        f"\r\n"
+    )
+    return head.encode("latin-1") + body
+
+
+class SchedulerService:
+    """The scheduler-as-a-service server: routes, pool, single-flight.
+
+    Args:
+        host/port: bind address; ``port=0`` picks an ephemeral port
+            (read ``self.port`` after :meth:`start`).
+        cache_dir: :class:`~repro.cache.CacheStore` root shared by all
+            requests; ``None`` disables the cross-request cache.
+        jobs: worker-pool size (``None``/0 for the CPU-count default).
+        mode: ``"thread"`` or ``"process"`` worker pool.  Thread mode
+            keeps workers in-process (tests can monkeypatch scheduler
+            internals; no pickling); process mode buys real
+            parallelism for CPU-bound fleets.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: Optional[str] = None,
+        jobs: Optional[int] = None,
+        mode: str = "thread",
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.registry = MetricsRegistry()
+        self._pool = WorkerPool(jobs=jobs, mode=mode)
+        self._mode = mode
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        self._latencies: List[float] = []
+        self._started = time.monotonic()
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; resolves ``self.port``."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port, backlog=2048
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._pool.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.aclose()
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_client(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        try:
+            while True:
+                request = await _read_request(reader)
+                if request is None:
+                    break
+                method, path, headers, body = request
+                started = time.perf_counter()
+                status, payload = await self._dispatch(method, path, body)
+                self._record_latency(time.perf_counter() - started)
+                keep_alive = (
+                    headers.get("connection", "").lower() != "close"
+                )
+                writer.write(
+                    _response_bytes(
+                        status, encode_json(payload), keep_alive=keep_alive
+                    )
+                )
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (
+            _ProtocolError,
+            asyncio.IncompleteReadError,
+            ConnectionError,
+        ):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _record_latency(self, seconds: float) -> None:
+        self.registry.inc("requests", scope="service")
+        if len(self._latencies) < _MAX_RECORDED_LATENCIES:
+            self._latencies.append(seconds)
+
+    # -- routing -------------------------------------------------------
+
+    async def _dispatch(
+        self, method: str, path: str, body: bytes
+    ) -> Tuple[int, Dict[str, Any]]:
+        self.registry.inc(f"http.{method} {path}", scope="service")
+        if path == "/v1/healthz":
+            if method != "GET":
+                return 405, error_payload("MethodNotAllowed", "use GET")
+            return 200, self._healthz_payload()
+        if path == "/v1/metrics":
+            if method != "GET":
+                return 405, error_payload("MethodNotAllowed", "use GET")
+            return 200, self._metrics_payload()
+        if path in ("/v1/schedule", "/v1/batch"):
+            if method != "POST":
+                return 405, error_payload("MethodNotAllowed", "use POST")
+            try:
+                parsed = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                return 400, error_payload(
+                    "BadRequest", "request body is not valid JSON"
+                )
+            if not isinstance(parsed, dict):
+                return 400, error_payload(
+                    "BadRequest", "request body must be a JSON object"
+                )
+            endpoint = path.rsplit("/", 1)[1]
+            return await self._singleflight(endpoint, parsed)
+        return 404, error_payload("NotFound", f"no route for {path}")
+
+    # -- single-flight dispatch ----------------------------------------
+
+    async def _singleflight(
+        self, endpoint: str, body: Dict[str, Any]
+    ) -> Tuple[int, Dict[str, Any]]:
+        """Coalesce concurrent identical requests onto one execution."""
+        key = request_key(endpoint, body)
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.registry.inc("singleflight.follower", scope="service")
+            return await asyncio.shield(existing)
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future" = loop.create_future()
+        self._inflight[key] = future
+        self.registry.inc("singleflight.leader", scope="service")
+        try:
+            status, payload, snapshot = await loop.run_in_executor(
+                self._pool.executor,
+                execute_request,
+                endpoint,
+                body,
+                self.cache_dir,
+            )
+        except BaseException as exc:
+            self._inflight.pop(key, None)
+            if not future.done():
+                future.set_exception(exc)
+                # Mark retrieved so a follower-less failure does not
+                # log "exception was never retrieved"; awaiting
+                # followers still see it raised.
+                future.exception()
+            raise
+        self._inflight.pop(key, None)
+        self.registry.merge(snapshot)
+        result = (status, payload)
+        if not future.done():
+            future.set_result(result)
+        return result
+
+    # -- introspection payloads ----------------------------------------
+
+    def _healthz_payload(self) -> Dict[str, Any]:
+        return {
+            "ok": True,
+            "status": "ok",
+            "uptime_s": round(time.monotonic() - self._started, 6),
+            "requests": self.registry.counter("requests", scope="service"),
+            "workers": {"mode": self._mode, "jobs": self._pool.jobs},
+        }
+
+    def _metrics_payload(self) -> Dict[str, Any]:
+        latencies = list(self._latencies)
+        return {
+            "ok": True,
+            "service": {
+                "requests": self.registry.counter(
+                    "requests", scope="service"
+                ),
+                "inflight": len(self._inflight),
+                "workers": {"mode": self._mode, "jobs": self._pool.jobs},
+                "latency": {
+                    "count": len(latencies),
+                    "mean_s": (
+                        sum(latencies) / len(latencies) if latencies else 0.0
+                    ),
+                    "p50_s": percentile(latencies, 0.50),
+                    "p99_s": percentile(latencies, 0.99),
+                    "max_s": max(latencies) if latencies else 0.0,
+                },
+            },
+            "metrics": self.registry.snapshot(),
+        }
+
+
+async def run_server(
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8753,
+    cache_dir: Optional[str] = None,
+    jobs: Optional[int] = None,
+    mode: str = "process",
+    ready=None,
+) -> None:
+    """Start a service and serve until cancelled (the CLI entry)."""
+    service = SchedulerService(
+        host=host, port=port, cache_dir=cache_dir, jobs=jobs, mode=mode
+    )
+    await service.start()
+    if ready is not None:
+        ready(service)
+    await service.serve_forever()
+
+
+class ServerThread:
+    """A service running on its own event loop in a daemon thread.
+
+    The self-hosting harness used by the loadgen driver, the service
+    bench and the test suite: :meth:`start` returns ``(host, port)``
+    once the socket is bound, :meth:`stop` tears the loop and worker
+    pool down.  ``service`` stays accessible for in-process assertions
+    (metrics counters, single-flight state).
+    """
+
+    def __init__(self, **service_kwargs: Any) -> None:
+        self.service = SchedulerService(**service_kwargs)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def start(self) -> Tuple[str, int]:
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=60):
+            raise RuntimeError("service thread failed to start in time")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"service failed to start: {self._startup_error!r}"
+            )
+        return self.service.host, self.service.port
+
+    def _run(self) -> None:
+        assert self._loop is not None
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.service.start())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.service.aclose())
+            self._loop.close()
+
+    def stop(self) -> None:
+        if self._loop is None or self._thread is None:
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=60)
+        self._loop = None
+        self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,149 @@
+"""Concurrency stress tests of the persistent cache store.
+
+Regression tests for the clear-vs-put races: before the fix, a
+``put()`` racing a ``clear()`` crashed with ``FileNotFoundError`` when
+the generation directory vanished between ``mkdir`` and the temp-file
+creation (or the rename), and a ``clear()`` racing a ``put()`` crashed
+with ``ENOTEMPTY`` when a fan-out directory was re-populated after
+being emptied.  Post-fix, both operations retry/skip and the cache
+degrades to misses, never to exceptions.
+"""
+
+import multiprocessing
+import threading
+import traceback
+
+import pytest
+
+from repro.cache import CacheStore
+
+
+def _writer(root, worker, iterations, failures):
+    try:
+        store = CacheStore(root)
+        for index in range(iterations):
+            key = f"{worker:02d}{index % 23:062d}"
+            store.put(key, {"worker": worker, "index": index})
+            value = store.get(key)
+            # A racing clear may turn the read into a miss; it must
+            # never return someone else's value.
+            if value is not None:
+                assert value["worker"] == worker
+    except BaseException:
+        failures.put(f"writer {worker}:\n{traceback.format_exc()}")
+        raise
+
+
+def _clearer(root, iterations, failures):
+    try:
+        store = CacheStore(root)
+        # Make sure the tag exists even if we win the initial race
+        # (key disjoint from every writer's "NNxxx..." key space).
+        store.put("e" * 64, "tag-seed")
+        for _ in range(iterations):
+            store.clear()
+    except BaseException:
+        failures.put(f"clearer:\n{traceback.format_exc()}")
+        raise
+
+
+@pytest.mark.parametrize("writers", [3])
+def test_multiprocess_put_get_clear_stress(tmp_path, writers):
+    """Concurrent writer processes and a clear storm never crash."""
+    root = str(tmp_path / "cache")
+    context = multiprocessing.get_context()
+    failures = context.Queue()
+    processes = [
+        context.Process(
+            target=_writer, args=(root, worker, 150, failures)
+        )
+        for worker in range(writers)
+    ]
+    processes.append(
+        context.Process(target=_clearer, args=(root, 80, failures))
+    )
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join(timeout=120)
+    messages = []
+    while not failures.empty():
+        messages.append(failures.get())
+    assert not messages, "\n".join(messages)
+    assert all(process.exitcode == 0 for process in processes), [
+        process.exitcode for process in processes
+    ]
+    # The store still works after the storm.
+    store = CacheStore(root)
+    store.put("f" * 64, "after-the-storm")
+    assert store.get("f" * 64) == "after-the-storm"
+
+
+def test_threaded_clear_vs_put_race(tmp_path):
+    """In-process interleaving of put/clear: no exceptions, and the
+    store remains readable."""
+    root = str(tmp_path / "cache")
+    store = CacheStore(root)
+    store.put("a" * 64, "seed")
+    errors = []
+    stop = threading.Event()
+
+    def put_loop():
+        try:
+            index = 0
+            while not stop.is_set():
+                store.put(f"{index % 31:064d}", index)
+                index += 1
+        except BaseException:
+            errors.append(traceback.format_exc())
+
+    def clear_loop():
+        try:
+            for _ in range(200):
+                store.clear()
+        except BaseException:
+            errors.append(traceback.format_exc())
+
+    writers = [threading.Thread(target=put_loop) for _ in range(3)]
+    clearer = threading.Thread(target=clear_loop)
+    for thread in writers:
+        thread.start()
+    clearer.start()
+    clearer.join(timeout=120)
+    stop.set()
+    for thread in writers:
+        thread.join(timeout=120)
+    assert not errors, "\n".join(errors)
+    store.put("b" * 64, "alive")
+    assert store.get("b" * 64) == "alive"
+
+
+def test_corrupt_entry_cleanup_leaves_concurrent_rewrite(tmp_path):
+    """The corrupt-entry cleanup only removes the bytes it failed to
+    read: a fresh entry atomically renamed over the corrupt one
+    between open and cleanup must survive."""
+    store = CacheStore(str(tmp_path / "cache"))
+    key = "c" * 64
+    store.put(key, "good")
+    path = store._path(key)
+    path.write_bytes(b"corrupt")
+
+    import os
+    import pickle
+
+    original_stat = os.stat
+
+    def stat_with_rewrite(target, *args, **kwargs):
+        # Simulate a concurrent put landing between the failed read
+        # and the cleanup's inode check.
+        if str(target) == str(path):
+            tmp = path.with_suffix(".new")
+            tmp.write_bytes(pickle.dumps("fresh"))
+            os.replace(tmp, path)
+        return original_stat(target, *args, **kwargs)
+
+    import unittest.mock
+
+    with unittest.mock.patch("os.stat", side_effect=stat_with_rewrite):
+        assert store.get(key) is None  # the corrupt read is a miss
+    assert store.get(key) == "fresh"  # the concurrent rewrite survived

@@ -1,0 +1,136 @@
+"""Request-scoped metrics: isolation, rollup, and the no-op fast path.
+
+Regression tests for the service concurrency bug: with only one
+process-global registry, two requests whose pipeline stages interleave
+in one process attribute time to each other.  ``request_scope``
+installs a per-context registry (a ContextVar, so it follows threads
+and asyncio tasks) and merges into the global rollup on exit.
+"""
+
+import asyncio
+import threading
+
+from repro.obs import metrics
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    metrics_active,
+    recording_registry,
+    request_scope,
+    set_metrics_active,
+)
+
+
+def test_scope_records_without_global_flag():
+    assert not metrics_active()
+    with request_scope() as registry:
+        assert metrics_active()
+        assert recording_registry() is registry
+        metrics.inc("cache.hit", scope="cache")
+        with metrics.time_stage("schedule", scope="pipeline.cds"):
+            pass
+    assert not metrics_active()
+    assert registry.counter("cache.hit", scope="cache") == 1
+    assert registry.timers["pipeline.cds/schedule"]["count"] == 1
+    # Nothing leaked into the global registry (collection was off).
+    assert get_registry().counter("cache.hit", scope="cache") == 0
+
+
+def test_concurrent_thread_scopes_are_disjoint():
+    """Interleaved requests in one process record into their own
+    registries — the bug the global registry had."""
+    results = {}
+    barrier = threading.Barrier(2)
+
+    def request(name, repeats):
+        with request_scope() as registry:
+            barrier.wait()
+            for _ in range(repeats):
+                metrics.inc("work", scope=name)
+            results[name] = registry.snapshot()
+
+    first = threading.Thread(target=request, args=("req-a", 7))
+    second = threading.Thread(target=request, args=("req-b", 3))
+    first.start()
+    second.start()
+    first.join()
+    second.join()
+    assert results["req-a"]["counters"] == {"req-a/work": 7}
+    assert results["req-b"]["counters"] == {"req-b/work": 3}
+
+
+def test_concurrent_asyncio_scopes_are_disjoint():
+    async def request(name, repeats):
+        with request_scope() as registry:
+            for _ in range(repeats):
+                metrics.inc("work", scope=name)
+                await asyncio.sleep(0)
+            return registry.snapshot()
+
+    async def drive():
+        return await asyncio.gather(request("task-a", 5), request("task-b", 2))
+
+    snapshots = asyncio.run(drive())
+    assert snapshots[0]["counters"] == {"task-a/work": 5}
+    assert snapshots[1]["counters"] == {"task-b/work": 2}
+
+
+def test_scope_merges_into_active_global():
+    registry = get_registry()
+    registry.reset()
+    previous = set_metrics_active(True)
+    try:
+        with request_scope():
+            metrics.inc("merged", 4, scope="test")
+        assert registry.counter("merged", scope="test") == 4
+        with request_scope(merge_into_global=False):
+            metrics.inc("merged", 1, scope="test")
+        assert registry.counter("merged", scope="test") == 4
+    finally:
+        set_metrics_active(previous)
+        registry.reset()
+
+
+def test_nested_scope_shadows_outer():
+    with request_scope() as outer:
+        metrics.inc("n", scope="outer")
+        with request_scope() as inner:
+            metrics.inc("n", scope="inner")
+        metrics.inc("n", scope="outer")
+    assert outer.counters == {"outer/n": 2}
+    assert inner.counters == {"inner/n": 1}
+
+
+def test_noop_path_without_scope_or_flag():
+    assert not metrics_active()
+    assert recording_registry() is None
+    # The disabled fast path hands back a shared no-op timer.
+    first = metrics.time_stage("x")
+    second = metrics.time_stage("y", scope="z")
+    assert first is second
+    metrics.inc("ignored")  # must not raise or record
+    assert get_registry().counter("ignored") == 0
+
+
+def test_registry_is_thread_safe_as_merge_target():
+    """Many threads merging and recording into one registry (the
+    service's global rollup) do not lose samples."""
+    target = MetricsRegistry()
+    source = MetricsRegistry()
+    source.inc("count", 1, scope="s")
+    source.observe("stage", 0.001, scope="s")
+    snapshot = source.snapshot()
+
+    def hammer():
+        for _ in range(200):
+            target.merge(snapshot)
+            target.inc("direct")
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert target.counter("count", scope="s") == 8 * 200
+    assert target.counter("direct") == 8 * 200
+    assert target.timers["s/stage"]["count"] == 8 * 200

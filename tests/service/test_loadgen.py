@@ -1,0 +1,83 @@
+"""Tests of the zipf-skewed load generator and its smoke gate."""
+
+import collections
+import tempfile
+
+from repro.service.loadgen import (
+    build_corpus,
+    check_loadgen,
+    render_loadgen,
+    run_loadgen,
+    zipf_indices,
+)
+
+
+def test_zipf_indices_deterministic_and_in_range():
+    first = zipf_indices(500, 16, skew=1.1, seed=7)
+    second = zipf_indices(500, 16, skew=1.1, seed=7)
+    assert first == second
+    assert all(0 <= index < 16 for index in first)
+    assert zipf_indices(500, 16, skew=1.1, seed=8) != first
+
+
+def test_zipf_indices_are_skewed():
+    counts = collections.Counter(zipf_indices(5000, 16, skew=1.2, seed=0))
+    # Rank 0 must dominate the tail by a wide margin, and the head
+    # must not be the whole distribution.
+    assert counts[0] > 3 * counts[15]
+    assert counts[0] < 5000
+    assert len(counts) == 16
+
+
+def test_build_corpus_deterministic_and_distinct():
+    first = build_corpus(4, seed=3)
+    second = build_corpus(4, seed=3)
+    assert first == second
+    names = [body["workload"]["name"] for body in first]
+    assert len(set(names)) == 4
+    for body in first:
+        assert body["trace"] is False
+        assert body["scheduler"] == "cds"
+
+
+def test_loadgen_self_host_smoke():
+    """A small self-hosted campaign: zero errors, every request
+    completed, and a cache hit-rate past the smoke gate."""
+    with tempfile.TemporaryDirectory() as cache_dir:
+        payload = run_loadgen(
+            clients=30,
+            requests_per_client=3,
+            distinct=6,
+            seed=1,
+            cache_dir=cache_dir,
+            jobs=4,
+            mode="thread",
+        )
+    assert payload["errors"] == 0, payload["error_samples"]
+    assert payload["completed"] == payload["requests"] == 90
+    assert payload["healthz_ok"] is True
+    assert payload["hit_rate"] > 0.5
+    assert payload["cache"]["hits"] >= 1
+    assert payload["cache"]["misses"] == payload["cache"]["puts"] == 6
+    assert payload["latency"]["count"] == 90
+    assert payload["latency"]["p99_s"] >= payload["latency"]["p50_s"] > 0
+    assert payload["throughput_rps"] > 0
+    assert check_loadgen(payload) == []
+    assert "0 error(s)" in render_loadgen(payload)
+
+
+def test_check_loadgen_findings():
+    bad = {
+        "healthz_ok": False,
+        "errors": 2,
+        "error_samples": ["status 500: x"],
+        "completed": 80,
+        "requests": 90,
+        "hit_rate": 0.2,
+        "cache": {"hits": 0},
+    }
+    findings = check_loadgen(bad)
+    assert len(findings) == 5
+    assert any("healthz" in finding for finding in findings)
+    assert any("hit_rate" in finding for finding in findings)
+    assert any("cached replay" in finding for finding in findings)
