@@ -3,9 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint analyze ruff mypy bench bench-quick trace-demo fuzz fuzz-quick batch-check cache-smoke serve-smoke
+.PHONY: check test lint analyze ruff mypy bench bench-quick trace-demo fuzz fuzz-quick batch-check gap-check cache-smoke serve-smoke
 
-check: test ruff mypy lint analyze fuzz-quick batch-check cache-smoke serve-smoke
+check: test ruff mypy lint analyze fuzz-quick batch-check gap-check cache-smoke serve-smoke
 
 # Scheduler-service smoke: boot `repro serve` as a real subprocess,
 # fire a concurrent zipf-skewed loadgen burst at it, and gate on
@@ -77,6 +77,19 @@ batch-check:
 	$(PYTHON) -m repro.cli fuzz --seeds 10000 --quick --jobs 0 \
 		--no-functional --oracle batchcompile \
 		--failures-dir fuzz-batch-failures
+
+# Greedy-vs-exact optimality gate: a budgeted 500-seed exactgap
+# campaign (every case scheduled by both the greedy CDS and the exact
+# branch-and-bound solver; exact must never lose and feasibility
+# verdicts must match byte-for-byte), then the gap table over the
+# paper experiments, the pinned corpus and a seeded sweep.  The JSON
+# table (gap-table.json) is a CI artifact; failures shrink into
+# fuzz-gap-failures/.
+gap-check:
+	$(PYTHON) -m repro.cli fuzz --seeds 500 --quick --jobs 0 \
+		--no-functional --oracle exactgap \
+		--failures-dir fuzz-gap-failures
+	$(PYTHON) -m repro.cli gap --seeds 25 --output gap-table.json
 
 # Full pipeline benchmark; refreshes the committed baseline.  The
 # speedup column diffs against the recorded BENCH_baseline.json

@@ -1,0 +1,304 @@
+"""The greedy-vs-exact optimality gap table (``repro gap``).
+
+The paper's Table 1 reports what the greedy Complete Data Scheduler
+achieves; this driver reports what it *leaves on the table*.  Every
+workload — the Table-1 experiments, the pinned reproducers under
+``tests/corpus/``, and optionally a sweep of seeded random workloads —
+is scheduled by both the greedy CDS and the exact branch-and-bound
+solver (:mod:`repro.schedule.exact`), and the row records the traffic
+words each moves, the gap between them, and whether the exact search
+ran to completion within its budget.
+
+A row is **sound** when the two schedulers agree on feasibility (with
+byte-identical infeasibility payloads up to the scheduler-name prefix)
+and exact traffic does not exceed greedy traffic.  An unsound row is a
+bug in one of the schedulers — the driver exits non-zero on it, and
+the ``exactgap`` fuzz oracle continuously sweeps the same assertion.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.params import Architecture
+from repro.core.application import Application
+from repro.core.cluster import Clustering
+from repro.core.dataflow import analyze_dataflow
+from repro.errors import InfeasibleScheduleError
+from repro.schedule.complete import CompleteDataScheduler
+from repro.schedule.exact import DEFAULT_MAX_NODES, ExactDataScheduler
+from repro.units import SizeLike, parse_size
+from repro.workloads.random_gen import random_application
+from repro.workloads.spec import ExperimentSpec, paper_experiments
+
+__all__ = ["GapRow", "build_gap_table", "render_gap_table", "gap_table_json"]
+
+
+@dataclass(frozen=True)
+class GapRow:
+    """Greedy vs exact on one workload."""
+
+    name: str
+    source: str  # "paper" | "corpus" | "seed"
+    feasible: bool
+    sound: bool
+    unsound_reason: str
+    greedy_rf: int
+    exact_rf: int
+    greedy_keeps: int
+    exact_keeps: int
+    greedy_traffic_words: int
+    exact_traffic_words: int
+    nodes: int
+    complete: bool
+    infeasible_reason: str = ""
+
+    @property
+    def gap_words(self) -> int:
+        return self.greedy_traffic_words - self.exact_traffic_words
+
+    @property
+    def gap_pct(self) -> float:
+        if self.greedy_traffic_words == 0:
+            return 0.0
+        return 100.0 * self.gap_words / self.greedy_traffic_words
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "source": self.source,
+            "feasible": self.feasible,
+            "sound": self.sound,
+            "unsound_reason": self.unsound_reason,
+            "greedy_rf": self.greedy_rf,
+            "exact_rf": self.exact_rf,
+            "greedy_keeps": self.greedy_keeps,
+            "exact_keeps": self.exact_keeps,
+            "greedy_traffic_words": self.greedy_traffic_words,
+            "exact_traffic_words": self.exact_traffic_words,
+            "gap_words": self.gap_words,
+            "gap_pct": round(self.gap_pct, 3),
+            "nodes": self.nodes,
+            "complete": self.complete,
+            "infeasible_reason": self.infeasible_reason,
+        }
+
+
+def _strip_prefix(message: str, scheduler: str) -> str:
+    prefix = f"{scheduler}: "
+    return message[len(prefix):] if message.startswith(prefix) else message
+
+
+def gap_for_workload(
+    application: Application,
+    clustering: Clustering,
+    architecture: Architecture,
+    *,
+    name: str,
+    source: str,
+    max_nodes: int = DEFAULT_MAX_NODES,
+    budget_ms: Optional[float] = None,
+) -> GapRow:
+    """Schedule one workload with greedy CDS and the exact solver."""
+    dataflow = analyze_dataflow(application, clustering)
+    greedy = CompleteDataScheduler(architecture)
+    exact = ExactDataScheduler(
+        architecture, max_nodes=max_nodes, budget_ms=budget_ms
+    )
+
+    def attempt(scheduler):
+        try:
+            return (
+                scheduler.schedule(
+                    application, clustering, dataflow=dataflow
+                ),
+                None,
+            )
+        except InfeasibleScheduleError as exc:
+            return None, exc
+
+    greedy_schedule, greedy_error = attempt(greedy)
+    exact_schedule, exact_error = attempt(exact)
+
+    if greedy_schedule is None or exact_schedule is None:
+        sound = (greedy_schedule is None) == (exact_schedule is None)
+        reason = "" if sound else "feasibility verdicts diverge"
+        if sound:
+            got = (
+                _strip_prefix(str(exact_error), "exact"),
+                exact_error.cluster, exact_error.required,
+                exact_error.available,
+            )
+            want = (
+                _strip_prefix(str(greedy_error), "cds"),
+                greedy_error.cluster, greedy_error.required,
+                greedy_error.available,
+            )
+            if got != want:
+                sound = False
+                reason = "infeasibility payloads diverge"
+        return GapRow(
+            name=name, source=source, feasible=False, sound=sound,
+            unsound_reason=reason,
+            greedy_rf=0, exact_rf=0, greedy_keeps=0, exact_keeps=0,
+            greedy_traffic_words=0, exact_traffic_words=0,
+            nodes=0, complete=True,
+            infeasible_reason=str(greedy_error or exact_error),
+        )
+
+    greedy_summary = greedy_schedule.summary()
+    exact_summary = exact_schedule.summary()
+    greedy_total = (
+        greedy_summary.total_data_words + greedy_summary.total_context_words
+    )
+    exact_total = (
+        exact_summary.total_data_words + exact_summary.total_context_words
+    )
+    solution = exact.last_solution
+    sound = True
+    reason = ""
+    if exact_total > greedy_total:
+        sound = False
+        reason = (
+            f"greedy beats exact by {exact_total - greedy_total} words"
+        )
+    elif solution.traffic_words != exact_total:
+        sound = False
+        reason = (
+            f"traffic model ({solution.traffic_words}) diverges from "
+            f"the materialised schedule ({exact_total})"
+        )
+    elif solution.greedy_traffic_words != greedy_total:
+        sound = False
+        reason = (
+            f"greedy mirror ({solution.greedy_traffic_words}) diverges "
+            f"from the CDS schedule ({greedy_total})"
+        )
+    return GapRow(
+        name=name, source=source, feasible=True, sound=sound,
+        unsound_reason=reason,
+        greedy_rf=greedy_schedule.rf, exact_rf=exact_schedule.rf,
+        greedy_keeps=len(greedy_schedule.keeps),
+        exact_keeps=len(exact_schedule.keeps),
+        greedy_traffic_words=greedy_total,
+        exact_traffic_words=exact_total,
+        nodes=solution.nodes, complete=solution.complete,
+    )
+
+
+def _corpus_workloads(corpus_dir: str) -> List[Tuple[str, object]]:
+    from repro.fuzz.case import FuzzCase
+
+    entries = []
+    directory = Path(corpus_dir)
+    if not directory.is_dir():
+        return entries
+    for path in sorted(directory.glob("*.json")):
+        entries.append((path.stem, FuzzCase.load(path)))
+    return entries
+
+
+def build_gap_table(
+    specs: Optional[Sequence[ExperimentSpec]] = None,
+    *,
+    seeds: int = 0,
+    fb: SizeLike = "4K",
+    iterations: int = 6,
+    corpus_dir: Optional[str] = "tests/corpus",
+    max_nodes: int = DEFAULT_MAX_NODES,
+    budget_ms: Optional[float] = None,
+) -> List[GapRow]:
+    """Gap rows for the paper experiments, the pinned corpus, and an
+    optional sweep of seeded random workloads."""
+    rows: List[GapRow] = []
+    for spec in (specs if specs is not None else paper_experiments()):
+        application, clustering = spec.build()
+        rows.append(gap_for_workload(
+            application, clustering, Architecture.m1(spec.fb_words),
+            name=spec.id, source="paper",
+            max_nodes=max_nodes, budget_ms=budget_ms,
+        ))
+    if corpus_dir:
+        for stem, case in _corpus_workloads(corpus_dir):
+            application, clustering = case.build()
+            rows.append(gap_for_workload(
+                application, clustering, case.architecture(),
+                name=stem, source="corpus",
+                max_nodes=max_nodes, budget_ms=budget_ms,
+            ))
+    fb_words = parse_size(fb)
+    architecture = Architecture.m1(fb_words)
+    for seed in range(seeds):
+        application, clustering = random_application(
+            seed, iterations=iterations
+        )
+        rows.append(gap_for_workload(
+            application, clustering, architecture,
+            name=f"seed-{seed}", source="seed",
+            max_nodes=max_nodes, budget_ms=budget_ms,
+        ))
+    return rows
+
+
+def render_gap_table(rows: Sequence[GapRow]) -> str:
+    """Fixed-width table alongside Table 1's conventions."""
+    header = (
+        f"{'workload':<28} {'src':<6} {'RFg':>4} {'RFx':>4} "
+        f"{'Kg':>3} {'Kx':>3} {'greedy':>10} {'exact':>10} "
+        f"{'gap':>8} {'gap%':>7}  status"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        if not row.feasible:
+            status = "infeasible" if row.sound else (
+                f"UNSOUND: {row.unsound_reason}"
+            )
+            lines.append(
+                f"{row.name:<28} {row.source:<6} {'-':>4} {'-':>4} "
+                f"{'-':>3} {'-':>3} {'-':>10} {'-':>10} {'-':>8} "
+                f"{'-':>7}  {status}"
+            )
+            continue
+        if not row.sound:
+            status = f"UNSOUND: {row.unsound_reason}"
+        elif not row.complete:
+            status = f"budget ({row.nodes} nodes)"
+        elif row.gap_words:
+            status = "greedy suboptimal"
+        else:
+            status = "optimal"
+        lines.append(
+            f"{row.name:<28} {row.source:<6} {row.greedy_rf:>4} "
+            f"{row.exact_rf:>4} {row.greedy_keeps:>3} {row.exact_keeps:>3} "
+            f"{row.greedy_traffic_words:>10} {row.exact_traffic_words:>10} "
+            f"{row.gap_words:>8} {row.gap_pct:>6.2f}%  {status}"
+        )
+    feasible = [row for row in rows if row.feasible]
+    with_gap = [row for row in feasible if row.gap_words > 0]
+    unsound = [row for row in rows if not row.sound]
+    lines.append("")
+    lines.append(
+        f"{len(rows)} workloads: {len(feasible)} feasible, "
+        f"{len(with_gap)} with a greedy optimality gap, "
+        f"{len(unsound)} unsound"
+    )
+    return "\n".join(lines)
+
+
+def gap_table_json(rows: Sequence[GapRow]) -> str:
+    """The JSON artifact ``make gap-check`` publishes."""
+    feasible = [row for row in rows if row.feasible]
+    payload = {
+        "rows": [row.to_dict() for row in rows],
+        "summary": {
+            "workloads": len(rows),
+            "feasible": len(feasible),
+            "with_gap": sum(1 for row in feasible if row.gap_words > 0),
+            "unsound": sum(1 for row in rows if not row.sound),
+            "total_gap_words": sum(row.gap_words for row in feasible),
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -26,6 +26,11 @@ Commands:
 * ``fuzz``    — differential fuzzing: adversarial workload regimes
   cross-checked by the oracle stack, failures shrunk to minimal
   reproducers (exit 1 on any violation);
+* ``gap``     — greedy-vs-exact optimality gap table: every workload
+  scheduled by both the greedy CDS and the exact branch-and-bound
+  solver, reporting the traffic words each moves (exit 1 on any
+  unsound row — a case where greedy "beats" exact or the schedulers
+  disagree on feasibility);
 * ``cache``   — inspect (``stats``) or wipe (``clear``) the persistent
   cross-run pipeline cache used by ``--cache-dir``;
 * ``serve``   — run the scheduler service: an asyncio HTTP/JSON server
@@ -484,6 +489,37 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_gap(args) -> int:
+    from repro.analysis.gap import (
+        build_gap_table, gap_table_json, render_gap_table,
+    )
+    from repro.schedule.exact import DEFAULT_MAX_NODES
+
+    specs = None
+    if args.experiment:
+        specs = [_find_spec(name) for name in args.experiment]
+    rows = build_gap_table(
+        specs,
+        seeds=args.seeds,
+        fb=args.fb,
+        iterations=args.iterations,
+        corpus_dir=None if args.no_corpus else args.corpus_dir,
+        max_nodes=(DEFAULT_MAX_NODES if args.max_nodes is None
+                   else args.max_nodes),
+        budget_ms=args.budget_ms,
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(gap_table_json(rows))
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.json:
+        print(gap_table_json(rows))
+    else:
+        print(render_gap_table(rows))
+    return 1 if any(not row.sound for row in rows) else 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -773,6 +809,38 @@ def build_parser() -> argparse.ArgumentParser:
                            "the full stack) — e.g. --oracle batchcompile "
                            "for a wide batch-vs-reference compile sweep")
     fuzz.set_defaults(func=_cmd_fuzz)
+    gap = sub.add_parser(
+        "gap",
+        help="greedy-vs-exact optimality gap table",
+    )
+    gap.add_argument("experiment", nargs="*", metavar="EXP",
+                     help="restrict to these Table-1 experiments "
+                          "(default: all twelve rows)")
+    gap.add_argument("--seeds", type=int, default=0,
+                     help="also sweep N seeded random workloads "
+                          "(default 0)")
+    gap.add_argument("--fb", default="4K", metavar="SIZE",
+                     help="frame-buffer set size for the seeded sweep "
+                          "(default 4K)")
+    gap.add_argument("--iterations", type=int, default=6,
+                     help="loop iterations for the seeded sweep "
+                          "(default 6)")
+    gap.add_argument("--corpus-dir", default="tests/corpus", metavar="DIR",
+                     help="pinned-reproducer corpus to include "
+                          "(default tests/corpus)")
+    gap.add_argument("--no-corpus", action="store_true",
+                     help="skip the pinned corpus workloads")
+    gap.add_argument("--max-nodes", type=int, default=None,
+                     help="branch-and-bound node budget (deterministic; "
+                          "default 200000)")
+    gap.add_argument("--budget-ms", type=float, default=None,
+                     help="wall-clock budget per workload in ms "
+                          "(anytime: still never worse than greedy)")
+    gap.add_argument("--json", action="store_true",
+                     help="print the JSON artifact instead of the table")
+    gap.add_argument("--output", metavar="FILE", default=None,
+                     help="also write the JSON artifact to FILE")
+    gap.set_defaults(func=_cmd_gap)
     cache = sub.add_parser(
         "cache", help="inspect or clear the persistent pipeline cache"
     )

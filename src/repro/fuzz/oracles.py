@@ -28,6 +28,16 @@ which compares two independent computations of the same fact:
     same RF, keeps, cluster plans — and identical
     infeasibility payloads as the per-case reference scheduler, for
     all three schedulers.
+``exactgap``
+    The branch-and-bound exact retention/RF solver
+    (:mod:`repro.schedule.exact`) agrees with the greedy CDS on
+    feasibility — identical :class:`InfeasibleScheduleError` payloads
+    up to the scheduler-name prefix — and, on feasible cases, never
+    moves more words than greedy; the solver's closed-form traffic
+    model must reproduce the materialised ``TransferSummary`` totals
+    of both solutions and its internal greedy mirror must replay the
+    CDS decision byte for byte.  Any case where greedy "beats" exact
+    is by construction a bug in one of them.
 ``freelist``
     Every free-list operation of the Figure-4 allocator produces
     identical results and identical free-block state on the production
@@ -93,6 +103,7 @@ ORACLE_NAMES: Tuple[str, ...] = (
     "engine",
     "trace",
     "batchcompile",
+    "exactgap",
     "freelist",
     "verifier",
     "hazards",
@@ -358,6 +369,10 @@ def _run_oracles_uncached(
         failures.extend(_check_batchcompile(
             case, runs, architecture, application, clustering, dataflow,
         ))
+    if "exactgap" in enabled:
+        failures.extend(_check_exactgap(
+            case, runs, architecture, application, clustering, dataflow,
+        ))
     if "freelist" in enabled:
         failures.extend(_check_freelist(case, runs, architecture))
     if "verifier" in enabled:
@@ -579,6 +594,122 @@ def _check_batchcompile(case, runs, architecture, application, clustering,
                 f"{len(reference.schedule.keeps)})",
                 scheduler=name,
             ))
+    return failures
+
+
+def _strip_scheduler_prefix(message: str, scheduler: str) -> str:
+    """Drop the ``"<scheduler>: "`` prefix the base scheduler puts on
+    its capacity diagnostics, so payloads of different schedulers on
+    the same infeasible case compare on substance."""
+    prefix = f"{scheduler}: "
+    if message.startswith(prefix):
+        return message[len(prefix):]
+    return message
+
+
+def _check_exactgap(case, runs, architecture, application, clustering,
+                    dataflow) -> List[OracleFailure]:
+    """Greedy must never beat the exact solver, and both sides of the
+    comparison must be telling the truth.
+
+    Four assertions on top of the shared CDS run:
+
+    * feasibility verdicts agree, with identical error payloads
+      (message up to the scheduler-name prefix, cluster, word counts);
+    * exact total traffic (data + context) <= greedy total traffic;
+    * the solver's closed-form model equals the materialised
+      ``TransferSummary`` totals of **both** solutions — a model error
+      would otherwise let a wrong "optimum" hide behind a wrong bound;
+    * the solver's internal greedy seed replays the CDS decision
+      (same RF, same keeps in the same order) byte for byte.
+    """
+    from repro.schedule.exact import ExactDataScheduler
+
+    failures = []
+    cds = runs["cds"]
+    scheduler = ExactDataScheduler(architecture)
+    try:
+        schedule = scheduler.schedule(
+            application, clustering, dataflow=dataflow
+        )
+        error = None
+    except InfeasibleScheduleError as exc:
+        schedule, error = None, exc
+
+    if (schedule is None) != (cds.schedule is None):
+        failures.append(OracleFailure(
+            "exactgap", case.name,
+            f"feasibility verdict flips under the exact solver: "
+            f"cds {'feasible' if cds.feasible else 'infeasible'} but "
+            f"exact {'feasible' if schedule is not None else 'infeasible'} "
+            f"({error or cds.error})",
+            scheduler="exact",
+        ))
+        return failures
+    if schedule is None:
+        got, want = error, cds.error
+        if (
+            _strip_scheduler_prefix(str(got), "exact"),
+            got.cluster, got.required, got.available,
+        ) != (
+            _strip_scheduler_prefix(str(want), "cds"),
+            want.cluster, want.required, want.available,
+        ):
+            failures.append(OracleFailure(
+                "exactgap", case.name,
+                f"infeasibility payload diverges from the reference "
+                f"scheduler: {got!r} vs {want!r}",
+                scheduler="exact",
+            ))
+        return failures
+
+    solution = scheduler.last_solution
+    exact_summary = schedule.summary()
+    greedy_summary = cds.schedule.summary()
+    exact_total = (
+        exact_summary.total_data_words + exact_summary.total_context_words
+    )
+    greedy_total = (
+        greedy_summary.total_data_words + greedy_summary.total_context_words
+    )
+    if exact_total > greedy_total:
+        failures.append(OracleFailure(
+            "exactgap", case.name,
+            f"greedy beats the exact solver: cds moves {greedy_total} "
+            f"words but exact moves {exact_total} "
+            f"(rf {cds.schedule.rf} vs {schedule.rf}, keeps "
+            f"{len(cds.schedule.keeps)} vs {len(schedule.keeps)}) — "
+            f"a bug in one of them",
+            scheduler="exact",
+        ))
+    if solution.traffic_words != exact_total:
+        failures.append(OracleFailure(
+            "exactgap", case.name,
+            f"traffic model diverges from the materialised exact "
+            f"schedule: model {solution.traffic_words} vs summary "
+            f"{exact_total}",
+            scheduler="exact",
+        ))
+    if solution.greedy_traffic_words != greedy_total:
+        failures.append(OracleFailure(
+            "exactgap", case.name,
+            f"traffic model diverges from the materialised cds "
+            f"schedule: model {solution.greedy_traffic_words} vs "
+            f"summary {greedy_total}",
+            scheduler="exact",
+        ))
+    if (
+        solution.greedy_rf != cds.schedule.rf
+        or solution.greedy_keeps != cds.schedule.keeps
+    ):
+        failures.append(OracleFailure(
+            "exactgap", case.name,
+            f"the solver's greedy mirror diverges from the CDS "
+            f"decision: rf {solution.greedy_rf} vs {cds.schedule.rf}, "
+            f"keeps {len(solution.greedy_keeps)} vs "
+            f"{len(cds.schedule.keeps)}",
+            scheduler="exact",
+        ))
     return failures
 
 

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.analysis.parallel import parallel_map
 from repro.fuzz.case import FuzzCase
 from repro.fuzz.generator import generate_case, regime_names
-from repro.fuzz.oracles import OracleFailure, run_oracles
+from repro.fuzz.oracles import ORACLE_NAMES, OracleFailure, run_oracles
 from repro.fuzz.shrink import shrink_case
 from repro.obs import metrics
 from repro.workloads.spec import paper_experiments
@@ -163,6 +163,15 @@ def run_fuzz(
     if unknown:
         raise ValueError(f"unknown regimes: {sorted(unknown)}")
     oracle_subset = tuple(oracles) if oracles is not None else None
+    if oracle_subset is not None:
+        # Validate here, before any worker spawns: a bad name would
+        # otherwise surface as one KeyError traceback per worker.
+        unknown_oracles = set(oracle_subset) - set(ORACLE_NAMES)
+        if unknown_oracles:
+            raise ValueError(
+                f"unknown oracles: {sorted(unknown_oracles)}; known: "
+                f"{', '.join(ORACLE_NAMES)}"
+            )
     tasks = _task_matrix(
         list(seeds), chosen, quick, functional, cache_dir, oracle_subset
     )

@@ -1,0 +1,35 @@
+"""Exact retention/RF solver: the optimality oracle for the greedy CDS.
+
+The paper's Complete Data Scheduler makes two greedy choices — the
+common reuse factor is maximised first, then retention candidates are
+accepted in TF order.  This package solves the same decision space
+exactly (branch-and-bound over retention subsets at every feasible RF,
+minimising total traffic words) and exposes it three ways:
+
+* :class:`ExactDataScheduler` — a drop-in scheduler producing the
+  optimal schedule (``repro gap`` publishes greedy-vs-exact tables);
+* :class:`ExactRetentionSolver` / :class:`ExactSolution` — the raw
+  solver for drivers that want the greedy mirror and node counts;
+* :class:`TrafficModel` — the closed-form traffic evaluation shared by
+  the solver's bound and the ``exactgap`` fuzz oracle's cross-checks.
+
+Any case where greedy "beats" the exact solver is by construction a
+bug in one of them; the ``exactgap`` oracle in :mod:`repro.fuzz` turns
+that into a continuously-fuzzed assertion.
+"""
+
+from repro.schedule.exact.scheduler import ExactDataScheduler
+from repro.schedule.exact.solver import (
+    DEFAULT_MAX_NODES,
+    ExactRetentionSolver,
+    ExactSolution,
+)
+from repro.schedule.exact.traffic import TrafficModel
+
+__all__ = [
+    "DEFAULT_MAX_NODES",
+    "ExactDataScheduler",
+    "ExactRetentionSolver",
+    "ExactSolution",
+    "TrafficModel",
+]

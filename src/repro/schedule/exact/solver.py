@@ -1,0 +1,329 @@
+"""Branch-and-bound over retention subsets: the exact counterpart of
+the Complete Data Scheduler's greedy TF acceptance.
+
+The search space is ``(RF, keep subset)``.  Three structural facts make
+it tractable:
+
+* **Feasibility is anti-monotone in the keep set.**  Keeping an object
+  charges it as resident for its whole span, which is at least its
+  unkept live contribution in every affected cluster, so adding a keep
+  never lowers any cluster's ``DS(C_c)``.  A keep set that overflows a
+  frame-buffer set stays overflowed in every superset — the include
+  branch can be cut the moment one affected cluster stops fitting.
+* **Traffic is affine in the keep set**
+  (:class:`~repro.schedule.exact.traffic.TrafficModel`), so the best
+  possible outcome below a node is ``base - taken - suffix`` with a
+  precomputed suffix sum — a one-subtraction bound.
+* **Occupancy splits into resident + memoised sweep peak** (the same
+  decomposition the incremental :class:`OccupancyEngine` uses), so a
+  feasibility trial costs one dict lookup per affected cluster.  The
+  solver keeps its own resident/local mirrors on an undo stack —
+  ``try_keep`` commits irrevocably, which greedy never needs to undo
+  but a backtracking search does — and serves every sweep peak from
+  the engine's shared memo.
+
+The incumbent is seeded with the greedy solution (max RF, TF-ordered
+acceptance — byte-identical to the Complete Data Scheduler's choice),
+so even a budget-truncated search returns a solution at least as good
+as greedy: ``exact_traffic <= greedy_traffic`` holds unconditionally,
+which is what makes the ``exactgap`` oracle sound under any budget.
+
+Two anytime budgets exist because they serve different masters:
+``max_nodes`` is deterministic (same case, same verdict, on any
+machine — the fuzz oracle and CI use it) while ``budget_ms`` is
+wall-clock (the ``repro gap --budget-ms`` sweep uses it on top).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.dataflow import DataflowInfo
+from repro.core.metrics import KeepDecision, total_data_size
+from repro.schedule.exact.traffic import TrafficModel
+from repro.schedule.occupancy import OccupancyEngine
+from repro.schedule.tf import (
+    candidate_id,
+    rank_by_time_factor,
+    retention_candidates,
+)
+
+__all__ = ["ExactSolution", "ExactRetentionSolver", "DEFAULT_MAX_NODES"]
+
+#: Deterministic node budget: far above what generated workloads need
+#: (their candidate lists are short), low enough that an adversarial
+#: corpus case cannot stall a fuzz campaign.
+DEFAULT_MAX_NODES = 200_000
+
+#: Wall-clock budget polling stride (monotonic clock reads are cheap
+#: but not free; the bound check dominates anyway).
+_CLOCK_STRIDE = 256
+
+
+@dataclass(frozen=True)
+class ExactSolution:
+    """The solver's verdict on one dataflow.
+
+    ``traffic_words`` (and the greedy mirror) are model evaluations;
+    they equal the materialised schedules' ``TransferSummary`` totals
+    — the ``exactgap`` oracle asserts that equality on every case.
+    """
+
+    rf: int
+    keeps: Tuple[KeepDecision, ...]
+    traffic_words: int
+    data_words: int
+    context_words: int
+    greedy_rf: int
+    greedy_keeps: Tuple[KeepDecision, ...]
+    greedy_traffic_words: int
+    nodes: int
+    complete: bool
+
+    @property
+    def gap_words(self) -> int:
+        """Traffic the greedy heuristic left on the table (>= 0)."""
+        return self.greedy_traffic_words - self.traffic_words
+
+
+class ExactRetentionSolver:
+    """Exact ``(RF, keeps)`` choice for one dataflow on one FB size."""
+
+    def __init__(
+        self,
+        dataflow: DataflowInfo,
+        *,
+        engine: OccupancyEngine,
+        rf_cap: int = 0,
+        keep_policy: str = "tf",
+        cross_set: bool = False,
+        max_nodes: int = DEFAULT_MAX_NODES,
+        budget_ms: Optional[float] = None,
+    ):
+        self.dataflow = dataflow
+        self.engine = engine
+        self.rf_cap = rf_cap
+        self.keep_policy = keep_policy
+        self.cross_set = cross_set
+        self.max_nodes = max_nodes
+        self.budget_ms = budget_ms
+        self.model = TrafficModel(dataflow)
+
+    # -- greedy seed -------------------------------------------------------
+
+    def _ranked(self, candidates: Sequence[KeepDecision]) -> List[KeepDecision]:
+        """The Complete Data Scheduler's candidate order, verbatim."""
+        if not candidates:
+            return []
+        if self.keep_policy == "tf":
+            return rank_by_time_factor(
+                candidates, total_data_size(self.dataflow)
+            )
+        if self.keep_policy == "size":
+            return sorted(candidates, key=lambda c: (-c.size, c.name))
+        return list(candidates)  # "fifo": discovery order
+
+    def _greedy_keeps(
+        self, rf: int, ranked: Sequence[KeepDecision]
+    ) -> Tuple[KeepDecision, ...]:
+        """Greedy TF-ordered acceptance — the CDS choice at this RF."""
+        self.engine.begin_keep_selection(rf)
+        for candidate in ranked:
+            self.engine.try_keep(candidate)
+        return self.engine.accepted
+
+    # -- search ------------------------------------------------------------
+
+    def solve(self) -> Optional[ExactSolution]:
+        """Minimise total (data + context) traffic over ``(RF, keeps)``.
+
+        Returns ``None`` when not even ``RF = 1`` with no keeps fits —
+        the caller raises the same diagnostic the greedy schedulers do.
+        """
+        engine = self.engine
+        rf_max = engine.max_common_rf(keeps=(), max_rf=self.rf_cap)
+        if rf_max == 0:
+            return None
+
+        candidates = retention_candidates(
+            self.dataflow, include_cross_set=self.cross_set
+        )
+        ranked = self._ranked(candidates)
+        greedy_keeps = self._greedy_keeps(rf_max, ranked)
+        greedy_traffic = self.model.total_traffic(rf_max, greedy_keeps)
+
+        # Incumbent: (total traffic, rf, keeps in search order).  Seeded
+        # with greedy so any truncation still returns exact <= greedy.
+        best_traffic = greedy_traffic
+        best_rf = rf_max
+        best_keeps = tuple(greedy_keeps)
+
+        deadline = (
+            time.monotonic() + self.budget_ms / 1000.0
+            if self.budget_ms is not None else None
+        )
+        state = _SearchState(self, deadline)
+        for rf in range(rf_max, 0, -1):
+            found = state.search_level(rf, candidates, best_traffic)
+            if found is not None and found[0] < best_traffic:
+                best_traffic, best_rf, best_keeps = found
+            if state.exhausted:
+                break
+
+        return ExactSolution(
+            rf=best_rf,
+            keeps=best_keeps,
+            traffic_words=best_traffic,
+            data_words=best_traffic - self.model.context_traffic(best_rf),
+            context_words=self.model.context_traffic(best_rf),
+            greedy_rf=rf_max,
+            greedy_keeps=tuple(greedy_keeps),
+            greedy_traffic_words=greedy_traffic,
+            nodes=state.nodes,
+            complete=not state.exhausted,
+        )
+
+
+class _SearchState:
+    """One solve()'s branch-and-bound bookkeeping across RF levels."""
+
+    def __init__(self, solver: ExactRetentionSolver,
+                 deadline: Optional[float]):
+        self.solver = solver
+        self.deadline = deadline
+        self.nodes = 0
+        self.exhausted = False
+
+    # -- budget ------------------------------------------------------------
+
+    def _spend_node(self) -> bool:
+        """Account one search node; False once any budget is gone."""
+        if self.exhausted:
+            return False
+        self.nodes += 1
+        if self.nodes >= self.solver.max_nodes:
+            self.exhausted = True
+        elif (
+            self.deadline is not None
+            and self.nodes % _CLOCK_STRIDE == 0
+            and time.monotonic() >= self.deadline
+        ):
+            self.exhausted = True
+        return not self.exhausted
+
+    # -- one RF level ------------------------------------------------------
+
+    def search_level(
+        self,
+        rf: int,
+        candidates: Sequence[KeepDecision],
+        incumbent_traffic: int,
+    ) -> Optional[Tuple[int, int, Tuple[KeepDecision, ...]]]:
+        """Best ``(traffic, rf, keeps)`` at one RF, or None if the level
+        cannot beat the incumbent (or the budget ran out first)."""
+        solver = self.solver
+        model = solver.model
+        base_total = model.base_data_traffic(rf) + model.context_traffic(rf)
+        if not candidates:
+            if base_total < incumbent_traffic:
+                return (base_total, rf, ())
+            return None
+
+        # Savings-descending order finds strong incumbents early; the
+        # stable candidate_id tie-break keeps runs deterministic.
+        savings = {
+            candidate_id(c): model.keep_saving(c, rf) for c in candidates
+        }
+        ordered = sorted(
+            candidates, key=lambda c: (-savings[candidate_id(c)], candidate_id(c))
+        )
+        gains = [savings[candidate_id(c)] for c in ordered]
+        suffix = [0] * (len(ordered) + 1)
+        for index in range(len(ordered) - 1, -1, -1):
+            suffix[index] = suffix[index + 1] + gains[index]
+        if base_total - suffix[0] >= incumbent_traffic:
+            return None  # even keeping everything cannot win this level
+
+        clustering = solver.dataflow.clustering
+        engine = solver.engine
+        fbs = engine.fb_set_words
+        # Per-cluster resident words and locally-kept name sets — the
+        # same decomposition OccupancyEngine.try_keep maintains, but on
+        # an undo stack so the DFS can backtrack.
+        resident: Dict[int, int] = {c.index: 0 for c in clustering}
+        local: Dict[int, FrozenSet[str]] = {
+            c.index: frozenset() for c in clustering
+        }
+
+        def try_include(candidate: KeepDecision) -> Optional[List[Tuple]]:
+            """Trial one keep; commit and return the undo log, or None
+            when an affected cluster overflows (anti-monotone: every
+            superset overflows too, so the include branch dies)."""
+            invariant = getattr(candidate, "invariant", False)
+            added = candidate.size if invariant else rf * candidate.size
+            updates: List[Tuple[int, int, FrozenSet[str]]] = []
+            for cluster in clustering.on_set(candidate.fb_set):
+                index = cluster.index
+                if not candidate.resident_for(index):
+                    continue
+                new_resident = resident[index] + added
+                new_local = local[index] | {candidate.name}
+                if (
+                    new_resident + engine.sweep_peak(index, rf, new_local)
+                    > fbs
+                ):
+                    return None
+                updates.append((index, new_resident, new_local))
+            consumers = getattr(candidate, "clusters", None)
+            if consumers is None:
+                consumers = candidate.consumer_clusters
+            for index in consumers:
+                # Cross-set consumers hold no resident copy; the kept
+                # name only leaves their sweep (occupancy can only
+                # drop, so no overflow check — mirrors try_keep).
+                if clustering[index].fb_set != candidate.fb_set:
+                    updates.append((
+                        index, resident[index],
+                        local[index] | {candidate.name},
+                    ))
+            undo = [(index, resident[index], local[index])
+                    for index, _, _ in updates]
+            for index, new_resident, new_local in updates:
+                resident[index] = new_resident
+                local[index] = new_local
+            return undo
+
+        def restore(undo: List[Tuple]) -> None:
+            for index, old_resident, old_local in undo:
+                resident[index] = old_resident
+                local[index] = old_local
+
+        best: Optional[Tuple[int, int, Tuple[KeepDecision, ...]]] = None
+        best_traffic = incumbent_traffic
+        chosen: List[KeepDecision] = []
+
+        def dfs(index: int, taken: int) -> None:
+            nonlocal best, best_traffic
+            if not self._spend_node():
+                return
+            # The current partial set is itself a feasible solution.
+            total = base_total - taken
+            if total < best_traffic:
+                best_traffic = total
+                best = (total, rf, tuple(chosen))
+            if index == len(ordered):
+                return
+            if total - suffix[index] >= best_traffic:
+                return  # bound: the whole remaining suffix cannot win
+            undo = try_include(ordered[index])
+            if undo is not None:
+                chosen.append(ordered[index])
+                dfs(index + 1, taken + gains[index])
+                chosen.pop()
+                restore(undo)
+            dfs(index + 1, taken)
+
+        dfs(0, 0)
+        return best

@@ -1,0 +1,115 @@
+"""Closed-form traffic model: total words moved as an affine function
+of the keep set.
+
+:class:`~repro.schedule.plan.TransferSummary` is the ground truth the
+paper's Table 1 reports: it walks every round of the materialised
+schedule and sums ``words_for(iterations)`` over each cluster plan's
+load and store lists.  For the exact solver that walk is far too slow
+to sit inside a branch-and-bound loop, so this module collapses it to
+a closed form:
+
+* the **base** traffic (no keeps) charges every load/store slot of the
+  no-keep plan skeleton once — ``size * n`` for ordinary objects (one
+  instance per iteration) and ``size * rounds(RF)`` for
+  iteration-invariant objects (one instance per visit);
+* every keep decision removes a fixed set of slots from the skeleton
+  (``transfers_avoided`` of them, see :mod:`repro.core.reuse`), and no
+  two candidates ever remove the same ``(cluster, object)`` slot — a
+  shared datum yields at most one candidate per FB set with disjoint
+  consumer lists, and a shared result is a single candidate — so keep
+  **savings are additive**;
+* context traffic is ``context_per_round * rounds(RF)``,
+  keep-independent.
+
+The model is exact, not an estimate: for any ``(RF, keeps)`` decision a
+scheduler would accept, :meth:`TrafficModel.total_traffic` equals the
+materialised schedule's ``TransferSummary`` totals bit for bit.  The
+``exactgap`` fuzz oracle asserts exactly that on both the greedy and
+the exact solution of every case, so any divergence between this model
+and the plan derivation in :mod:`repro.schedule.base` is a caught bug,
+not a silent approximation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.dataflow import DataflowInfo
+from repro.core.metrics import KeepDecision
+from repro.units import ceil_div
+
+__all__ = ["TrafficModel"]
+
+
+class TrafficModel:
+    """Per-run traffic of one dataflow as a function of ``(RF, keeps)``."""
+
+    def __init__(self, dataflow: DataflowInfo):
+        from repro.schedule.base import derive_plan_skeleton
+
+        self.dataflow = dataflow
+        self.total_iterations = dataflow.application.total_iterations
+        self.context_per_round = sum(
+            dataflow.clustering.context_words_of(cluster)
+            for cluster in dataflow.clustering
+        )
+        # Base load/store slots from the no-keep skeleton, split by
+        # invariance (the only thing that changes how a slot scales).
+        per_iteration = 0
+        per_round = 0
+        for row in derive_plan_skeleton(dataflow, ()):
+            _, _, loads, _, stores, _ = row
+            for name in loads + stores:
+                info = dataflow[name]
+                if info.invariant:
+                    per_round += info.size
+                else:
+                    per_iteration += info.size
+        self._base_words_per_iteration = per_iteration
+        self._base_words_per_round = per_round
+
+    # -- building blocks ---------------------------------------------------
+
+    def rounds(self, rf: int) -> int:
+        """``ceil(n / RF)`` — visits per cluster over the whole run."""
+        if rf < 1:
+            raise ValueError(f"rf must be >= 1, got {rf}")
+        return ceil_div(self.total_iterations, rf)
+
+    def context_traffic(self, rf: int) -> int:
+        """Context words over the run (one reload per round)."""
+        return self.context_per_round * self.rounds(rf)
+
+    def base_data_traffic(self, rf: int) -> int:
+        """Data words with no keeps: every slot of the skeleton."""
+        return (
+            self._base_words_per_iteration * self.total_iterations
+            + self._base_words_per_round * self.rounds(rf)
+        )
+
+    def keep_saving(self, keep: KeepDecision, rf: int) -> int:
+        """Data words one keep removes from the base traffic.
+
+        ``transfers_avoided`` slots disappear from the skeleton; each
+        slot moves ``size`` words per iteration, or per round when the
+        object is iteration-invariant.  Invariance comes from the
+        dataflow record — the same source ``words_for`` uses — not from
+        the candidate, which mirrors how the plan accounts transfers.
+        """
+        info = self.dataflow[keep.name]
+        per_slot = info.size * (
+            self.rounds(rf) if info.invariant else self.total_iterations
+        )
+        return keep.transfers_avoided * per_slot
+
+    # -- full evaluations --------------------------------------------------
+
+    def data_traffic(self, rf: int, keeps: Sequence[KeepDecision]) -> int:
+        """Data words of the run under ``(rf, keeps)``."""
+        return self.base_data_traffic(rf) - sum(
+            self.keep_saving(keep, rf) for keep in keeps
+        )
+
+    def total_traffic(self, rf: int, keeps: Sequence[KeepDecision]) -> int:
+        """Data plus context words — the exact solver's objective."""
+        return self.data_traffic(rf, keeps) + self.context_traffic(rf)

@@ -1,0 +1,141 @@
+"""The greedy-vs-exact gap table (`repro gap`) and its CLI plumbing."""
+
+import json
+
+import pytest
+
+from repro.analysis.gap import (
+    build_gap_table,
+    gap_table_json,
+    render_gap_table,
+)
+from repro.cli import main
+from repro.workloads.spec import paper_experiments
+
+
+def _spec(experiment_id):
+    return next(
+        spec for spec in paper_experiments() if spec.id == experiment_id
+    )
+
+
+class TestBuildGapTable:
+    def test_paper_row_is_sound_and_optimal(self):
+        rows = build_gap_table([_spec("E1")], corpus_dir=None)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.name == "E1"
+        assert row.source == "paper"
+        assert row.feasible and row.sound and row.complete
+        assert row.gap_words == 0
+        assert row.exact_traffic_words == row.greedy_traffic_words
+
+    def test_corpus_gap_anchors_report_their_gap(self):
+        rows = build_gap_table([], corpus_dir="tests/corpus")
+        by_name = {row.name: row for row in rows}
+        anchor = by_name["gap-anchor-baseline-seed6"]
+        assert anchor.source == "corpus"
+        assert anchor.sound and anchor.complete
+        assert anchor.gap_words == 578
+        assert anchor.exact_rf == anchor.greedy_rf - 1
+
+    def test_seeded_sweep_rows(self):
+        rows = build_gap_table([], corpus_dir=None, seeds=2)
+        assert [row.name for row in rows] == ["seed-0", "seed-1"]
+        assert all(row.source == "seed" for row in rows)
+        assert all(row.sound for row in rows)
+
+    def test_render_and_json_agree_on_summary(self):
+        rows = build_gap_table([_spec("E1")], corpus_dir="tests/corpus")
+        text = render_gap_table(rows)
+        assert "greedy suboptimal" in text  # the pinned anchors
+        assert "0 unsound" in text
+        payload = json.loads(gap_table_json(rows))
+        assert payload["summary"]["workloads"] == len(rows)
+        assert payload["summary"]["unsound"] == 0
+        assert payload["summary"]["with_gap"] == 2
+        assert payload["summary"]["total_gap_words"] == 578 + 816
+
+    def test_unsound_row_detected(self, monkeypatch):
+        # Sabotage the greedy mirror check to prove the table flags it.
+        from repro.analysis import gap as gap_module
+
+        original = gap_module.gap_for_workload
+
+        def sabotaged(*args, **kwargs):
+            row = original(*args, **kwargs)
+            object.__setattr__(row, "sound", False)
+            object.__setattr__(row, "unsound_reason", "planted")
+            return row
+
+        monkeypatch.setattr(gap_module, "gap_for_workload", sabotaged)
+        rows = gap_module.build_gap_table([_spec("E1")], corpus_dir=None)
+        text = render_gap_table(rows)
+        assert "UNSOUND: planted" in text
+
+
+class TestGapCli:
+    def test_gap_command_table(self, capsys):
+        code = main(["gap", "E1", "--no-corpus"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "E1" in out
+        assert "optimal" in out
+        assert "0 unsound" in out
+
+    def test_gap_command_json_output(self, tmp_path, capsys):
+        artifact = tmp_path / "gap.json"
+        code = main([
+            "gap", "E1", "--no-corpus", "--json",
+            "--output", str(artifact),
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert f"wrote {artifact}" in out
+        payload = json.loads(artifact.read_text())
+        assert payload["summary"]["unsound"] == 0
+        assert payload["rows"][0]["name"] == "E1"
+
+    def test_gap_command_budget_flags(self, capsys):
+        code = main([
+            "gap", "E1", "--no-corpus", "--max-nodes", "1",
+        ])
+        out = capsys.readouterr().out
+        # Budget truncation is still sound (greedy-seeded incumbent).
+        assert code == 0
+        assert "0 unsound" in out
+
+    def test_gap_command_unknown_experiment(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["gap", "BOGUS"])
+        assert "unknown experiment 'BOGUS'" in str(excinfo.value)
+        assert "E1" in str(excinfo.value)
+
+
+class TestOracleNameValidation:
+    """Satellite: unknown oracle names fail fast with a clear error."""
+
+    def test_fuzz_cli_rejects_unknown_oracle(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fuzz", "--seeds", "1", "--oracle", "bogus"])
+        assert excinfo.value.code == 2  # argparse usage error
+        err = capsys.readouterr().err
+        assert "invalid choice: 'bogus'" in err
+        assert "exactgap" in err
+
+    def test_run_fuzz_rejects_unknown_oracle_before_workers(self):
+        from repro.fuzz.runner import run_fuzz
+
+        with pytest.raises(ValueError) as excinfo:
+            run_fuzz(range(1), oracles=["bogus"])
+        assert "unknown oracles: ['bogus']" in str(excinfo.value)
+        assert "exactgap" in str(excinfo.value)
+
+    def test_exactgap_campaign_clean(self, capsys):
+        code = main([
+            "fuzz", "--seeds", "3", "--quick", "--no-paper",
+            "--no-functional", "--oracle", "exactgap",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all oracles clean" in out

@@ -213,11 +213,54 @@ def test_mirrored_free_list_mirrors_exceptions():
     mirror.check_invariants()
 
 
+def test_exactgap_oracle_clean_on_generated_case():
+    case = generate_case("baseline", 3)
+    assert run_oracles(case, oracles=("exactgap",)) == []
+
+
+def test_exactgap_oracle_flags_greedy_mirror_divergence(monkeypatch):
+    """Plant: the solver's internal greedy seed stops replaying CDS."""
+    from repro.schedule.exact.solver import ExactRetentionSolver
+
+    monkeypatch.setattr(
+        ExactRetentionSolver, "_greedy_keeps",
+        lambda self, rf, ranked: (),
+    )
+    spec = next(s for s in paper_experiments() if s.id == "E1")
+    application, clustering = spec.build()
+    case = FuzzCase.from_workload(
+        application, clustering, spec.fb_words, name="paper-E1"
+    )
+    failures = run_oracles(case, oracles=("exactgap",))
+    assert failures, "a desynchronised greedy mirror must fire"
+    assert all(f.oracle == "exactgap" for f in failures)
+    assert any("greedy mirror diverges" in f.message for f in failures)
+
+
+def test_exactgap_oracle_flags_traffic_model_divergence(monkeypatch):
+    """Plant: the closed-form model over-reports every keep saving."""
+    from repro.schedule.exact.traffic import TrafficModel
+
+    original = TrafficModel.keep_saving
+    monkeypatch.setattr(
+        TrafficModel, "keep_saving",
+        lambda self, keep, rf: 10 * original(self, keep, rf),
+    )
+    spec = next(s for s in paper_experiments() if s.id == "E1")
+    application, clustering = spec.build()
+    case = FuzzCase.from_workload(
+        application, clustering, spec.fb_words, name="paper-E1"
+    )
+    failures = run_oracles(case, oracles=("exactgap",))
+    assert failures, "a lying traffic model must fire"
+    assert any("traffic model diverges" in f.message for f in failures)
+
+
 def test_oracle_names_are_stable():
     assert set(ORACLE_NAMES) == {
         "probes", "diagnostics", "feasibility", "traffic", "engine",
-        "trace", "batchcompile", "freelist", "verifier", "hazards",
-        "simengine", "functional",
+        "trace", "batchcompile", "exactgap", "freelist", "verifier",
+        "hazards", "simengine", "functional",
     }
     failure = OracleFailure("traffic", "case", "msg", scheduler="cds")
     assert failure.to_dict() == {

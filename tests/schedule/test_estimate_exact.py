@@ -1,0 +1,80 @@
+"""The analytic estimator against exact-solver schedules.
+
+The estimator's bracket — compute-bound below, serial sum above — must
+hold for *any* schedule the pipeline can produce, including the exact
+solver's, whose (RF, keeps) choices are not constrained to the greedy
+trajectory the estimator was tuned on.  The paper experiments plus the
+pinned gap anchors (where exact genuinely diverges from greedy) cover
+both regimes.
+"""
+
+import pytest
+
+from repro.arch.params import Architecture
+from repro.core.dataflow import analyze_dataflow
+from repro.schedule.complete import CompleteDataScheduler
+from repro.schedule.estimate import estimate_execution_cycles, visit_windows
+from repro.schedule.exact import ExactDataScheduler
+from repro.workloads.spec import paper_experiments
+
+
+def _exact_workloads():
+    for spec in paper_experiments():
+        application, clustering = spec.build()
+        yield spec.id, application, clustering, Architecture.m1(spec.fb_words)
+    from pathlib import Path
+
+    from repro.fuzz.case import FuzzCase
+
+    for path in sorted(Path("tests/corpus").glob("gap-anchor-*.json")):
+        case = FuzzCase.load(path)
+        application, clustering = case.build()
+        yield path.stem, application, clustering, case.architecture()
+
+
+@pytest.mark.parametrize(
+    "label,application,clustering,architecture",
+    list(_exact_workloads()),
+    ids=lambda v: v if isinstance(v, str) else "",
+)
+def test_estimate_brackets_exact_schedule(label, application, clustering,
+                                          architecture):
+    schedule = ExactDataScheduler(architecture).schedule(
+        application, clustering
+    )
+    windows = visit_windows(schedule, architecture)
+    estimate = estimate_execution_cycles(schedule, architecture)
+    compute_bound = sum(compute for compute, _, _ in windows)
+    serial_sum = sum(
+        compute + loads + stores for compute, loads, stores in windows
+    )
+    assert compute_bound <= estimate <= serial_sum
+
+
+@pytest.mark.parametrize(
+    "label,application,clustering,architecture",
+    list(_exact_workloads()),
+    ids=lambda v: v if isinstance(v, str) else "",
+)
+def test_exact_traffic_never_exceeds_greedy(label, application, clustering,
+                                            architecture):
+    dataflow = analyze_dataflow(application, clustering)
+    greedy = CompleteDataScheduler(architecture).schedule(
+        application, clustering, dataflow=dataflow
+    )
+    exact = ExactDataScheduler(architecture).schedule(
+        application, clustering, dataflow=dataflow
+    )
+    greedy_summary = greedy.summary()
+    exact_summary = exact.summary()
+    assert (exact_summary.total_data_words
+            + exact_summary.total_context_words) <= (
+        greedy_summary.total_data_words
+        + greedy_summary.total_context_words)
+    # On the paper experiments greedy is optimal; the estimator must
+    # therefore agree between the two schedulers' estimates as well.
+    if label.startswith("gap-anchor"):
+        assert (exact_summary.total_data_words
+                + exact_summary.total_context_words) < (
+            greedy_summary.total_data_words
+            + greedy_summary.total_context_words)
