@@ -3,9 +3,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test lint analyze ruff mypy bench bench-quick trace-demo fuzz fuzz-quick batch-check gap-check cache-smoke serve-smoke
+.PHONY: check test lint analyze ruff mypy bench bench-quick trace-demo fuzz fuzz-quick batch-check codegen-check gap-check cache-smoke serve-smoke
 
-check: test ruff mypy lint analyze fuzz-quick batch-check gap-check cache-smoke serve-smoke
+check: test ruff mypy lint analyze fuzz-quick batch-check codegen-check gap-check cache-smoke serve-smoke
 
 # Scheduler-service smoke: boot `repro serve` as a real subprocess,
 # fire a concurrent zipf-skewed loadgen burst at it, and gate on
@@ -77,6 +77,18 @@ batch-check:
 	$(PYTHON) -m repro.cli fuzz --seeds 10000 --quick --jobs 0 \
 		--no-functional --oracle batchcompile \
 		--failures-dir fuzz-batch-failures
+
+# Templated-codegen equivalence gate: the golden property suite (500+
+# program fuzz matrix, paper experiments, broken-schedule fallback,
+# sequence-protocol edge cases), then a wide progequiv-oracle campaign
+# — every generated schedule lowered by both codegen backends and
+# cross-checked byte-for-byte, violation lists included.  Failures
+# shrink into fuzz-codegen-failures/ (a CI artifact).
+codegen-check:
+	$(PYTHON) -m pytest tests/codegen/test_templated_equivalence.py -q
+	$(PYTHON) -m repro.cli fuzz --seeds 5000 --quick --jobs 0 \
+		--no-functional --oracle progequiv \
+		--failures-dir fuzz-codegen-failures
 
 # Greedy-vs-exact optimality gate: a budgeted 500-seed exactgap
 # campaign (every case scheduled by both the greedy CDS and the exact

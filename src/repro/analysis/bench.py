@@ -34,6 +34,13 @@ The ``simulate`` stage times the analysis drivers' hot path — the
 vectorized timeline evaluator with tracing and re-verification off;
 ``simulate_traced`` times the default interactive configuration (full
 per-transfer trace + program verification) on the reference engine.
+The ``codegen``/``verify`` stages are pinned to the reference codegen
+backend for cross-baseline continuity; ``codegen_templated`` and
+``verify_fast`` time the template-compiled generator (with full visit
+materialization forced) and the vectorized fast-verification path the
+drivers now default to.  ``repro bench --profile-stages`` skips the
+timed run and prints a cProfile breakdown per stage instead
+(:func:`profile_stages`).
 
 Every sample is a **best-of-N** wall-clock measurement (minimum over
 *N* runs), which is robust against scheduler noise on loaded machines.
@@ -72,6 +79,7 @@ __all__ = [
     "load_baseline",
     "run_bench",
     "compare_bench",
+    "profile_stages",
     "render_bench",
 ]
 
@@ -95,8 +103,8 @@ PRE_PR_BASELINE: Dict[str, object] = {
 }
 
 STAGES = (
-    "dataflow", "cds", "alloc", "codegen", "verify", "lint", "simulate",
-    "simulate_traced",
+    "dataflow", "cds", "alloc", "codegen", "codegen_templated", "verify",
+    "verify_fast", "lint", "simulate", "simulate_traced",
 )
 
 
@@ -161,48 +169,105 @@ def _batch_requests():
     return requests
 
 
-def _stage_totals(repeats: int) -> Dict[str, float]:
-    """Per-stage best-of times, summed over the bundled experiments."""
+def _experiment_stage_fns(spec) -> Dict[str, Callable[[], object]]:
+    """Zero-arg stage callables for one bundled experiment.
+
+    ``codegen``/``verify`` stay pinned to the reference backend so
+    their timings remain comparable across baselines;
+    ``codegen_templated``/``verify_fast`` time the template-compiled
+    generator (forcing full visit materialization, so the sample is
+    apples-to-apples with the reference build) and the vectorized
+    fast-verification path on a templated program.  The simulate
+    stages run the reference program for the same continuity reason.
+    """
     from repro.lint.runner import lint_schedule
 
-    totals = {stage: 0.0 for stage in STAGES}
-    for spec in paper_experiments():
-        application, clustering = spec.build()
-        architecture = Architecture.m1(spec.fb)
-        totals["dataflow"] += _best_of(
-            lambda: analyze_dataflow(application, clustering), repeats
-        )
-        schedule = CompleteDataScheduler(architecture).schedule(
+    application, clustering = spec.build()
+    architecture = Architecture.m1(spec.fb)
+    schedule = CompleteDataScheduler(architecture).schedule(
+        application, clustering
+    )
+    allocator = FrameBufferAllocator(schedule, debug_invariants=False)
+    reference = generate_program(schedule, engine="reference")
+    templated = generate_program(schedule, engine="templated")
+
+    def _templated_codegen() -> None:
+        program = generate_program(schedule, engine="templated")
+        if len(program.visits):
+            program.visits[0]  # force template stamping of every visit
+
+    return {
+        "dataflow": lambda: analyze_dataflow(application, clustering),
+        "cds": lambda: CompleteDataScheduler(architecture).schedule(
             application, clustering
-        )
-        totals["cds"] += _best_of(
-            lambda: CompleteDataScheduler(architecture).schedule(
-                application, clustering
-            ),
-            repeats,
-        )
-        allocator = FrameBufferAllocator(schedule, debug_invariants=False)
-        totals["alloc"] += _best_of(allocator.allocate, repeats)
-        program = generate_program(schedule)
-        totals["codegen"] += _best_of(
-            lambda: generate_program(schedule), repeats
-        )
-        totals["verify"] += _best_of(lambda: verify_program(program), repeats)
-        totals["lint"] += _best_of(lambda: lint_schedule(schedule), repeats)
+        ),
+        "alloc": allocator.allocate,
+        "codegen": lambda: generate_program(schedule, engine="reference"),
+        "codegen_templated": _templated_codegen,
+        "verify": lambda: verify_program(reference),
+        "verify_fast": lambda: verify_program(templated),
+        "lint": lambda: lint_schedule(schedule),
         # The batch-driver hot path: vectorized timeline, no trace, no
         # re-verification (verify/lint are timed as their own stages).
-        totals["simulate"] += _best_of(
-            lambda: Simulator(
-                MorphoSysM1(architecture), trace=False, verify=False
-            ).run(program),
-            repeats,
-        )
+        "simulate": lambda: Simulator(
+            MorphoSysM1(architecture), trace=False, verify=False
+        ).run(reference),
         # The interactive default: full per-transfer trace via the
         # reference event-driven engine, plus program verification.
-        totals["simulate_traced"] += _best_of(
-            lambda: Simulator(MorphoSysM1(architecture)).run(program), repeats
-        )
+        "simulate_traced": lambda: Simulator(
+            MorphoSysM1(architecture)
+        ).run(reference),
+    }
+
+
+def _stage_totals(repeats: int) -> Dict[str, float]:
+    """Per-stage best-of times, summed over the bundled experiments."""
+    totals = {stage: 0.0 for stage in STAGES}
+    for spec in paper_experiments():
+        fns = _experiment_stage_fns(spec)
+        for stage in STAGES:
+            totals[stage] += _best_of(fns[stage], repeats)
     return totals
+
+
+def profile_stages(stage_names, *, top: int = 25) -> str:
+    """cProfile the requested stages over the bundled experiments.
+
+    Each stage runs once per experiment under a dedicated profiler;
+    the report shows the *top* entries by cumulative time.  This is
+    the ``repro bench --profile-stages`` diagnostic — it answers
+    "where does this stage spend its time" without running the timed
+    bench.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    unknown = sorted(set(stage_names) - set(STAGES))
+    if unknown:
+        raise ValueError(
+            f"unknown stage(s): {', '.join(unknown)}; "
+            f"expected a subset of: {', '.join(STAGES)}"
+        )
+    per_experiment = [
+        _experiment_stage_fns(spec) for spec in paper_experiments()
+    ]
+    sections = []
+    for stage in stage_names:
+        profiler = cProfile.Profile()
+        for fns in per_experiment:
+            fn = fns[stage]
+            profiler.enable()
+            fn()
+            profiler.disable()
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+        sections.append(
+            f"== stage {stage} (bundled experiments, top {top} by "
+            f"cumulative time) ==\n{stream.getvalue().rstrip()}"
+        )
+    return "\n\n".join(sections)
 
 
 def run_bench(

@@ -79,6 +79,27 @@ class SchedulerOutcome:
             return None
         return 100.0 * self.report.improvement_over(baseline.report)
 
+    def for_transport(self) -> "SchedulerOutcome":
+        """A copy stripped for pickling across process/cache boundaries.
+
+        The decision trace is process-local observability data
+        (``compare=False``, often megabytes on traced runs); shipping
+        it through worker pools or the persistent cache buys nothing —
+        the receiving side compares equal either way.  Untraced
+        outcomes (every driver default) return ``self`` unchanged.
+        """
+        schedule = self.schedule
+        if schedule is None or schedule.decisions is None:
+            return self
+        return SchedulerOutcome(
+            scheduler=self.scheduler,
+            feasible=self.feasible,
+            schedule=schedule.without_decisions(),
+            report=self.report,
+            infeasible_reason=self.infeasible_reason,
+            error=self.error,
+        )
+
 
 @dataclass(frozen=True)
 class ComparisonRow:
@@ -135,11 +156,15 @@ def run_scheduler(
     trace: bool = True,
     dataflow=None,
     cache=None,
+    codegen_engine: str = "auto",
 ) -> SchedulerOutcome:
     """Schedule, lower, simulate; package the outcome.
 
     ``trace=False`` skips recording the per-transfer DMA trace; the
     report's aggregate statistics are identical.
+    ``codegen_engine`` selects the program-generation backend
+    (``auto``/``templated``/``reference``); the backends are
+    byte-identical, so the outcome does not depend on it.
 
     *cache* (a :class:`~repro.cache.CacheStore`) memoizes the whole
     outcome — including infeasible verdicts — across processes and
@@ -180,7 +205,7 @@ def run_scheduler(
             cache.put(key, outcome)
         return outcome
     with time_stage("codegen", scope=scope):
-        program = generate_program(schedule)
+        program = generate_program(schedule, engine=codegen_engine)
     machine = MorphoSysM1(architecture)
     with time_stage("simulate", scope=scope):
         report = Simulator(machine, trace=trace).run(program)
@@ -191,7 +216,7 @@ def run_scheduler(
         report=report,
     )
     if cache is not None:
-        cache.put(key, outcome)
+        cache.put(key, outcome.for_transport())
     return outcome
 
 
@@ -221,6 +246,10 @@ def run_pipeline_batch(
     """
     from repro.schedule.batch import CompileRequest, compile_many
 
+    # `--engine reference` reverts the whole cold path, codegen
+    # included; any other engine pairs the batch scheduler with the
+    # templated backend.
+    codegen_engine = "reference" if engine == "reference" else "auto"
     outcomes: list = [None] * len(items)
     keys: list = [None] * len(items)
     misses: list = []
@@ -265,7 +294,9 @@ def run_pipeline_batch(
         else:
             scope = f"pipeline.{name}"
             with time_stage("codegen", scope=scope):
-                program = generate_program(result.schedule)
+                program = generate_program(
+                    result.schedule, engine=codegen_engine
+                )
             machine = MorphoSysM1(architecture)
             with time_stage("simulate", scope=scope):
                 report = Simulator(machine, trace=trace).run(program)
@@ -276,7 +307,7 @@ def run_pipeline_batch(
                 report=report,
             )
         if cache is not None:
-            cache.put(keys[index], outcome)
+            cache.put(keys[index], outcome.for_transport())
         outcomes[index] = outcome
     return outcomes
 
@@ -360,14 +391,17 @@ def compare_workload(
     basic = run_scheduler(
         BasicScheduler(architecture, options), application, clustering,
         architecture, trace=trace, dataflow=dataflow, cache=cache,
+        codegen_engine="reference",
     )
     ds = run_scheduler(
         DataScheduler(architecture, options), application, clustering,
         architecture, trace=trace, dataflow=dataflow, cache=cache,
+        codegen_engine="reference",
     )
     cds = run_scheduler(
         CompleteDataScheduler(architecture, options), application, clustering,
         architecture, trace=trace, dataflow=dataflow, cache=cache,
+        codegen_engine="reference",
     )
     return _assemble_row(
         workload_name or application.name, architecture, clustering,

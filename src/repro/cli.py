@@ -304,12 +304,30 @@ def _cmd_bench(args) -> int:
     import os
 
     from repro.analysis.bench import (
+        STAGES,
         baseline_payload,
         compare_bench,
         load_baseline,
+        profile_stages,
         render_bench,
         run_bench,
     )
+
+    if args.profile_stages:
+        # Diagnostic mode: cProfile the requested stages and exit —
+        # no timed bench run, no baseline bookkeeping.
+        if args.profile_stages.strip().lower() == "all":
+            names = list(STAGES)
+        else:
+            names = [
+                name.strip() for name in args.profile_stages.split(",")
+                if name.strip()
+            ]
+        try:
+            print(profile_stages(names, top=args.profile_top))
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        return 0
 
     # Load the comparison baseline up front: a bad --compare path
     # should fail before the (expensive) measurement, not after.
@@ -716,6 +734,14 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PCT",
                        help="allowed regression vs --compare baseline "
                             "(default 25%%)")
+    bench.add_argument("--profile-stages", metavar="STAGES", default=None,
+                       help="cProfile the named stages (comma-separated, "
+                            "or 'all') over the bundled experiments and "
+                            "exit instead of running the timed bench")
+    bench.add_argument("--profile-top", type=int, default=25,
+                       metavar="N",
+                       help="rows per stage in the --profile-stages "
+                            "report (default 25)")
     bench.add_argument("--service-output", metavar="PATH", default=None,
                        help="write the service loadgen payload "
                             "(BENCH_service.json)")

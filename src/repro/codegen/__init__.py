@@ -8,6 +8,7 @@ program is what the event-driven simulator executes and what the static
 verifier checks.
 """
 
+from repro.codegen.fastverify import fast_violation_free
 from repro.codegen.generator import generate_program
 from repro.codegen.ops import (
     LoadContext,
@@ -18,6 +19,7 @@ from repro.codegen.ops import (
     VisitOps,
 )
 from repro.codegen.program import Program
+from repro.codegen.templated import TemplateVisits, generate_templated_program
 from repro.codegen.verifier import (
     ProgramViolation,
     collect_program_violations,
@@ -32,10 +34,13 @@ __all__ = [
     "ProgramViolation",
     "RunKernel",
     "StoreData",
+    "TemplateVisits",
     "Visit",
     "VisitOps",
     "collect_program_violations",
+    "fast_violation_free",
     "generate_program",
+    "generate_templated_program",
     "iter_program_violations",
     "verify_program",
 ]

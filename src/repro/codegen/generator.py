@@ -19,6 +19,7 @@ the order the cluster needs it.
 
 from __future__ import annotations
 
+import weakref
 from typing import Dict, List, Optional, Tuple
 
 from repro.codegen.ops import LoadContext, LoadData, RunKernel, StoreData, Visit, VisitOps
@@ -26,11 +27,16 @@ from repro.codegen.program import Program
 from repro.errors import CodegenError
 from repro.schedule.plan import Schedule
 
-__all__ = ["generate_program"]
+__all__ = ["generate_program", "cluster_codegen_facts"]
+
+ENGINES = ("auto", "templated", "reference")
 
 
 def generate_program(
-    schedule: Schedule, *, reuse_resident_contexts: bool = False
+    schedule: Schedule,
+    *,
+    reuse_resident_contexts: bool = False,
+    engine: str = "auto",
 ) -> Program:
     """Lower *schedule* into an executable :class:`Program`.
 
@@ -42,7 +48,24 @@ def generate_program(
             clusters, where the blocks never get displaced).  Off by
             default — the paper's accounting assumes contexts are
             loaded once per visit (``n/RF`` times per kernel).
+        engine: ``"templated"`` compiles each cluster once and stamps
+            visits lazily (:mod:`repro.codegen.templated`);
+            ``"reference"`` emits every op eagerly.  ``"auto"`` (the
+            default) selects the templated backend — the two are
+            byte-identical (enforced by the equivalence suite and the
+            ``progequiv`` fuzz oracle).
     """
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown codegen engine {engine!r}; expected one of {ENGINES}"
+        )
+    if engine != "reference":
+        from repro.codegen.templated import generate_templated_program
+
+        return generate_templated_program(
+            schedule, reuse_resident_contexts=reuse_resident_contexts
+        )
+
     visits: List[VisitOps] = []
     clustering = schedule.clustering
     application = schedule.application
@@ -51,11 +74,11 @@ def generate_program(
     # Round-invariant per-cluster facts, computed once.  Only the visit
     # index, the iteration window and the CM-block parity change between
     # a cluster's visits.
-    load_order: Dict[int, Tuple[str, ...]] = {
-        cluster.index: _load_order(schedule, cluster)
+    facts: Dict[int, Tuple[Tuple[str, ...], Tuple[Tuple[LoadContext, ...], ...]]] = {
+        cluster.index: cluster_codegen_facts(schedule, cluster)
         for cluster in clustering
     }
-    context_loads_memo: Dict[Tuple[int, int], Tuple[LoadContext, ...]] = {}
+    load_order = {index: fact[0] for index, fact in facts.items()}
 
     visit_index = 0
     next_iteration = 0
@@ -83,18 +106,7 @@ def generate_program(
             ):
                 context_loads = ()
             else:
-                memo_key = (cluster.index, visit.cm_block)
-                context_loads = context_loads_memo.get(memo_key)
-                if context_loads is None:
-                    context_loads = tuple(
-                        LoadContext(
-                            kernel=kernel.name,
-                            words=kernel.context_words,
-                            cm_block=visit.cm_block,
-                        )
-                        for kernel in clustering.kernels_of(cluster)
-                    )
-                    context_loads_memo[memo_key] = context_loads
+                context_loads = facts[cluster.index][1][visit.cm_block]
                 block_holds[visit.cm_block] = cluster.index
 
             # Leaf ops are built with ``tuple.__new__`` to skip the
@@ -146,6 +158,64 @@ def generate_program(
                 )
             )
     return Program(schedule=schedule, visits=tuple(visits))
+
+
+# Cluster codegen facts (load order + per-parity context loads) are
+# pure functions of the cluster plan, the keep set and the dataflow.
+# They are memoized so repeated ``generate_program`` calls over the
+# same workload — warm corpus replays, service followers, the three
+# schedulers of one comparison sharing an application/clustering —
+# skip the O(kernels x loads) ordering work even on the reference
+# path.  Keys carry content (plan loads, keeps, kernel names) plus the
+# identity of the application/clustering objects; weak references
+# guard against id() reuse after garbage collection.
+_FACTS_MEMO: Dict[tuple, tuple] = {}
+_FACTS_MEMO_CAP = 4096
+
+
+def cluster_codegen_facts(
+    schedule: Schedule, cluster
+) -> Tuple[Tuple[str, ...], Tuple[Tuple[LoadContext, ...], ...]]:
+    """``(load_order, context_loads_per_cm_block)`` for one cluster."""
+    plan = schedule.plan_for(cluster.index)
+    key = (
+        cluster.index,
+        cluster.fb_set,
+        cluster.kernel_names,
+        plan.loads,
+        schedule.keeps,
+        id(schedule.application),
+        id(schedule.clustering),
+    )
+    entry = _FACTS_MEMO.get(key)
+    if entry is not None:
+        app_ref, clustering_ref, facts = entry
+        if (
+            app_ref() is schedule.application
+            and clustering_ref() is schedule.clustering
+        ):
+            return facts
+    order = _load_order(schedule, cluster)
+    context_loads = tuple(
+        tuple(
+            LoadContext(
+                kernel=kernel.name,
+                words=kernel.context_words,
+                cm_block=block,
+            )
+            for kernel in schedule.clustering.kernels_of(cluster)
+        )
+        for block in (0, 1)
+    )
+    facts = (order, context_loads)
+    if len(_FACTS_MEMO) >= _FACTS_MEMO_CAP:
+        _FACTS_MEMO.clear()
+    _FACTS_MEMO[key] = (
+        weakref.ref(schedule.application),
+        weakref.ref(schedule.clustering),
+        facts,
+    )
+    return facts
 
 
 def _load_order(schedule: Schedule, cluster) -> Tuple[str, ...]:

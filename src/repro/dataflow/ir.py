@@ -235,6 +235,10 @@ def lower_program(
     nodes: List[IRNode] = []
     visit_nodes: List[VisitNodes] = []
     values: List[ValueLifetime] = []
+    # Survivor sets are per (cluster, FB set), not per visit: memoize
+    # them like the verifier does instead of re-scanning the keep list
+    # once per visit.
+    survivors_memo: Dict[Tuple[int, int], Set[str]] = {}
     # Live values per set, keyed (name, instance).
     live: List[Dict[Tuple[str, int], ValueLifetime]] = [{}, {}]
     # Kernel -> CM extent per block, rebuilt at each refill.
@@ -418,7 +422,11 @@ def lower_program(
             end_node = group.last
         else:
             end_node = max(len(nodes) - 1, 0)
-        survivors = _survivors(schedule, visit.cluster_index, fb_set)
+        survivors_key = (visit.cluster_index, fb_set)
+        survivors = survivors_memo.get(survivors_key)
+        if survivors is None:
+            survivors = _survivors(schedule, visit.cluster_index, fb_set)
+            survivors_memo[survivors_key] = survivors
         drained = {
             key: value for key, value in in_set.items()
             if key[0] not in survivors

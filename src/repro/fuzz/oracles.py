@@ -38,6 +38,13 @@ which compares two independent computations of the same fact:
     of both solutions and its internal greedy mirror must replay the
     CDS decision byte for byte.  Any case where greedy "beats" exact
     is by construction a bug in one of them.
+``progequiv``
+    The template-compiled codegen backend
+    (:mod:`repro.codegen.templated`) produces byte-identical
+    :class:`~repro.codegen.program.Program` objects to the reference
+    generator — under both context-reuse modes — and the vectorized
+    fast verifier (:mod:`repro.codegen.fastverify`) returns the
+    identical ordered violation list the reference replay does.
 ``freelist``
     Every free-list operation of the Figure-4 allocator produces
     identical results and identical free-block state on the production
@@ -104,6 +111,7 @@ ORACLE_NAMES: Tuple[str, ...] = (
     "trace",
     "batchcompile",
     "exactgap",
+    "progequiv",
     "freelist",
     "verifier",
     "hazards",
@@ -373,6 +381,8 @@ def _run_oracles_uncached(
         failures.extend(_check_exactgap(
             case, runs, architecture, application, clustering, dataflow,
         ))
+    if "progequiv" in enabled:
+        failures.extend(_check_progequiv(case, runs))
     if "freelist" in enabled:
         failures.extend(_check_freelist(case, runs, architecture))
     if "verifier" in enabled:
@@ -710,6 +720,69 @@ def _check_exactgap(case, runs, architecture, application, clustering,
             f"{len(cds.schedule.keeps)}",
             scheduler="exact",
         ))
+    return failures
+
+
+def _check_progequiv(case, runs) -> List[OracleFailure]:
+    """Templated codegen and fast verification must be byte-identical
+    to the reference backend on every feasible schedule, under both
+    context-reuse modes: same :class:`Program` (visits included), the
+    same ordered violation list, and the same generation errors."""
+    from repro.codegen.verifier import (
+        collect_program_violations,
+        iter_program_violations,
+    )
+    from repro.errors import CodegenError
+
+    failures = []
+    for run in runs.values():
+        if run.schedule is None:
+            continue
+        for reuse in (False, True):
+            label = "reuse_resident_contexts" if reuse else "default"
+            reference = templated = None
+            ref_error = tpl_error = None
+            try:
+                reference = generate_program(
+                    run.schedule, reuse_resident_contexts=reuse,
+                    engine="reference",
+                )
+            except CodegenError as exc:
+                ref_error = str(exc)
+            try:
+                templated = generate_program(
+                    run.schedule, reuse_resident_contexts=reuse,
+                    engine="templated",
+                )
+            except CodegenError as exc:
+                tpl_error = str(exc)
+            if ref_error != tpl_error:
+                failures.append(OracleFailure(
+                    "progequiv", case.name,
+                    f"[{label}] codegen errors diverge: "
+                    f"reference={ref_error!r} templated={tpl_error!r}",
+                    scheduler=run.scheduler,
+                ))
+                continue
+            if reference is None:
+                continue
+            if templated != reference or reference != templated:
+                failures.append(OracleFailure(
+                    "progequiv", case.name,
+                    f"[{label}] templated program differs from reference",
+                    scheduler=run.scheduler,
+                ))
+                continue
+            ref_violations = list(iter_program_violations(reference))
+            fast_violations = collect_program_violations(templated)
+            if fast_violations != ref_violations:
+                failures.append(OracleFailure(
+                    "progequiv", case.name,
+                    f"[{label}] fast verifier returned "
+                    f"{len(fast_violations)} violation(s), reference replay "
+                    f"{len(ref_violations)}",
+                    scheduler=run.scheduler,
+                ))
     return failures
 
 

@@ -10,7 +10,7 @@ derives the traffic numbers reported in the paper's Table 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.application import Application
@@ -154,6 +154,20 @@ class Schedule:
     def keep_names(self) -> Tuple[str, ...]:
         """Names of all kept objects."""
         return tuple(keep.name for keep in self.keeps)
+
+    def without_decisions(self) -> "Schedule":
+        """A copy with the decision trace dropped (``self`` when there
+        is none).
+
+        The trace is process-local observability data excluded from
+        equality (``compare=False``); callers shipping schedules across
+        pickling boundaries — worker pools, the persistent cache — use
+        this to avoid serializing megabytes that the receiving side
+        never reads.
+        """
+        if self.decisions is None:
+            return self
+        return replace(self, decisions=None)
 
     def summary(self) -> "TransferSummary":
         """Aggregate traffic/feasibility numbers for reporting."""

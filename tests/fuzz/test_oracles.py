@@ -256,11 +256,33 @@ def test_exactgap_oracle_flags_traffic_model_divergence(monkeypatch):
     assert any("traffic model diverges" in f.message for f in failures)
 
 
+def test_progequiv_oracle_flags_divergent_stamping(monkeypatch):
+    """Plant: the template backend drops every visit's stores."""
+    from repro.codegen.templated import ClusterTemplate
+
+    original = ClusterTemplate.__init__
+
+    def lying_init(self, cluster_index, fb_set, context_loads, loads,
+                   compute, stores):
+        original(self, cluster_index, fb_set, context_loads, loads,
+                 compute, ())
+
+    monkeypatch.setattr(ClusterTemplate, "__init__", lying_init)
+    spec = next(s for s in paper_experiments() if s.id == "E1")
+    application, clustering = spec.build()
+    case = FuzzCase.from_workload(
+        application, clustering, spec.fb_words, name="paper-E1"
+    )
+    failures = run_oracles(case, oracles=("progequiv",))
+    assert failures, "a lying template backend must fire"
+    assert any("differs from reference" in f.message for f in failures)
+
+
 def test_oracle_names_are_stable():
     assert set(ORACLE_NAMES) == {
         "probes", "diagnostics", "feasibility", "traffic", "engine",
-        "trace", "batchcompile", "exactgap", "freelist", "verifier",
-        "hazards", "simengine", "functional",
+        "trace", "batchcompile", "exactgap", "progequiv", "freelist",
+        "verifier", "hazards", "simengine", "functional",
     }
     failure = OracleFailure("traffic", "case", "msg", scheduler="cds")
     assert failure.to_dict() == {
